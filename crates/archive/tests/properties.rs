@@ -1,0 +1,79 @@
+//! Property-based tests: the wire format roundtrips arbitrary archives.
+
+use bytes::Bytes;
+use gear_archive::{Archive, ArchivePath, Entry, EntryKind, Metadata};
+use proptest::prelude::*;
+
+fn any_component() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{1,12}".prop_filter("no dot components", |s| s != "." && s != "..")
+}
+
+fn any_path() -> impl Strategy<Value = ArchivePath> {
+    proptest::collection::vec(any_component(), 1..5)
+        .prop_map(|parts| ArchivePath::new(parts.join("/")).expect("valid components"))
+}
+
+fn any_meta() -> impl Strategy<Value = Metadata> {
+    (0u32..0o7777, 0u32..70_000, 0u32..70_000, 0u64..u32::MAX as u64)
+        .prop_map(|(mode, uid, gid, mtime)| Metadata { mode, uid, gid, mtime })
+}
+
+fn any_entry() -> impl Strategy<Value = Entry> {
+    (any_path(), any_meta(), proptest::collection::vec(any::<u8>(), 0..256), any_path(), 0u8..6)
+        .prop_map(|(path, meta, content, other, tag)| {
+            let kind = match tag {
+                0 => EntryKind::Dir { meta },
+                1 => EntryKind::File { meta, content: Bytes::from(content) },
+                2 => EntryKind::Symlink { meta, target: format!("/{other}") },
+                3 => EntryKind::Hardlink { target: other },
+                4 => EntryKind::Whiteout,
+                _ => EntryKind::OpaqueDir { meta },
+            };
+            Entry { path, kind }
+        })
+}
+
+fn any_archive() -> impl Strategy<Value = Archive> {
+    proptest::collection::vec(any_entry(), 0..32).prop_map(Archive::from_iter)
+}
+
+proptest! {
+    /// to_bytes/from_bytes is the identity on arbitrary archives.
+    #[test]
+    fn wire_roundtrip(archive in any_archive()) {
+        let bytes = archive.to_bytes();
+        prop_assert_eq!(Archive::from_bytes(&bytes).unwrap(), archive);
+    }
+
+    /// Any proper prefix of the encoding fails to parse (no silent truncation).
+    #[test]
+    fn prefix_never_parses(archive in any_archive(), cut in any::<prop::sample::Index>()) {
+        let bytes = archive.to_bytes();
+        prop_assume!(!bytes.is_empty());
+        let at = cut.index(bytes.len()); // strictly less than len
+        prop_assert!(Archive::from_bytes(&bytes[..at]).is_err());
+    }
+
+    /// Accounting helpers agree with a manual fold.
+    #[test]
+    fn accounting_consistent(archive in any_archive()) {
+        let files = archive.iter().filter(|e| matches!(e.kind, EntryKind::File { .. })).count();
+        let bytes: u64 = archive.iter().map(|e| e.content_len()).sum();
+        prop_assert_eq!(archive.file_count(), files);
+        prop_assert_eq!(archive.content_bytes(), bytes);
+    }
+
+    /// sort_by_path puts every parent before its children.
+    #[test]
+    fn sort_parents_first(mut archive in any_archive()) {
+        archive.sort_by_path();
+        let paths: Vec<_> = archive.iter().map(|e| e.path.clone()).collect();
+        for (i, p) in paths.iter().enumerate() {
+            if let Some(parent) = p.parent() {
+                if let Some(j) = paths.iter().position(|q| *q == parent) {
+                    prop_assert!(j < i || paths[j] == paths[i], "parent after child");
+                }
+            }
+        }
+    }
+}

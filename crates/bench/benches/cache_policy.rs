@@ -1,0 +1,54 @@
+//! Shared-cache ablation: FIFO vs LRU vs unbounded under version cycling
+//! (the design choice the paper's §III-D1 leaves to the user).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gear_bench::experiments::{fig8, ExperimentContext};
+use gear_client::{ClientConfig, EvictionPolicy, GearClient};
+
+fn bench_cache(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick();
+    let published = fig8::publish_corpus(&ctx);
+    let series = ctx.corpus.series_by_name("redis").expect("quick corpus has redis");
+    // Capacity fitting roughly one image's necessary files.
+    let capacity = series.images[0].content_bytes() / 2;
+
+    let mut group = c.benchmark_group("cache_policy");
+    group.sample_size(20);
+    for (label, policy, cap) in [
+        ("fifo_bounded", EvictionPolicy::Fifo, Some(capacity)),
+        ("lru_bounded", EvictionPolicy::Lru, Some(capacity)),
+        ("lru_unbounded", EvictionPolicy::Lru, None),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, ()| {
+            b.iter(|| {
+                let config = ClientConfig {
+                    cache_policy: policy,
+                    cache_capacity: cap,
+                    ..ctx.client_config
+                };
+                let mut client = GearClient::new(config);
+                let mut pulled = 0u64;
+                for _round in 0..2 {
+                    for (image, trace) in series.images.iter().zip(&series.traces) {
+                        let (id, report) = client
+                            .deploy(
+                                image.reference(),
+                                trace,
+                                &published.gear_index,
+                                &published.gear_files,
+                            )
+                            .unwrap();
+                        client.destroy(id);
+                        client.remove_image(image.reference());
+                        pulled += report.bytes_pulled;
+                    }
+                }
+                std::hint::black_box(pulled)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

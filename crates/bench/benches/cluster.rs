@@ -1,0 +1,41 @@
+//! Cooperative-cluster ablation: registry egress and simulator cost as the
+//! cluster grows, with and without the peer directory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gear_bench::experiments::{fig8, ExperimentContext};
+use gear_p2p::{Cluster, ClusterConfig};
+
+fn bench_cluster(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick();
+    let published = fig8::publish_corpus(&ctx);
+    let series = ctx.corpus.series_by_name("wordpress").expect("quick corpus has wordpress");
+    let image = series.images.last().unwrap();
+    let trace = series.traces.last().unwrap();
+
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(15);
+    for nodes in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("deploy_all", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut cluster =
+                    Cluster::new(ClusterConfig::edge(n).with_client(ctx.client_config));
+                for node in 0..n {
+                    cluster
+                        .deploy_on(
+                            node,
+                            image.reference(),
+                            trace,
+                            &published.gear_index,
+                            &published.gear_files,
+                        )
+                        .unwrap();
+                }
+                std::hint::black_box(cluster.registry_egress())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Compression micro-benchmarks and the granularity ablation (per-layer vs
+//! per-file compression ratios on corpus content).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gear_compress::{compress, compressed_size, decompress, Level};
+use gear_corpus::{make_content, new_file_seeds};
+
+fn corpus_like(len: usize, seed: u64) -> Vec<u8> {
+    make_content(&new_file_seeds(seed, len as u64), len as u64).to_vec()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lzss");
+    let data = corpus_like(256 * 1024, 42);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for level in [Level::Fast, Level::Default, Level::Best] {
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{level:?}")),
+            &data,
+            |b, d| b.iter(|| compress(std::hint::black_box(d), level)),
+        );
+    }
+    let framed = compress(&data, Level::Default);
+    group.bench_function("decompress", |b| {
+        b.iter(|| decompress(std::hint::black_box(&framed)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    // Ablation: compressing 64 files individually vs as one concatenated
+    // "layer" stream — the trade-off behind registry storage formats.
+    let files: Vec<Vec<u8>> = (0..64).map(|i| corpus_like(4096, 1000 + i)).collect();
+    let layer: Vec<u8> = files.iter().flatten().copied().collect();
+    let mut group = c.benchmark_group("compression_granularity");
+    group.bench_function("per_file_64x4k", |b| {
+        b.iter(|| {
+            files
+                .iter()
+                .map(|f| compressed_size(std::hint::black_box(f), Level::Fast))
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("per_layer_256k", |b| {
+        b.iter(|| compressed_size(std::hint::black_box(&layer), Level::Fast))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_granularity);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! The Table II ablation as a bench: dedup analysis cost per granularity
+//! configuration over the quick corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gear_corpus::{Corpus, CorpusConfig};
+use gear_registry::dedup::{analyze, DedupConfig};
+
+fn bench_dedup(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::quick());
+    let images: Vec<_> = corpus.all_images().cloned().collect();
+
+    let mut group = c.benchmark_group("dedup_granularity");
+    group.sample_size(10);
+    for chunk in [64usize, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_chunk", chunk),
+            &images,
+            |b, imgs| {
+                let config = DedupConfig { chunk_size: chunk, ..DedupConfig::default() };
+                b.iter(|| analyze(std::hint::black_box(imgs), config))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dedup);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Deployment-engine execution cost: how fast the simulator itself runs one
+//! Gear / Docker / Slacker deployment (not the simulated time it reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gear_bench::experiments::{fig8, ExperimentContext};
+use gear_client::{ClientConfig, DockerClient, GearClient, SlackerClient};
+
+fn bench_deploy(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick();
+    let published = fig8::publish_corpus(&ctx);
+    let series = ctx.corpus.series_by_name("tomcat").expect("quick corpus has tomcat");
+    let image = series.images.last().unwrap();
+    let trace = series.traces.last().unwrap();
+    let config: ClientConfig = ctx.client_config;
+
+    let mut group = c.benchmark_group("deployment");
+    group.sample_size(20);
+    group.bench_function("gear_cold", |b| {
+        b.iter(|| {
+            let mut client = GearClient::new(config);
+            let (id, report) = client
+                .deploy(image.reference(), trace, &published.gear_index, &published.gear_files)
+                .unwrap();
+            client.destroy(id);
+            std::hint::black_box(report)
+        })
+    });
+    group.bench_function("docker_cold", |b| {
+        b.iter(|| {
+            let mut client = DockerClient::new(config);
+            let (id, report) =
+                client.deploy(image.reference(), trace, &published.docker).unwrap();
+            client.destroy(id);
+            std::hint::black_box(report)
+        })
+    });
+    group.bench_function("slacker_cold", |b| {
+        b.iter(|| {
+            let mut client = SlackerClient::new(config);
+            let (id, report) =
+                client.deploy(image.reference(), trace, &published.docker).unwrap();
+            client.destroy(id);
+            std::hint::black_box(report)
+        })
+    });
+    // Warm Gear deployment: index installed, cache hot.
+    group.bench_function("gear_warm", |b| {
+        let mut client = GearClient::new(config);
+        let (id, _) = client
+            .deploy(image.reference(), trace, &published.gear_index, &published.gear_files)
+            .unwrap();
+        client.destroy(id);
+        b.iter(|| {
+            let (id, report) = client
+                .deploy(image.reference(), trace, &published.gear_index, &published.gear_files)
+                .unwrap();
+            client.destroy(id);
+            std::hint::black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_deploy);
+criterion_main!(benches);

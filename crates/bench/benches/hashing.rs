@@ -1,0 +1,29 @@
+//! Fingerprinting micro-benchmarks and the MD5-vs-SHA-256 ablation.
+//!
+//! The paper picks MD5 for Gear-file fingerprints; this bench quantifies the
+//! hashing-cost side of that choice at typical image-file sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gear_hash::{Digest, Fingerprint};
+
+fn content(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 31 % 251) as u8).collect()
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hashing");
+    for size in [512usize, 16 * 1024, 1024 * 1024] {
+        let data = content(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("md5_fingerprint", size), &data, |b, d| {
+            b.iter(|| Fingerprint::of(std::hint::black_box(d)))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256_digest", size), &data, |b, d| {
+            b.iter(|| Digest::of(std::hint::black_box(d)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Reproduction harness: regenerates every table and figure of the Gear
+//! paper from the synthetic corpus.
+//!
+//! ```text
+//! repro [--scale N] [--seed S] [--versions V] [--quick] <experiment>...
+//!
+//! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 all
+//! ```
+//!
+//! `--quick` uses the small test corpus; the default is the paper-shaped
+//! corpus (50 series, 971 images, 1/1024 scale) — expect a few minutes in a
+//! release build.
+
+use std::process::ExitCode;
+
+use gear_bench::experiments::{self, ExperimentContext};
+use gear_corpus::CorpusConfig;
+
+struct Args {
+    config: CorpusConfig,
+    experiments: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = CorpusConfig::paper();
+    let mut experiments = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = argv.next().ok_or("--scale needs a value")?;
+                config.scale_denom = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                config.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--versions" => {
+                let v = argv.next().ok_or("--versions needs a value")?;
+                config.max_versions =
+                    Some(v.parse().map_err(|_| format!("bad versions {v:?}"))?);
+            }
+            "--quick" => config = CorpusConfig::quick(),
+            "--help" | "-h" => {
+                return Err("usage: repro [--scale N] [--seed S] [--versions V] [--quick] \
+                            <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|cluster|all>..."
+                    .to_owned())
+            }
+            name if !name.starts_with('-') => experiments.push(name.to_owned()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_owned());
+    }
+    Ok(Args { config, experiments })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
+        vec!["table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "cluster"]
+    } else {
+        args.experiments.iter().map(String::as_str).collect()
+    };
+
+    eprintln!(
+        "generating corpus (scale 1/{}, seed {}, {} series)...",
+        args.config.scale_denom,
+        args.config.seed,
+        args.config.series.as_ref().map_or(50, Vec::len),
+    );
+    let ctx = ExperimentContext::new(&args.config);
+    eprintln!(
+        "corpus ready: {} images, {} logical content",
+        ctx.corpus.image_count(),
+        experiments::human_bytes(
+            ctx.corpus.all_images().map(|i| i.content_bytes()).sum::<u64>()
+                * ctx.corpus.config.scale_denom
+        )
+    );
+
+    // The deployment experiments share one published corpus.
+    let needs_publish =
+        wanted.iter().any(|e| matches!(*e, "fig8" | "fig9" | "fig10" | "fig11" | "cluster"));
+    let published = if needs_publish {
+        eprintln!("converting and publishing corpus to registries...");
+        Some(experiments::fig8::publish_corpus(&ctx))
+    } else {
+        None
+    };
+
+    for name in wanted {
+        println!("{}", "=".repeat(72));
+        match name {
+            "table2" => println!("{}", experiments::table2::run(&ctx)),
+            "fig2" => println!("{}", experiments::fig2::run(&ctx)),
+            "fig6" => println!("{}", experiments::fig6::run(&ctx)),
+            "fig7" => println!("{}", experiments::fig7::run(&ctx)),
+            "fig8" => {
+                println!("{}", experiments::fig8::run(&ctx, published.as_ref().expect("published")))
+            }
+            "fig9" => {
+                println!("{}", experiments::fig9::run(&ctx, published.as_ref().expect("published")))
+            }
+            "fig10" => {
+                let series = if ctx.corpus.series_by_name("tomcat").is_some() {
+                    "tomcat"
+                } else {
+                    &ctx.corpus.series[0].spec.name
+                };
+                println!(
+                    "{}",
+                    experiments::fig10::run(&ctx, published.as_ref().expect("published"), series)
+                )
+            }
+            "fig11" => {
+                println!("{}", experiments::fig11::run(&ctx, published.as_ref().expect("published")))
+            }
+            "cluster" => {
+                let series = if ctx.corpus.series_by_name("postgres").is_some() {
+                    "postgres"
+                } else {
+                    &ctx.corpus.series[0].spec.name
+                };
+                println!(
+                    "{}",
+                    experiments::ext_cluster::run(
+                        &ctx,
+                        published.as_ref().expect("published"),
+                        series
+                    )
+                )
+            }
+            other => {
+                eprintln!("unknown experiment {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,128 @@
+//! Extension experiment: Gear + cooperative P2P distribution (paper §VI-B).
+//!
+//! Deploys one image across clusters of growing size on an edge uplink and
+//! measures how cooperative fetching amortizes registry egress — the
+//! combination the paper's related-work section argues is complementary to
+//! the Gear format.
+
+use std::fmt;
+use std::time::Duration;
+
+use gear_p2p::{Cluster, ClusterConfig};
+
+use super::fig8::PublishedCorpus;
+use super::{human_bytes, secs, ExperimentContext};
+
+/// Result for one cluster size.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterRow {
+    /// Number of nodes deployed on.
+    pub nodes: usize,
+    /// First (cold) node's deployment time.
+    pub cold: Duration,
+    /// Mean deployment time across all nodes.
+    pub mean: Duration,
+    /// Registry uplink egress for the whole cluster (paper scale).
+    pub registry_egress: u64,
+    /// Node-to-node traffic (paper scale).
+    pub peer_traffic: u64,
+}
+
+/// The extension experiment's result.
+#[derive(Debug, Clone)]
+pub struct ExtCluster {
+    /// Which series' newest image was deployed.
+    pub series: String,
+    /// One row per cluster size.
+    pub rows: Vec<ClusterRow>,
+}
+
+/// Runs the sweep over cluster sizes 1, 2, 4, 8, 16.
+pub fn run(ctx: &ExperimentContext, published: &PublishedCorpus, series_name: &str) -> ExtCluster {
+    let series = ctx.corpus.series_by_name(series_name).expect("series in corpus");
+    let image = series.images.last().expect("versions");
+    let trace = series.traces.last().expect("traces");
+
+    let rows = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .map(|nodes| {
+            let mut cluster =
+                Cluster::new(ClusterConfig::edge(nodes).with_client(ctx.client_config));
+            let mut cold = Duration::ZERO;
+            let mut sum = Duration::ZERO;
+            for node in 0..nodes {
+                let report = cluster
+                    .deploy_on(node, image.reference(), trace, &published.gear_index, &published.gear_files)
+                    .expect("cluster deploy");
+                if node == 0 {
+                    cold = report.total;
+                }
+                sum += report.total;
+            }
+            ClusterRow {
+                nodes,
+                cold,
+                mean: sum / nodes as u32,
+                registry_egress: cluster.registry_egress(),
+                peer_traffic: cluster.peer_traffic(),
+            }
+        })
+        .collect();
+    ExtCluster { series: series_name.to_owned(), rows }
+}
+
+impl fmt::Display for ExtCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Extension — cooperative P2P cluster deployment of {} (20 Mbps uplink, 1 Gbps LAN)",
+            self.series
+        )?;
+        writeln!(
+            f,
+            "{:<8}{:>10}{:>12}{:>16}{:>14}",
+            "nodes", "cold", "mean/node", "uplink egress", "peer bytes"
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{:<8}{:>10}{:>12}{:>16}{:>14}",
+                row.nodes,
+                secs(row.cold),
+                secs(row.mean),
+                human_bytes(row.registry_egress),
+                human_bytes(row.peer_traffic)
+            )?;
+        }
+        write!(
+            f,
+            "uplink egress stays ~flat with cluster size: each unique Gear file leaves the \
+             registry once (paper §VI-B: P2P is complementary to Gear)"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig8::publish_corpus;
+
+    #[test]
+    fn egress_is_amortized_across_nodes() {
+        let ctx = ExperimentContext::quick();
+        let published = publish_corpus(&ctx);
+        let result = run(&ctx, &published, "redis");
+        let one = result.rows.first().unwrap();
+        let sixteen = result.rows.last().unwrap();
+        // Index pulls grow with node count, but file bytes dominate: egress
+        // must grow far slower than linearly.
+        assert!(
+            (sixteen.registry_egress as f64) < one.registry_egress as f64 * 3.0,
+            "egress {} vs single-node {}",
+            sixteen.registry_egress,
+            one.registry_egress
+        );
+        // Warm nodes are faster than the cold one.
+        assert!(sixteen.mean < sixteen.cold);
+    }
+}

@@ -1,0 +1,156 @@
+//! Fig. 10: deploying 20 Tomcat versions one by one under Docker, Slacker,
+//! and Gear, at 1000 and 100 Mbps.
+
+use std::fmt;
+use std::time::Duration;
+
+use gear_client::{DockerClient, GearClient, SlackerClient};
+use gear_simnet::Link;
+
+use super::fig8::PublishedCorpus;
+use super::{secs, ExperimentContext};
+
+/// Paper averages at 1000 Mbps: Docker 6.08 s, Slacker 3.03 s, Gear 3.04 s.
+pub const PAPER_1000: (f64, f64, f64) = (6.08, 3.03, 3.04);
+/// Paper degradation when dropping to 100 Mbps: Docker ×2.7, Slacker ×2.6,
+/// Gear only ×1.2.
+/// See above.
+pub const PAPER_DEGRADATION: (f64, f64, f64) = (2.7, 2.6, 1.2);
+
+/// One bandwidth's sequential-deployment timeline.
+#[derive(Debug, Clone)]
+pub struct VersionTimeline {
+    /// Bandwidth label.
+    pub label: &'static str,
+    /// Per-version total deployment times, in deployment order:
+    /// `(docker, slacker, gear)`.
+    pub times: Vec<(Duration, Duration, Duration)>,
+}
+
+impl VersionTimeline {
+    /// Mean deployment times `(docker, slacker, gear)`.
+    pub fn averages(&self) -> (Duration, Duration, Duration) {
+        let n = self.times.len().max(1) as u32;
+        let sum = self.times.iter().fold(
+            (Duration::ZERO, Duration::ZERO, Duration::ZERO),
+            |acc, (d, s, g)| (acc.0 + *d, acc.1 + *s, acc.2 + *g),
+        );
+        (sum.0 / n, sum.1 / n, sum.2 / n)
+    }
+}
+
+/// The Fig. 10 result (two bandwidths).
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Timelines at 1000 Mbps and 100 Mbps.
+    pub runs: Vec<VersionTimeline>,
+    /// Which series was deployed.
+    pub series: String,
+}
+
+/// Deploys every version of `series_name` sequentially with persistent
+/// clients under all three systems.
+pub fn run(ctx: &ExperimentContext, published: &PublishedCorpus, series_name: &str) -> Fig10 {
+    let runs = [("1000Mbps", Link::mbps(1000.0)), ("100Mbps", Link::mbps(100.0))]
+        .into_iter()
+        .map(|(label, link)| {
+            let config = ctx.client_config.with_link(link);
+            let mut docker = DockerClient::new(config);
+            let mut slacker = SlackerClient::new(config);
+            let mut gear = GearClient::new(config);
+            let series = ctx
+                .corpus
+                .series_by_name(series_name)
+                .expect("series present in corpus");
+            let mut times = Vec::new();
+            for (image, trace) in series.images.iter().zip(&series.traces) {
+                let (_, d) =
+                    docker.deploy(image.reference(), trace, &published.docker).expect("docker");
+                let (sid, s) =
+                    slacker.deploy(image.reference(), trace, &published.docker).expect("slacker");
+                slacker.destroy(sid);
+                let (gid, g) = gear
+                    .deploy(image.reference(), trace, &published.gear_index, &published.gear_files)
+                    .expect("gear");
+                gear.destroy(gid);
+                times.push((d.total(), s.total(), g.total()));
+            }
+            VersionTimeline { label, times }
+        })
+        .collect();
+    Fig10 { runs, series: series_name.to_owned() }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 10 — sequential deployment of {} versions", self.series)?;
+        for run in &self.runs {
+            writeln!(f, "[{}]", run.label)?;
+            writeln!(f, "{:<6}{:>10}{:>10}{:>10}", "ver", "docker", "slacker", "gear")?;
+            for (i, (d, s, g)) in run.times.iter().enumerate() {
+                writeln!(f, "{:<6}{:>10}{:>10}{:>10}", i + 1, secs(*d), secs(*s), secs(*g))?;
+            }
+            let (ad, as_, ag) = run.averages();
+            writeln!(f, "avg   {:>10}{:>10}{:>10}", secs(ad), secs(as_), secs(ag))?;
+            if run.label == "1000Mbps" {
+                writeln!(
+                    f,
+                    "paper avg: docker {:.2}s, slacker {:.2}s, gear {:.2}s",
+                    PAPER_1000.0, PAPER_1000.1, PAPER_1000.2
+                )?;
+            }
+        }
+        if self.runs.len() == 2 {
+            let (d0, s0, g0) = self.runs[0].averages();
+            let (d1, s1, g1) = self.runs[1].averages();
+            writeln!(
+                f,
+                "degradation 1000→100 Mbps: docker {:.1}x slacker {:.1}x gear {:.1}x (paper {:.1}/{:.1}/{:.1})",
+                d1.as_secs_f64() / d0.as_secs_f64(),
+                s1.as_secs_f64() / s0.as_secs_f64(),
+                g1.as_secs_f64() / g0.as_secs_f64(),
+                PAPER_DEGRADATION.0,
+                PAPER_DEGRADATION.1,
+                PAPER_DEGRADATION.2
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig8::publish_corpus;
+
+    #[test]
+    fn gear_improves_with_version_count_and_degrades_least() {
+        let ctx = ExperimentContext::quick();
+        let published = publish_corpus(&ctx);
+        // quick corpus has tomcat? quick() uses tomcat — yes.
+        let fig = run(&ctx, &published, "tomcat");
+        assert_eq!(fig.runs.len(), 2);
+
+        let fast = &fig.runs[0];
+        // Gear's later deployments are cheaper than its first (file sharing).
+        let first_gear = fast.times.first().unwrap().2;
+        let last_gear = fast.times.last().unwrap().2;
+        assert!(last_gear < first_gear, "{last_gear:?} !< {first_gear:?}");
+        // Slacker shows no such improvement (no sharing).
+        let first_slacker = fast.times.first().unwrap().1;
+        let last_slacker = fast.times.last().unwrap().1;
+        let slacker_change =
+            (last_slacker.as_secs_f64() - first_slacker.as_secs_f64()).abs()
+                / first_slacker.as_secs_f64();
+        assert!(slacker_change < 0.35, "slacker drift {slacker_change}");
+
+        // Gear degrades least when bandwidth drops.
+        let (d0, s0, g0) = fig.runs[0].averages();
+        let (d1, s1, g1) = fig.runs[1].averages();
+        let dd = d1.as_secs_f64() / d0.as_secs_f64();
+        let ds = s1.as_secs_f64() / s0.as_secs_f64();
+        let dg = g1.as_secs_f64() / g0.as_secs_f64();
+        assert!(dg < dd, "gear {dg} !< docker {dd}");
+        assert!(dg < ds, "gear {dg} !< slacker {ds}");
+    }
+}

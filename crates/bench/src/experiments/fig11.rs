@@ -1,0 +1,194 @@
+//! Fig. 11: service performance after deployment.
+//!
+//! (a) long-running workloads: memtier-style SET/GET against Memcached and
+//! Redis, ab-style HTTP load against Nginx and Httpd — Gear's throughput
+//! normalized to Docker's should be ≈1.0 once the working set is local.
+//!
+//! (b) short-running Httpd: launch → one request → destroy, repeated 100
+//! times; Gear tears down faster because only the touched files' inodes were
+//! instantiated.
+
+use std::fmt;
+use std::time::Duration;
+
+use gear_client::{DockerClient, GearClient};
+
+use super::fig8::PublishedCorpus;
+use super::ExperimentContext;
+
+/// The services the paper benchmarks in Fig. 11a.
+pub const SERVICES: [&str; 4] = ["redis", "memcached", "nginx", "httpd"];
+/// Repetitions of the short-running loop (paper: 100).
+/// Repetition count for the launch/request/destroy loop.
+pub const SHORT_RUNS: u32 = 100;
+
+/// Long-running result for one service.
+#[derive(Debug, Clone)]
+pub struct ServiceThroughput {
+    /// Service (series) name.
+    pub name: String,
+    /// Operations per simulated second under Docker.
+    pub docker_ops_per_sec: f64,
+    /// Operations per simulated second under Gear.
+    pub gear_ops_per_sec: f64,
+}
+
+impl ServiceThroughput {
+    /// Gear throughput normalized to Docker (paper plots this; ≈1.0).
+    pub fn normalized(&self) -> f64 {
+        self.gear_ops_per_sec / self.docker_ops_per_sec
+    }
+}
+
+/// Short-running phase averages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortRunning {
+    /// Mean launch time.
+    pub launch: Duration,
+    /// Mean request time.
+    pub request: Duration,
+    /// Mean destroy time.
+    pub destroy: Duration,
+}
+
+/// The Fig. 11 result.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// 11a: per-service throughputs.
+    pub services: Vec<ServiceThroughput>,
+    /// 11b: Docker's launch/request/destroy averages.
+    pub docker_short: ShortRunning,
+    /// 11b: Gear's launch/request/destroy averages.
+    pub gear_short: ShortRunning,
+}
+
+/// Ops per long-running measurement.
+const LONG_OPS: u64 = 2_000;
+/// Per-op compute (SET/GET or HTTP handling).
+const OP_COMPUTE: Duration = Duration::from_micros(60);
+
+/// Runs both halves of Fig. 11. Services absent from the corpus are skipped.
+pub fn run(ctx: &ExperimentContext, published: &PublishedCorpus) -> Fig11 {
+    let mut services = Vec::new();
+    for name in SERVICES {
+        let Some(series) = ctx.corpus.series_by_name(name) else { continue };
+        let image = series.images.last().expect("series has versions");
+        let trace = series.traces.last().expect("series has traces");
+        // The service's per-op working set: a few hot files.
+        let op_reads: Vec<String> = trace.reads.iter().take(3).cloned().collect();
+
+        let mut docker = DockerClient::new(ctx.client_config);
+        let (did, _) = docker.deploy(image.reference(), trace, &published.docker).expect("docker");
+        let docker_time = docker.serve(did, LONG_OPS, OP_COMPUTE, &op_reads).expect("serve");
+
+        let mut gear = GearClient::new(ctx.client_config);
+        let (gid, _) = gear
+            .deploy(image.reference(), trace, &published.gear_index, &published.gear_files)
+            .expect("gear");
+        let gear_time =
+            gear.serve(gid, LONG_OPS, OP_COMPUTE, &op_reads, &published.gear_files).expect("serve");
+
+        services.push(ServiceThroughput {
+            name: name.to_owned(),
+            docker_ops_per_sec: LONG_OPS as f64 / docker_time.as_secs_f64(),
+            gear_ops_per_sec: LONG_OPS as f64 / gear_time.as_secs_f64(),
+        });
+    }
+
+    // 11b: short-running httpd (fall back to the first available series).
+    let series = ctx
+        .corpus
+        .series_by_name("httpd")
+        .or_else(|| ctx.corpus.series.first())
+        .expect("non-empty corpus");
+    let image = series.images.last().expect("versions");
+    let trace = series.traces.last().expect("traces");
+    let op_reads: Vec<String> = trace.reads.iter().take(2).cloned().collect();
+
+    let mut docker = DockerClient::new(ctx.client_config);
+    let mut gear = GearClient::new(ctx.client_config);
+    // Warm both clients (image local, cache hot) — the loop measures
+    // launch/request/destroy, not pulling.
+    let (wid, _) = docker.deploy(image.reference(), trace, &published.docker).expect("docker");
+    docker.destroy(wid);
+    let (wid, _) = gear
+        .deploy(image.reference(), trace, &published.gear_index, &published.gear_files)
+        .expect("gear");
+    gear.destroy(wid);
+
+    let mut docker_short = ShortRunning::default();
+    let mut gear_short = ShortRunning::default();
+    for _ in 0..SHORT_RUNS {
+        let (id, report) = docker.deploy(image.reference(), trace, &published.docker).expect("docker");
+        docker_short.launch += report.run;
+        docker_short.request += docker.serve(id, 1, OP_COMPUTE, &op_reads).expect("serve");
+        docker_short.destroy += docker.destroy(id);
+
+        let (id, report) = gear
+            .deploy(image.reference(), trace, &published.gear_index, &published.gear_files)
+            .expect("gear");
+        gear_short.launch += report.run;
+        gear_short.request +=
+            gear.serve(id, 1, OP_COMPUTE, &op_reads, &published.gear_files).expect("serve");
+        gear_short.destroy += gear.destroy(id);
+    }
+    for short in [&mut docker_short, &mut gear_short] {
+        short.launch /= SHORT_RUNS;
+        short.request /= SHORT_RUNS;
+        short.destroy /= SHORT_RUNS;
+    }
+
+    Fig11 { services, docker_short, gear_short }
+}
+
+impl fmt::Display for Fig11 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 11a — long-running throughput (normalized to Docker)")?;
+        writeln!(f, "{:<14}{:>16}{:>16}{:>12}", "service", "docker ops/s", "gear ops/s", "normalized")?;
+        for s in &self.services {
+            writeln!(
+                f,
+                "{:<14}{:>16.0}{:>16.0}{:>12.3}",
+                s.name, s.docker_ops_per_sec, s.gear_ops_per_sec, s.normalized()
+            )?;
+        }
+        writeln!(f, "(paper: all ≈1.0)")?;
+        writeln!(f)?;
+        writeln!(f, "Fig. 11b — short-running httpd, {SHORT_RUNS} iterations")?;
+        writeln!(f, "{:<10}{:>12}{:>12}{:>12}", "system", "launch", "request", "destroy")?;
+        for (name, s) in [("docker", &self.docker_short), ("gear", &self.gear_short)] {
+            writeln!(
+                f,
+                "{:<10}{:>11.1}ms{:>11.3}ms{:>11.3}ms",
+                name,
+                s.launch.as_secs_f64() * 1e3,
+                s.request.as_secs_f64() * 1e3,
+                s.destroy.as_secs_f64() * 1e3
+            )?;
+        }
+        write!(f, "(paper: Gear slightly faster destroy — fewer inode caches to drop)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig8::publish_corpus;
+
+    #[test]
+    fn throughput_parity_and_faster_destroy() {
+        let ctx = ExperimentContext::quick();
+        let published = publish_corpus(&ctx);
+        let fig = run(&ctx, &published);
+        // quick corpus carries redis; throughput must be ≈ equal.
+        assert!(!fig.services.is_empty());
+        for s in &fig.services {
+            let norm = s.normalized();
+            assert!((0.9..1.1).contains(&norm), "{}: normalized {norm}", s.name);
+        }
+        // Gear destroys at least as fast as Docker.
+        assert!(fig.gear_short.destroy <= fig.docker_short.destroy);
+        // Launches are warm: well under a deployment with pulling.
+        assert!(fig.gear_short.launch < Duration::from_secs(30));
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig. 2: redundancy among the necessary data within an image series.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use gear_corpus::Category;
+use gear_hash::Fingerprint;
+
+use super::ExperimentContext;
+
+/// Paper values (redundancy ratio per category; the text quotes Database
+/// 56.0 %, Application Platform 57.4 %, and a 39.9 % average).
+/// Paper: Database-series redundancy.
+pub const PAPER_DATABASE: f64 = 0.560;
+/// Paper: Application-Platform redundancy.
+pub const PAPER_PLATFORM: f64 = 0.574;
+/// Paper: average redundancy across categories.
+pub const PAPER_AVERAGE: f64 = 0.399;
+
+/// Redundancy of one series: 1 − unique necessary bytes / total necessary
+/// bytes across all its versions.
+#[derive(Debug, Clone)]
+pub struct SeriesRedundancy {
+    /// Series name.
+    pub name: String,
+    /// Category.
+    pub category: Category,
+    /// Redundancy ratio in `[0, 1)`.
+    pub redundancy: f64,
+    /// Total necessary bytes across versions (corpus scale).
+    pub total_bytes: u64,
+}
+
+/// The full Fig. 2 result.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// Per-series redundancies.
+    pub series: Vec<SeriesRedundancy>,
+}
+
+/// Computes necessary-data redundancy for every series.
+pub fn run(ctx: &ExperimentContext) -> Fig2 {
+    let mut out = Vec::new();
+    for series in &ctx.corpus.series {
+        let mut unique: HashMap<Fingerprint, u64> = HashMap::new();
+        let mut total = 0u64;
+        for (image, trace) in series.images.iter().zip(&series.traces) {
+            let rootfs = image.root_fs().expect("corpus images replay");
+            for path in &trace.reads {
+                if let Some(gear_fs::Node::File(file)) = rootfs.get(path) {
+                    if let gear_fs::FileData::Inline(content) = &file.data {
+                        let fp = Fingerprint::of(content);
+                        total += content.len() as u64;
+                        unique.entry(fp).or_insert(content.len() as u64);
+                    }
+                }
+            }
+        }
+        let unique_bytes: u64 = unique.values().sum();
+        let redundancy = if total == 0 {
+            0.0
+        } else {
+            1.0 - unique_bytes as f64 / total as f64
+        };
+        out.push(SeriesRedundancy {
+            name: series.spec.name.to_owned(),
+            category: series.spec.category,
+            redundancy,
+            total_bytes: total,
+        });
+    }
+    Fig2 { series: out }
+}
+
+impl Fig2 {
+    /// Byte-weighted redundancy of one category.
+    pub fn category_redundancy(&self, category: Category) -> f64 {
+        let rows: Vec<_> = self.series.iter().filter(|s| s.category == category).collect();
+        let total: u64 = rows.iter().map(|s| s.total_bytes).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        rows.iter().map(|s| s.redundancy * s.total_bytes as f64).sum::<f64>() / total as f64
+    }
+
+    /// Unweighted mean across categories present in the corpus (the paper's
+    /// "on average, the redundancy ratio is 39.9 %").
+    pub fn average(&self) -> f64 {
+        let cats: Vec<f64> = Category::ALL
+            .iter()
+            .filter(|c| self.series.iter().any(|s| s.category == **c))
+            .map(|c| self.category_redundancy(*c))
+            .collect();
+        if cats.is_empty() {
+            0.0
+        } else {
+            cats.iter().sum::<f64>() / cats.len() as f64
+        }
+    }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 2 — necessary-data redundancy within image series")?;
+        writeln!(f, "{:<22}{:>12}{:>12}", "category", "measured", "paper")?;
+        for cat in Category::ALL {
+            if !self.series.iter().any(|s| s.category == cat) {
+                continue;
+            }
+            let paper = match cat {
+                Category::Database => format!("{:.1}%", PAPER_DATABASE * 100.0),
+                Category::ApplicationPlatform => format!("{:.1}%", PAPER_PLATFORM * 100.0),
+                _ => "—".to_owned(),
+            };
+            writeln!(
+                f,
+                "{:<22}{:>11.1}%{:>12}",
+                cat.name(),
+                self.category_redundancy(cat) * 100.0,
+                paper
+            )?;
+        }
+        write!(
+            f,
+            "{:<22}{:>11.1}%{:>11.1}%",
+            "average",
+            self.average() * 100.0,
+            PAPER_AVERAGE * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundancy_in_range_and_databases_high() {
+        let ctx = ExperimentContext::quick();
+        let fig = run(&ctx);
+        for s in &fig.series {
+            assert!(s.redundancy >= 0.0 && s.redundancy < 1.0, "{}: {}", s.name, s.redundancy);
+            assert!(s.total_bytes > 0, "{} has no necessary bytes", s.name);
+        }
+        // Database hot sets are more stable than Linux distro hot sets.
+        let db = fig.category_redundancy(Category::Database);
+        let distro = fig.category_redundancy(Category::LinuxDistro);
+        assert!(db > distro, "db {db} vs distro {distro}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Fig. 7: registry storage savings of Gear vs. Docker.
+//!
+//! (a) per category — each series gets its own private pair of registries;
+//! (b) all 50 series in one registry, where cross-series sharing kicks in.
+
+use std::fmt;
+
+use gear_core::{publish, Converter};
+use gear_corpus::Category;
+use gear_registry::{DockerRegistry, GearFileStore};
+
+use super::{human_bytes, ExperimentContext};
+
+/// Paper values for Fig. 7a (storage saving per category).
+pub const PAPER_7A: [(Category, f64); 6] = [
+    (Category::LinuxDistro, 0.205),
+    (Category::Language, 0.328),
+    (Category::Database, 0.522),
+    (Category::WebComponent, 0.609),
+    (Category::ApplicationPlatform, 0.586),
+    (Category::Others, 0.467),
+];
+
+/// Paper values for Fig. 7b.
+/// Paper: whole-registry saving (Fig. 7b).
+pub const PAPER_7B_SAVING: f64 = 0.537;
+/// Paper: index bytes as a share of total Gear image bytes.
+pub const PAPER_INDEX_SHARE: f64 = 0.011;
+/// Paper: average serialized Gear index size.
+pub const PAPER_AVG_INDEX_BYTES: u64 = 530_000;
+
+/// Storage outcome for one series (or one aggregate), in **paper-scale**
+/// bytes: image content is scaled back up by the corpus factor, while index
+/// images — pure metadata whose size tracks file counts, not content bytes —
+/// are counted at their raw size.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoragePair {
+    /// Docker registry bytes (compressed layers + manifests).
+    pub docker_bytes: u64,
+    /// Gear bytes: file store + index images.
+    pub gear_bytes: u64,
+    /// Of which Gear index (image) bytes.
+    pub index_bytes: u64,
+}
+
+impl StoragePair {
+    /// Fractional saving of Gear relative to Docker.
+    pub fn saving(&self) -> f64 {
+        if self.docker_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.gear_bytes as f64 / self.docker_bytes as f64
+    }
+}
+
+/// The Fig. 7 result.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Per-series pairs (private registries), with name and category.
+    pub per_series: Vec<(String, Category, StoragePair)>,
+    /// Whole-corpus pair (one registry for everything).
+    pub combined: StoragePair,
+    /// Average serialized index size (paper-scale bytes ≈ raw JSON bytes —
+    /// indexes are metadata and are not scaled).
+    pub avg_index_bytes: u64,
+    /// Corpus scale.
+    pub scale: u64,
+}
+
+/// Pushes every series into per-series registries (7a) and one combined
+/// registry (7b), comparing Docker and Gear storage footprints.
+pub fn run(ctx: &ExperimentContext) -> Fig7 {
+    let converter = Converter::new();
+    let mut per_series = Vec::new();
+    let mut combined_docker = DockerRegistry::new();
+    let mut combined_gear_files = GearFileStore::with_compression();
+    let mut combined_gear_index = DockerRegistry::new();
+    let mut index_sizes: Vec<u64> = Vec::new();
+
+    let scale = ctx.corpus.config.scale_denom;
+    for series in &ctx.corpus.series {
+        let mut docker = DockerRegistry::new();
+        let mut gear_files = GearFileStore::with_compression();
+        let mut gear_index = DockerRegistry::new();
+        for image in &series.images {
+            docker.push_image(image);
+            combined_docker.push_image(image);
+            let conv = converter.convert(image).expect("corpus images convert");
+            index_sizes.push(conv.gear_image.index().serialized_len());
+            publish(&conv, &mut gear_index, &mut gear_files);
+            publish(&conv, &mut combined_gear_index, &mut combined_gear_files);
+        }
+        let pair = StoragePair {
+            docker_bytes: docker.stats().total_bytes() * scale,
+            gear_bytes: gear_files.stats().stored_bytes * scale
+                + gear_index.stats().total_bytes(),
+            index_bytes: gear_index.stats().total_bytes(),
+        };
+        per_series.push((series.spec.name.to_owned(), series.spec.category, pair));
+    }
+
+    let combined = StoragePair {
+        docker_bytes: combined_docker.stats().total_bytes() * scale,
+        gear_bytes: combined_gear_files.stats().stored_bytes * scale
+            + combined_gear_index.stats().total_bytes(),
+        index_bytes: combined_gear_index.stats().total_bytes(),
+    };
+    let avg_index_bytes = if index_sizes.is_empty() {
+        0
+    } else {
+        index_sizes.iter().sum::<u64>() / index_sizes.len() as u64
+    };
+    Fig7 { per_series, combined, avg_index_bytes, scale: ctx.corpus.config.scale_denom }
+}
+
+impl Fig7 {
+    /// Aggregated pair for one category (sums over its series' private
+    /// registries).
+    pub fn category_pair(&self, category: Category) -> StoragePair {
+        let mut out = StoragePair::default();
+        for (_, cat, pair) in &self.per_series {
+            if *cat == category {
+                out.docker_bytes += pair.docker_bytes;
+                out.gear_bytes += pair.gear_bytes;
+                out.index_bytes += pair.index_bytes;
+            }
+        }
+        out
+    }
+
+    /// Index bytes as a share of total Gear bytes (combined registry).
+    pub fn index_share(&self) -> f64 {
+        if self.combined.gear_bytes == 0 {
+            return 0.0;
+        }
+        self.combined.index_bytes as f64 / self.combined.gear_bytes as f64
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig. 7a — storage saving per category (Gear vs Docker registries)")?;
+        writeln!(f, "{:<22}{:>12}{:>12}{:>10}{:>10}", "category", "docker", "gear", "saving", "paper")?;
+        for (cat, paper) in PAPER_7A {
+            let pair = self.category_pair(cat);
+            if pair.docker_bytes == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<22}{:>12}{:>12}{:>9.1}%{:>9.1}%",
+                cat.name(),
+                human_bytes(pair.docker_bytes),
+                human_bytes(pair.gear_bytes),
+                pair.saving() * 100.0,
+                paper * 100.0
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "Fig. 7b — all series in one registry")?;
+        writeln!(
+            f,
+            "docker {}  gear {}  saving {:.1}%   (paper: {:.1}%)",
+            human_bytes(self.combined.docker_bytes),
+            human_bytes(self.combined.gear_bytes),
+            self.combined.saving() * 100.0,
+            PAPER_7B_SAVING * 100.0
+        )?;
+        write!(
+            f,
+            "index share {:.2}% (paper {:.1}%), avg index {} (paper ~{})",
+            self.index_share() * 100.0,
+            PAPER_INDEX_SHARE * 100.0,
+            human_bytes(self.avg_index_bytes),
+            human_bytes(PAPER_AVG_INDEX_BYTES)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gear_saves_storage_everywhere() {
+        let ctx = ExperimentContext::quick();
+        let fig = run(&ctx);
+        for (name, _, pair) in &fig.per_series {
+            assert!(
+                pair.saving() > 0.0,
+                "{name}: gear {} vs docker {}",
+                pair.gear_bytes,
+                pair.docker_bytes
+            );
+        }
+        // Combined saving exceeds the byte-weighted per-series savings
+        // because of cross-series sharing.
+        let summed: StoragePair = fig.per_series.iter().fold(StoragePair::default(), |mut a, (_, _, p)| {
+            a.docker_bytes += p.docker_bytes;
+            a.gear_bytes += p.gear_bytes;
+            a
+        });
+        assert!(
+            fig.combined.saving() >= summed.saving() - 1e-9,
+            "combined {:.3} vs summed {:.3}",
+            fig.combined.saving(),
+            summed.saving()
+        );
+        // Indexes are a small share of the Gear registry.
+        assert!(fig.index_share() < 0.2, "index share {}", fig.index_share());
+    }
+
+    #[test]
+    fn app_categories_save_more_than_distro() {
+        let ctx = ExperimentContext::quick();
+        let fig = run(&ctx);
+        let distro = fig.category_pair(Category::LinuxDistro).saving();
+        let web = fig.category_pair(Category::WebComponent).saving();
+        assert!(web > distro, "web {web} vs distro {distro}");
+    }
+}

@@ -1,0 +1,84 @@
+//! One submodule per paper artifact, sharing an [`ExperimentContext`].
+
+pub mod ext_cluster;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+
+use gear_client::ClientConfig;
+use gear_corpus::{Corpus, CorpusConfig};
+
+/// Shared setup for all experiments: the corpus plus the client cost model
+/// calibrated to the paper's testbed.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// The generated corpus.
+    pub corpus: Corpus,
+    /// Client configuration (link swapped per experiment as needed).
+    pub client_config: ClientConfig,
+}
+
+impl ExperimentContext {
+    /// Builds a context from a corpus config.
+    pub fn new(config: &CorpusConfig) -> Self {
+        let corpus = Corpus::generate(config);
+        let client_config = ClientConfig::paper_testbed(config.scale_denom);
+        ExperimentContext { corpus, client_config }
+    }
+
+    /// A small, fast context for tests.
+    pub fn quick() -> Self {
+        Self::new(&CorpusConfig::quick())
+    }
+
+    /// The paper-shaped context (all 50 series, 971 images).
+    pub fn paper() -> Self {
+        Self::new(&CorpusConfig::paper())
+    }
+}
+
+/// Formats a byte count at paper scale as a human-readable string.
+pub fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KB", "MB", "GB", "TB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1000.0 && unit < UNITS.len() - 1 {
+        value /= 1000.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Formats a duration as seconds with two decimals.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(1_500), "1.5 KB");
+        assert_eq!(human_bytes(2_000_000), "2.0 MB");
+        assert_eq!(human_bytes(3_540_000_000), "3.5 GB");
+    }
+
+    #[test]
+    fn quick_context_builds() {
+        let ctx = ExperimentContext::quick();
+        assert!(ctx.corpus.image_count() > 0);
+        assert!(ctx.client_config.byte_scale > 1);
+    }
+}

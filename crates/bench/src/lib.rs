@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the Gear paper.
+//!
+//! Each submodule of [`experiments`] reproduces one evaluation artifact:
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`experiments::table2`]  | Table II — dedup granularity study |
+//! | [`experiments::fig2`]    | Fig. 2 — necessary-data redundancy per series |
+//! | [`experiments::fig6`]    | Fig. 6 — image conversion time per series |
+//! | [`experiments::fig7`]    | Fig. 7 — registry storage savings |
+//! | [`experiments::fig8`]    | Fig. 8 — bandwidth per deployment |
+//! | [`experiments::fig9`]    | Fig. 9 — deployment time vs. bandwidth |
+//! | [`experiments::fig10`]   | Fig. 10 — sequential version deployments |
+//! | [`experiments::fig11`]   | Fig. 11 — long/short-running workloads |
+//!
+//! The `repro` binary drives them from the command line; the Criterion
+//! benches reuse the same functions for micro-measurements and ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::ExperimentContext;

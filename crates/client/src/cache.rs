@@ -1,0 +1,271 @@
+//! The level-1 shared file cache (paper §III-D1).
+//!
+//! Gear files belonging to different images share one client-side cache,
+//! deduplicated by fingerprint. Users bound its capacity and pick a
+//! replacement policy (the paper names FIFO and LRU); files currently linked
+//! from an installed Gear index are pinned and never evicted.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use gear_hash::Fingerprint;
+
+/// Cache replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the oldest-inserted unpinned file first.
+    Fifo,
+    /// Evict the least-recently-used unpinned file first (the default).
+    #[default]
+    Lru,
+}
+
+/// Cache hit/miss/eviction accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the file locally.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Files evicted to make room.
+    pub evictions: u64,
+    /// Bytes evicted.
+    pub evicted_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    content: Bytes,
+    /// Number of installed indexes referencing this file.
+    pins: u32,
+    /// Insertion sequence (FIFO key).
+    inserted: u64,
+    /// Last-access sequence (LRU key).
+    used: u64,
+}
+
+/// A capacity-bounded, fingerprint-addressed shared file cache.
+#[derive(Debug, Default)]
+pub struct SharedCache {
+    entries: HashMap<Fingerprint, CacheEntry>,
+    policy: EvictionPolicy,
+    /// Capacity in bytes; `None` = unbounded.
+    capacity: Option<u64>,
+    bytes: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl SharedCache {
+    /// An unbounded LRU cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache with the given policy and byte capacity (`None` = unbounded).
+    pub fn with_policy(policy: EvictionPolicy, capacity: Option<u64>) -> Self {
+        SharedCache { policy, capacity, ..Self::default() }
+    }
+
+    /// Whether the file is cached, without touching LRU state or stats.
+    pub fn contains(&self, fingerprint: Fingerprint) -> bool {
+        self.entries.contains_key(&fingerprint)
+    }
+
+    /// Looks the file up, recording a hit or miss and refreshing LRU state.
+    pub fn get(&mut self, fingerprint: Fingerprint) -> Option<Bytes> {
+        self.tick += 1;
+        match self.entries.get_mut(&fingerprint) {
+            Some(entry) => {
+                entry.used = self.tick;
+                self.stats.hits += 1;
+                Some(entry.content.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a file (no-op if present), evicting unpinned files as needed.
+    /// Returns whether the file is resident afterwards (a file larger than
+    /// the whole capacity is not cached).
+    pub fn insert(&mut self, fingerprint: Fingerprint, content: Bytes) -> bool {
+        if self.entries.contains_key(&fingerprint) {
+            return true;
+        }
+        let len = content.len() as u64;
+        if let Some(cap) = self.capacity {
+            if len > cap {
+                return false;
+            }
+            while self.bytes + len > cap {
+                if !self.evict_one() {
+                    return false; // everything left is pinned
+                }
+            }
+        }
+        self.tick += 1;
+        self.bytes += len;
+        self.entries.insert(
+            fingerprint,
+            CacheEntry { content, pins: 0, inserted: self.tick, used: self.tick },
+        );
+        true
+    }
+
+    /// Pins a file (one reference from an installed index).
+    pub fn pin(&mut self, fingerprint: Fingerprint) {
+        if let Some(e) = self.entries.get_mut(&fingerprint) {
+            e.pins += 1;
+        }
+    }
+
+    /// Releases one pin.
+    pub fn unpin(&mut self, fingerprint: Fingerprint) {
+        if let Some(e) = self.entries.get_mut(&fingerprint) {
+            e.pins = e.pins.saturating_sub(1);
+        }
+    }
+
+    /// Evicts one unpinned file per the policy; false if none is evictable.
+    fn evict_one(&mut self) -> bool {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pins == 0)
+            .min_by_key(|(_, e)| match self.policy {
+                EvictionPolicy::Fifo => e.inserted,
+                EvictionPolicy::Lru => e.used,
+            })
+            .map(|(fp, _)| *fp);
+        match victim {
+            Some(fp) => {
+                let entry = self.entries.remove(&fp).expect("victim exists");
+                self.bytes -= entry.content.len() as u64;
+                self.stats.evictions += 1;
+                self.stats.evicted_bytes += entry.content.len() as u64;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resident bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Resident file count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (the paper's cold-cache experiment setup) but keeps
+    /// statistics.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u8) -> Fingerprint {
+        Fingerprint::of(&[n])
+    }
+
+    fn body(n: u8, len: usize) -> Bytes {
+        Bytes::from(vec![n; len])
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = SharedCache::new();
+        assert!(c.get(fp(1)).is_none());
+        c.insert(fp(1), body(1, 10));
+        assert_eq!(c.get(fp(1)).unwrap().len(), 10);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn dedup_on_insert() {
+        let mut c = SharedCache::new();
+        assert!(c.insert(fp(1), body(1, 10)));
+        assert!(c.insert(fp(1), body(1, 10)));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 10);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest() {
+        let mut c = SharedCache::with_policy(EvictionPolicy::Fifo, Some(25));
+        c.insert(fp(1), body(1, 10));
+        c.insert(fp(2), body(2, 10));
+        c.get(fp(1)); // recently used, but FIFO ignores that
+        c.insert(fp(3), body(3, 10));
+        assert!(!c.contains(fp(1)), "oldest-inserted must be evicted");
+        assert!(c.contains(fp(2)) && c.contains(fp(3)));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(25));
+        c.insert(fp(1), body(1, 10));
+        c.insert(fp(2), body(2, 10));
+        c.get(fp(1)); // refresh 1, so 2 is the LRU victim
+        c.insert(fp(3), body(3, 10));
+        assert!(c.contains(fp(1)));
+        assert!(!c.contains(fp(2)));
+    }
+
+    #[test]
+    fn pinned_files_survive_eviction() {
+        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(25));
+        c.insert(fp(1), body(1, 10));
+        c.pin(fp(1));
+        c.insert(fp(2), body(2, 10));
+        c.insert(fp(3), body(3, 10)); // must evict 2, not pinned 1
+        assert!(c.contains(fp(1)));
+        assert!(!c.contains(fp(2)));
+        // Unpin and it becomes evictable again.
+        c.unpin(fp(1));
+        c.insert(fp(4), body(4, 10));
+        assert!(!c.contains(fp(1)));
+    }
+
+    #[test]
+    fn oversized_and_all_pinned() {
+        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(10));
+        assert!(!c.insert(fp(1), body(1, 11)), "larger than capacity");
+        c.insert(fp(2), body(2, 10));
+        c.pin(fp(2));
+        assert!(!c.insert(fp(3), body(3, 5)), "cannot evict pinned content");
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut c = SharedCache::new();
+        c.insert(fp(1), body(1, 4));
+        c.get(fp(1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.stats().hits, 1);
+    }
+}

@@ -1,0 +1,805 @@
+//! The Gear client: Gear Driver + Gear File Viewer + three-level storage.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use gear_core::{GearImage, GearIndex, IndexError};
+use gear_fs::{FsError, FsTree, Materializer, UnionFs};
+use gear_hash::{Digest, Fingerprint};
+use gear_image::ImageRef;
+use gear_corpus::StartupTrace;
+use gear_registry::{DockerRegistry, GearFileStore};
+use gear_simnet::NetMetrics;
+
+use crate::cache::SharedCache;
+use crate::config::ClientConfig;
+use crate::report::DeploymentReport;
+use crate::timeline::TimelineEvent;
+
+/// Handle to a deployed (level-3) container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContainerId(u64);
+
+impl ContainerId {
+    /// Crate-internal constructor shared by all deployment engines.
+    pub(crate) fn from_raw(n: u64) -> Self {
+        ContainerId(n)
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "container-{}", self.0)
+    }
+}
+
+/// Errors from Gear deployments.
+#[derive(Debug)]
+pub enum DeployError {
+    /// The image (or index image) is not in the Docker registry.
+    ImageNotFound(ImageRef),
+    /// The pulled image is not a Gear index image.
+    BadIndex(IndexError),
+    /// A trace path could not be read.
+    Fs(FsError),
+    /// No such container.
+    NoSuchContainer(ContainerId),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::ImageNotFound(r) => write!(f, "image {r} not found in registry"),
+            DeployError::BadIndex(e) => write!(f, "invalid Gear index image: {e}"),
+            DeployError::Fs(e) => write!(f, "file system error during deployment: {e}"),
+            DeployError::NoSuchContainer(id) => write!(f, "no such container: {id}"),
+        }
+    }
+}
+
+impl Error for DeployError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DeployError::BadIndex(e) => Some(e),
+            DeployError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FsError> for DeployError {
+    fn from(e: FsError) -> Self {
+        DeployError::Fs(e)
+    }
+}
+
+/// Level-2 state: one installed Gear index.
+#[derive(Debug)]
+struct InstalledIndex {
+    index: Arc<GearIndex>,
+    tree: Arc<FsTree>,
+}
+
+/// A deployed container (level 3): its union mount and home image.
+#[derive(Debug)]
+struct Container {
+    image: ImageRef,
+    mount: UnionFs,
+}
+
+/// One fetch performed by the materializer during a read.
+#[derive(Debug, Clone, Copy)]
+enum FetchEvent {
+    CacheHit { bytes: u64 },
+    Downloaded { transfer_bytes: u64, raw_bytes: u64 },
+    Missing,
+}
+
+/// Materializer backed by the shared cache and the Gear Registry. Events are
+/// recorded so the caller can charge simulated time afterwards.
+struct CacheAndRegistry<'a> {
+    cache: RefCell<&'a mut SharedCache>,
+    store: &'a GearFileStore,
+    events: RefCell<Vec<FetchEvent>>,
+}
+
+impl Materializer for CacheAndRegistry<'_> {
+    fn fetch(&self, fingerprint: Fingerprint, _size: u64) -> Result<Bytes, String> {
+        if let Some(content) = self.cache.borrow_mut().get(fingerprint) {
+            self.events.borrow_mut().push(FetchEvent::CacheHit { bytes: content.len() as u64 });
+            return Ok(content);
+        }
+        match self.store.download(fingerprint) {
+            Some(content) => {
+                let transfer = self.store.transfer_size(fingerprint).unwrap_or(content.len() as u64);
+                self.events.borrow_mut().push(FetchEvent::Downloaded {
+                    transfer_bytes: transfer,
+                    raw_bytes: content.len() as u64,
+                });
+                self.cache.borrow_mut().insert(fingerprint, content.clone());
+                Ok(content)
+            }
+            None => {
+                self.events.borrow_mut().push(FetchEvent::Missing);
+                Err(format!("gear file {fingerprint} not in cache or registry"))
+            }
+        }
+    }
+}
+
+/// The Gear deployment client (paper §III-D): pulls tiny index images,
+/// union-mounts them, and materializes files on demand through the shared
+/// cache, charging every operation to a simulated clock.
+#[derive(Debug)]
+pub struct GearClient {
+    config: ClientConfig,
+    cache: SharedCache,
+    indexes: HashMap<ImageRef, InstalledIndex>,
+    containers: HashMap<ContainerId, Container>,
+    /// Compressed index-image blobs already local (skip re-downloading).
+    blobs: HashSet<Digest>,
+    metrics: NetMetrics,
+    next_id: u64,
+}
+
+impl GearClient {
+    /// Creates a client with an empty cache and no installed indexes.
+    pub fn new(config: ClientConfig) -> Self {
+        GearClient {
+            cache: SharedCache::with_policy(config.cache_policy, config.cache_capacity),
+            config,
+            indexes: HashMap::new(),
+            containers: HashMap::new(),
+            blobs: HashSet::new(),
+            metrics: NetMetrics::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The client's configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Replaces the link (e.g. to re-run an experiment at lower bandwidth).
+    pub fn set_link(&mut self, link: gear_simnet::Link) {
+        self.config.link = link;
+    }
+
+    /// Network accounting so far.
+    pub fn metrics(&self) -> NetMetrics {
+        self.metrics
+    }
+
+    /// Shared-cache statistics.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Resident bytes in the shared cache (scaled units).
+    pub fn cache_bytes(&self) -> u64 {
+        self.cache.bytes()
+    }
+
+    /// Empties the shared cache (the paper's "no local cache" scenario).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Deploys a Gear container: pulls the index image if missing (pull
+    /// phase), then launches the container and replays its startup trace
+    /// with on-demand fetching (run phase).
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::ImageNotFound`] when the registry lacks the index
+    /// image; [`DeployError::BadIndex`] when the pulled image is not a Gear
+    /// index; [`DeployError::Fs`] when a trace path cannot be served.
+    pub fn deploy(
+        &mut self,
+        reference: &ImageRef,
+        trace: &StartupTrace,
+        docker: &DockerRegistry,
+        store: &GearFileStore,
+    ) -> Result<(ContainerId, DeploymentReport), DeployError> {
+        let mut report = DeploymentReport::new(reference.clone());
+
+        // ---- pull phase: fetch the (tiny) index image ----------------------
+        let mut pull = Duration::ZERO;
+        if !self.indexes.contains_key(reference) {
+            let manifest = docker
+                .manifest(reference)
+                .ok_or_else(|| DeployError::ImageNotFound(reference.clone()))?;
+            let manifest_bytes = manifest.to_json().len() as u64;
+            let took = self.config.request_time(manifest_bytes);
+            report
+                .timeline
+                .push(pull, took, TimelineEvent::Manifest { bytes: manifest_bytes });
+            pull += took;
+            report.bytes_pulled += manifest_bytes;
+            report.requests += 1;
+            self.metrics.download(manifest_bytes);
+
+            for desc in &manifest.layers {
+                if self.blobs.contains(&desc.digest) {
+                    continue;
+                }
+                // The index is metadata, not image content: its size is not
+                // scaled up — it is already "paper scale" (a few hundred KB).
+                let took = self.config.request_time(desc.size) + self.config.decompress(desc.size);
+                report.timeline.push(pull, took, TimelineEvent::Index { bytes: desc.size });
+                pull += took;
+                report.bytes_pulled += desc.size;
+                report.requests += 1;
+                self.metrics.download(desc.size);
+                self.blobs.insert(desc.digest);
+            }
+            let image = docker
+                .image(reference)
+                .ok_or_else(|| DeployError::ImageNotFound(reference.clone()))?;
+            let gear = GearImage::from_index_image(&image).map_err(DeployError::BadIndex)?;
+            self.install_index(reference.clone(), gear.into_index());
+        }
+        report.pull = pull;
+
+        // ---- run phase: launch + replay the startup trace ------------------
+        let installed = self.indexes.get(reference).expect("installed above");
+        let tree = Arc::clone(&installed.tree);
+        let mut mount = UnionFs::new(vec![tree]);
+        let mut run = Duration::ZERO;
+        let launch = self.config.costs.container_start + self.config.costs.mount_setup;
+        report.timeline.push(pull, launch, TimelineEvent::Launch);
+        run += launch;
+
+        for path in &trace.reads {
+            let session = CacheAndRegistry {
+                cache: RefCell::new(&mut self.cache),
+                store,
+                events: RefCell::new(Vec::new()),
+            };
+            let read = mount.read(path, &session);
+            let events = session.events.into_inner();
+            read?;
+            for event in events {
+                match event {
+                    FetchEvent::CacheHit { bytes } => {
+                        report.cache_hits += 1;
+                        let took = self.config.costs.hard_link
+                            + self.config.local_read(self.config.scaled(bytes));
+                        report.timeline.push(
+                            pull + run,
+                            took,
+                            TimelineEvent::CacheHit { path: path.clone(), bytes },
+                        );
+                        run += took;
+                    }
+                    FetchEvent::Downloaded { transfer_bytes, raw_bytes } => {
+                        let scaled_transfer = self.config.scaled(transfer_bytes);
+                        let scaled_raw = self.config.scaled(raw_bytes);
+                        report.files_fetched += 1;
+                        report.requests += 1;
+                        report.bytes_pulled += scaled_transfer;
+                        self.metrics.download(scaled_transfer);
+                        let took = self.config.request_time(scaled_transfer)
+                            + self.config.decompress(scaled_transfer)
+                            + self
+                                .config
+                                .disk
+                                .io_time(scaled_raw.min(scaled_transfer.max(scaled_raw)), 1)
+                            + self.config.local_read(scaled_raw);
+                        report.timeline.push(
+                            pull + run,
+                            took,
+                            TimelineEvent::RegistryFetch {
+                                path: path.clone(),
+                                bytes: scaled_transfer,
+                            },
+                        );
+                        run += took;
+                    }
+                    FetchEvent::Missing => {}
+                }
+            }
+        }
+        let task = trace.task.compute_time();
+        report.timeline.push(pull + run, task, TimelineEvent::Task);
+        run += task;
+        report.run = run;
+
+        let id = ContainerId::from_raw(self.next_id);
+        self.next_id += 1;
+        self.containers.insert(id, Container { image: reference.clone(), mount });
+        Ok((id, report))
+    }
+
+    /// Prefetch deployment: like [`GearClient::deploy`], but all files the
+    /// trace will need are downloaded *in one pipelined batch* before the
+    /// container starts — the optimization a recorded profile
+    /// ([`GearClient::recorded_trace`]) enables. Fixed per-request costs
+    /// overlap `pipeline`-deep, so on high-latency links this beats
+    /// on-demand fetching at the price of delaying the start.
+    ///
+    /// # Errors
+    ///
+    /// As [`GearClient::deploy`].
+    pub fn deploy_prefetch(
+        &mut self,
+        reference: &ImageRef,
+        trace: &StartupTrace,
+        docker: &DockerRegistry,
+        store: &GearFileStore,
+        pipeline: u32,
+    ) -> Result<(ContainerId, DeploymentReport), DeployError> {
+        // Install the index first (charged like a normal pull) by running a
+        // deploy with an empty trace, then discard that container.
+        let empty = StartupTrace { reads: Vec::new(), task: trace.task };
+        let (warmup, mut report) = self.deploy(reference, &empty, docker, store)?;
+        self.destroy(warmup);
+        report.reference = reference.clone();
+        let index = self
+            .indexes
+            .get(reference)
+            .map(|i| Arc::clone(&i.index))
+            .expect("installed by deploy");
+
+        // Collect the fingerprints the trace needs that are not yet cached.
+        let mut wanted: Vec<(Fingerprint, u64)> = Vec::new();
+        let mut seen = HashSet::new();
+        for path in &trace.reads {
+            if let Some((fp, size)) = index.file_at(path) {
+                if seen.insert(fp) && !self.cache.contains(fp) {
+                    wanted.push((fp, size));
+                }
+            }
+        }
+
+        // One pipelined batch over the link.
+        let mut batch_bytes = 0u64;
+        for (fp, _) in &wanted {
+            let content = store.download(*fp).ok_or_else(|| {
+                DeployError::Fs(FsError::Materialize {
+                    path: fp.to_string(),
+                    reason: "not in registry".to_owned(),
+                })
+            })?;
+            let transfer =
+                self.config.scaled(store.transfer_size(*fp).unwrap_or(content.len() as u64));
+            batch_bytes += transfer;
+            self.cache.insert(*fp, content);
+            report.files_fetched += 1;
+        }
+        if !wanted.is_empty() {
+            let fixed = (self.config.link.rtt + self.config.link.request_overhead)
+                .mul_f64(self.config.request_amplification.max(0.0));
+            let batch_time = fixed
+                * (wanted.len() as u64).div_ceil(pipeline.max(1) as u64) as u32
+                + self.config.link.bandwidth.transfer_time(batch_bytes)
+                + self.config.decompress(batch_bytes)
+                + self.config.disk.io_time(batch_bytes, wanted.len() as u64);
+            report.pull += batch_time;
+            report.requests += wanted.len() as u64;
+            report.bytes_pulled += batch_bytes;
+            self.metrics.download(batch_bytes);
+        }
+
+        // Now the actual deployment runs entirely from the warm cache.
+        let (id, run_report) = self.deploy(reference, trace, docker, store)?;
+        report.run = run_report.run;
+        report.cache_hits = run_report.cache_hits;
+        report.timeline = run_report.timeline;
+        Ok((id, report))
+    }
+
+    /// Serves `ops` requests on a running container (the paper's
+    /// long-running workloads, Fig. 11a): each op reads `op_reads` paths
+    /// (cached after the first touch) and spends `op_compute`.
+    ///
+    /// Returns total simulated service time; throughput = ops / time.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::NoSuchContainer`] / [`DeployError::Fs`].
+    pub fn serve(
+        &mut self,
+        id: ContainerId,
+        ops: u64,
+        op_compute: Duration,
+        op_reads: &[String],
+        store: &GearFileStore,
+    ) -> Result<Duration, DeployError> {
+        let config = self.config;
+        let container =
+            self.containers.get_mut(&id).ok_or(DeployError::NoSuchContainer(id))?;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..ops {
+            for path in op_reads {
+                let session = CacheAndRegistry {
+                    cache: RefCell::new(&mut self.cache),
+                    store,
+                    events: RefCell::new(Vec::new()),
+                };
+                let read = container.mount.read(path, &session);
+                let events = session.events.into_inner();
+                let content = read?;
+                // Every op pays the local read, exactly as Docker does; only
+                // a first-touch download additionally pays the network.
+                elapsed += config.local_read(config.scaled(content.len() as u64));
+                for event in events {
+                    if let FetchEvent::Downloaded { transfer_bytes, .. } = event {
+                        elapsed += config.request_time(config.scaled(transfer_bytes));
+                    }
+                }
+            }
+            elapsed += op_compute;
+        }
+        Ok(elapsed)
+    }
+
+    /// Reads a byte range from a file in a running container, fetching only
+    /// the Gear chunks the range overlaps (the paper's §VII big-file
+    /// extension).
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::NoSuchContainer`] / [`DeployError::Fs`].
+    pub fn read_range(
+        &mut self,
+        id: ContainerId,
+        path: &str,
+        offset: u64,
+        len: u64,
+        store: &GearFileStore,
+    ) -> Result<Bytes, DeployError> {
+        let container =
+            self.containers.get_mut(&id).ok_or(DeployError::NoSuchContainer(id))?;
+        let session = CacheAndRegistry {
+            cache: RefCell::new(&mut self.cache),
+            store,
+            events: RefCell::new(Vec::new()),
+        };
+        let read = container.mount.read_range(path, offset, len, &session);
+        let events = session.events.into_inner();
+        let content = read?;
+        for event in events {
+            if let FetchEvent::Downloaded { transfer_bytes, .. } = event {
+                let scaled = self.config.scaled(transfer_bytes);
+                self.metrics.download(scaled);
+            }
+        }
+        Ok(content)
+    }
+
+    /// Writes into a running container's writable layer.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::NoSuchContainer`] / [`DeployError::Fs`].
+    pub fn write(
+        &mut self,
+        id: ContainerId,
+        path: &str,
+        content: Bytes,
+    ) -> Result<(), DeployError> {
+        let container =
+            self.containers.get_mut(&id).ok_or(DeployError::NoSuchContainer(id))?;
+        Ok(container.mount.write(path, content)?)
+    }
+
+    /// Access to a container's mount (e.g. for committing it).
+    pub fn mount(&self, id: ContainerId) -> Option<&UnionFs> {
+        self.containers.get(&id).map(|c| &c.mount)
+    }
+
+    /// The image a container was launched from.
+    pub fn container_image(&self, id: ContainerId) -> Option<&ImageRef> {
+        self.containers.get(&id).map(|c| &c.image)
+    }
+
+    /// Records the files a running container has actually accessed as a
+    /// [`StartupTrace`] — profiling for future deployments (real lazy-pull
+    /// systems ship such recorded profiles alongside images). Only paths
+    /// that resolve to regular files in the image's index are kept.
+    pub fn recorded_trace(
+        &self,
+        id: ContainerId,
+        task: gear_corpus::TaskKind,
+    ) -> Option<StartupTrace> {
+        let container = self.containers.get(&id)?;
+        let index = &self.indexes.get(&container.image)?.index;
+        let reads = container
+            .mount
+            .touched_paths()
+            .into_iter()
+            .filter(|p| index.file_at(p).is_some())
+            .collect();
+        Some(StartupTrace { reads, task })
+    }
+
+    /// The installed index of `reference`, if pulled.
+    pub fn index(&self, reference: &ImageRef) -> Option<Arc<GearIndex>> {
+        self.indexes.get(reference).map(|i| Arc::clone(&i.index))
+    }
+
+    /// Destroys a container, returning the simulated unmount time — Gear
+    /// tears down only the inodes the container actually touched (paper
+    /// Fig. 11b).
+    pub fn destroy(&mut self, id: ContainerId) -> Duration {
+        match self.containers.remove(&id) {
+            Some(container) => {
+                self.config.costs.inode_teardown * (container.mount.inode_count() as u32)
+            }
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Uninstalls an image's index (level 2). Its Gear files stay in the
+    /// level-1 cache (unpinned) and remain shareable — the decoupled life
+    /// cycle the paper's three-level structure provides.
+    pub fn remove_image(&mut self, reference: &ImageRef) -> bool {
+        if let Some(installed) = self.indexes.remove(reference) {
+            for (fp, _) in installed.index.referenced_files() {
+                self.cache.unpin(fp);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of running containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    fn install_index(&mut self, reference: ImageRef, index: GearIndex) {
+        for (fp, _) in index.referenced_files() {
+            self.cache.pin(fp);
+        }
+        let tree = Arc::new(index.to_tree());
+        self.indexes.insert(reference, InstalledIndex { index: Arc::new(index), tree });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gear_core::{publish, Converter};
+    use gear_corpus::{StartupTrace, TaskKind};
+    use gear_image::ImageBuilder;
+
+    fn setup(
+        files: &[(&str, &[u8])],
+        reference: &str,
+    ) -> (DockerRegistry, GearFileStore, ImageRef) {
+        let mut tree = FsTree::new();
+        for (p, c) in files {
+            tree.create_file(p, Bytes::copy_from_slice(c)).unwrap();
+        }
+        let r: ImageRef = reference.parse().unwrap();
+        let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+        let conv = Converter::new().convert(&image).unwrap();
+        let mut docker = DockerRegistry::new();
+        let mut store = GearFileStore::new();
+        publish(&conv, &mut docker, &mut store);
+        (docker, store, r)
+    }
+
+    fn trace(paths: &[&str]) -> StartupTrace {
+        StartupTrace {
+            reads: paths.iter().map(|s| s.to_string()).collect(),
+            task: TaskKind::Echo,
+        }
+    }
+
+    #[test]
+    fn deploy_fetches_on_demand() {
+        let (docker, store, r) =
+            setup(&[("app/bin", b"binary"), ("app/unused", b"never read")], "svc:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        let (_, report) = client.deploy(&r, &trace(&["app/bin"]), &docker, &store).unwrap();
+        assert_eq!(report.files_fetched, 1, "only the accessed file is fetched");
+        assert_eq!(report.cache_hits, 0);
+        assert!(report.pull > Duration::ZERO);
+        assert!(report.run > Duration::ZERO);
+    }
+
+    #[test]
+    fn second_deploy_hits_cache() {
+        let (docker, store, r) = setup(&[("app/bin", b"binary")], "svc:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        let (c1, first) = client.deploy(&r, &trace(&["app/bin"]), &docker, &store).unwrap();
+        client.destroy(c1);
+        let (_, second) = client.deploy(&r, &trace(&["app/bin"]), &docker, &store).unwrap();
+        assert_eq!(first.files_fetched, 1);
+        assert_eq!(second.files_fetched, 0);
+        assert_eq!(second.cache_hits, 1);
+        assert_eq!(second.pull, Duration::ZERO, "index already installed");
+        assert!(second.total() < first.total());
+    }
+
+    #[test]
+    fn cross_image_file_sharing() {
+        // Two images sharing one file: deploying the second downloads only
+        // its unique file.
+        let (mut docker, mut store, r1) =
+            setup(&[("lib/shared.so", b"shared bytes"), ("app/v1", b"one")], "app:1");
+        let mut tree = FsTree::new();
+        tree.create_file("lib/shared.so", Bytes::from_static(b"shared bytes")).unwrap();
+        tree.create_file("app/v2", Bytes::from_static(b"two!")).unwrap();
+        let r2: ImageRef = "app:2".parse().unwrap();
+        let image2 = ImageBuilder::new(r2.clone()).layer_from_tree(&tree).build();
+        let conv2 = Converter::new().convert(&image2).unwrap();
+        publish(&conv2, &mut docker, &mut store);
+
+        let mut client = GearClient::new(ClientConfig::default());
+        client.deploy(&r1, &trace(&["lib/shared.so", "app/v1"]), &docker, &store).unwrap();
+        let (_, second) =
+            client.deploy(&r2, &trace(&["lib/shared.so", "app/v2"]), &docker, &store).unwrap();
+        assert_eq!(second.cache_hits, 1, "shared library must come from the cache");
+        assert_eq!(second.files_fetched, 1);
+    }
+
+    #[test]
+    fn unknown_image_errors() {
+        let docker = DockerRegistry::new();
+        let store = GearFileStore::new();
+        let mut client = GearClient::new(ClientConfig::default());
+        let r: ImageRef = "ghost:1".parse().unwrap();
+        assert!(matches!(
+            client.deploy(&r, &trace(&[]), &docker, &store),
+            Err(DeployError::ImageNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn non_index_image_rejected() {
+        let mut tree = FsTree::new();
+        tree.create_file("plain", Bytes::from_static(b"not an index")).unwrap();
+        let r: ImageRef = "plain:1".parse().unwrap();
+        let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+        let mut docker = DockerRegistry::new();
+        docker.push_image(&image);
+        let store = GearFileStore::new();
+        let mut client = GearClient::new(ClientConfig::default());
+        assert!(matches!(
+            client.deploy(&r, &trace(&[]), &docker, &store),
+            Err(DeployError::BadIndex(_))
+        ));
+    }
+
+    #[test]
+    fn remove_image_unpins_but_keeps_files() {
+        let (docker, store, r) = setup(&[("f", b"content")], "x:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        let (id, _) = client.deploy(&r, &trace(&["f"]), &docker, &store).unwrap();
+        client.destroy(id);
+        assert!(client.remove_image(&r));
+        // The file is still cached (shareable by other images).
+        assert!(client.cache_bytes() > 0);
+        assert!(!client.remove_image(&r), "second removal is a no-op");
+    }
+
+    #[test]
+    fn writes_stay_per_container() {
+        let (docker, store, r) = setup(&[("f", b"content")], "x:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        let (a, _) = client.deploy(&r, &trace(&["f"]), &docker, &store).unwrap();
+        let (b, _) = client.deploy(&r, &trace(&["f"]), &docker, &store).unwrap();
+        client.write(a, "scratch", Bytes::from_static(b"mine")).unwrap();
+        assert!(client.mount(a).unwrap().upper().contains("scratch"));
+        assert!(!client.mount(b).unwrap().upper().contains("scratch"));
+    }
+
+    #[test]
+    fn destroy_cost_scales_with_touched_inodes() {
+        let (docker, store, r) =
+            setup(&[("a", b"1"), ("b", b"2"), ("c", b"3")], "x:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        let (small, _) = client.deploy(&r, &trace(&["a"]), &docker, &store).unwrap();
+        let (large, _) = client.deploy(&r, &trace(&["a", "b", "c"]), &docker, &store).unwrap();
+        let t_small = client.destroy(small);
+        let t_large = client.destroy(large);
+        assert!(t_large > t_small);
+        assert_eq!(client.container_count(), 0);
+    }
+
+    #[test]
+    fn prefetch_beats_on_demand_on_slow_links() {
+        // Many small files over a thin, high-latency link: batching the
+        // fixed per-request costs must win.
+        let files: Vec<(String, Vec<u8>)> =
+            (0..40).map(|i| (format!("data/f{i:02}"), vec![i as u8; 2_000])).collect();
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(p, c)| (p.as_str(), c.as_slice())).collect();
+        let (docker, store, r) = setup(&refs, "svc:1");
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        let t = trace(&paths);
+        let slow = ClientConfig {
+            link: gear_simnet::Link::mbps(20.0)
+                .with_rtt(Duration::from_millis(20)),
+            request_amplification: 4.0,
+            ..ClientConfig::default()
+        };
+
+        let mut on_demand = GearClient::new(slow);
+        let (_, od) = on_demand.deploy(&r, &t, &docker, &store).unwrap();
+        let mut prefetching = GearClient::new(slow);
+        let (_, pf) = prefetching.deploy_prefetch(&r, &t, &docker, &store, 16).unwrap();
+
+        assert_eq!(pf.files_fetched, od.files_fetched, "same files move");
+        assert!(
+            pf.total() < od.total(),
+            "prefetch {:?} !< on-demand {:?}",
+            pf.total(),
+            od.total()
+        );
+        // Second prefetch deployment: everything cached, batch is a no-op.
+        let (_, again) = prefetching.deploy_prefetch(&r, &t, &docker, &store, 16).unwrap();
+        assert_eq!(again.files_fetched, 0);
+        assert_eq!(again.cache_hits, 40);
+    }
+
+    #[test]
+    fn recorded_trace_reflects_actual_accesses() {
+        let (docker, store, r) =
+            setup(&[("hot/a", b"1"), ("hot/b", b"2"), ("cold/c", b"3")], "svc:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        let (id, _) = client.deploy(&r, &trace(&["hot/a"]), &docker, &store).unwrap();
+        // The container reads one more file at runtime.
+        client
+            .read_range(id, "hot/b", 0, 10, &store)
+            .expect("runtime read");
+        let recorded = client.recorded_trace(id, TaskKind::WebServe).unwrap();
+        assert_eq!(recorded.reads, vec!["hot/a".to_string(), "hot/b".to_string()]);
+        // Replaying the recorded trace on a fresh client warms exactly those
+        // files.
+        let mut fresh = GearClient::new(ClientConfig::default());
+        let (_, report) = fresh.deploy(&r, &recorded, &docker, &store).unwrap();
+        assert_eq!(report.files_fetched, 2);
+    }
+
+    #[test]
+    fn timeline_accounts_for_the_whole_deployment() {
+        use crate::timeline::TimelineEvent;
+        let (docker, store, r) = setup(&[("a", b"first"), ("b", b"second")], "svc:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        let (_, report) = client.deploy(&r, &trace(&["a", "b"]), &docker, &store).unwrap();
+        // manifest + index + launch + 2 fetches + task.
+        assert_eq!(report.timeline.len(), 6);
+        // Event durations sum exactly to pull + run.
+        let total: Duration = report.timeline.entries().iter().map(|(_, d, _)| *d).sum();
+        assert_eq!(total, report.total());
+        // Offsets are monotone.
+        let offsets: Vec<Duration> =
+            report.timeline.entries().iter().map(|(at, _, _)| *at).collect();
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        // Fetch time matches the per-event classification.
+        assert_eq!(
+            report
+                .timeline
+                .entries()
+                .iter()
+                .filter(|(_, _, e)| matches!(e, TimelineEvent::RegistryFetch { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn serve_runs_from_cache() {
+        let (docker, store, r) = setup(&[("data/hot", b"hot file")], "x:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        let (id, _) = client.deploy(&r, &trace(&["data/hot"]), &docker, &store).unwrap();
+        let elapsed = client
+            .serve(id, 100, Duration::from_micros(50), &["data/hot".to_string()], &store)
+            .unwrap();
+        assert!(elapsed >= Duration::from_millis(5)); // 100 × 50 µs compute
+        // No extra downloads during service: manifest + index + one file.
+        assert_eq!(client.metrics().requests_down, 3);
+    }
+}

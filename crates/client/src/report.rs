@@ -1,0 +1,68 @@
+//! Deployment reports.
+
+use std::time::Duration;
+
+use gear_image::ImageRef;
+
+use crate::timeline::Timeline;
+
+/// What one deployment did and how long each phase took (simulated time).
+///
+/// Deployment has two phases (paper §V-E): **pull** (downloading the Docker
+/// image or the Gear index) and **run** (starting the container and
+/// completing its task, including any on-demand fetches).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentReport {
+    /// The deployed image.
+    pub reference: ImageRef,
+    /// Pull-phase duration.
+    pub pull: Duration,
+    /// Run-phase duration.
+    pub run: Duration,
+    /// Bytes downloaded from the registries (paper-scale).
+    pub bytes_pulled: u64,
+    /// Registry requests issued.
+    pub requests: u64,
+    /// Files fetched on demand (Gear/Slacker) or read from the pulled image
+    /// (Docker).
+    pub files_fetched: u64,
+    /// On-demand lookups served by the local shared cache.
+    pub cache_hits: u64,
+    /// Ordered step-by-step record of the deployment (populated by the Gear
+    /// engine; coarse or empty for the baselines).
+    pub timeline: Timeline,
+}
+
+impl DeploymentReport {
+    /// Creates an empty report for `reference`.
+    pub fn new(reference: ImageRef) -> Self {
+        DeploymentReport {
+            reference,
+            pull: Duration::ZERO,
+            run: Duration::ZERO,
+            bytes_pulled: 0,
+            requests: 0,
+            files_fetched: 0,
+            cache_hits: 0,
+            timeline: Timeline::new(),
+        }
+    }
+
+    /// Total deployment time (pull + run).
+    pub fn total(&self) -> Duration {
+        self.pull + self.run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let mut r = DeploymentReport::new("a:1".parse().unwrap());
+        r.pull = Duration::from_secs(2);
+        r.run = Duration::from_secs(3);
+        assert_eq!(r.total(), Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,147 @@
+//! Deployment timelines: what happened when during a deployment.
+//!
+//! The paper's Fig. 9 splits deployments into pull and run phases; debugging
+//! a lazy-pulling runtime needs finer grain: which file came from where, and
+//! what each step cost. Every [`GearClient`](crate::GearClient) deployment
+//! records a [`Timeline`] in its report.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One step of a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineEvent {
+    /// Manifest fetched from the index registry.
+    Manifest {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Index image layer fetched and installed.
+    Index {
+        /// Bytes transferred.
+        bytes: u64,
+    },
+    /// Container created and union mount set up.
+    Launch,
+    /// A file served from the local shared cache.
+    CacheHit {
+        /// Path read.
+        path: String,
+        /// Logical bytes.
+        bytes: u64,
+    },
+    /// A file fetched from the Gear registry.
+    RegistryFetch {
+        /// Path read.
+        path: String,
+        /// Wire bytes (paper scale).
+        bytes: u64,
+    },
+    /// The deployment task's compute.
+    Task,
+}
+
+impl TimelineEvent {
+    /// Short label for rendering.
+    fn label(&self) -> String {
+        match self {
+            TimelineEvent::Manifest { bytes } => format!("manifest ({bytes} B)"),
+            TimelineEvent::Index { bytes } => format!("index ({bytes} B)"),
+            TimelineEvent::Launch => "launch".to_owned(),
+            TimelineEvent::CacheHit { path, .. } => format!("cache  {path}"),
+            TimelineEvent::RegistryFetch { path, bytes } => {
+                format!("fetch  {path} ({bytes} B)")
+            }
+            TimelineEvent::Task => "task".to_owned(),
+        }
+    }
+}
+
+/// An ordered record of deployment steps with their simulated start offsets
+/// and durations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    entries: Vec<(Duration, Duration, TimelineEvent)>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an event starting at `at` lasting `took`.
+    pub fn push(&mut self, at: Duration, took: Duration, event: TimelineEvent) {
+        self.entries.push((at, took, event));
+    }
+
+    /// Entries as `(start_offset, duration, event)`.
+    pub fn entries(&self) -> &[(Duration, Duration, TimelineEvent)] {
+        &self.entries
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total time spent in events matching `pred`.
+    pub fn time_in(&self, pred: impl Fn(&TimelineEvent) -> bool) -> Duration {
+        self.entries
+            .iter()
+            .filter(|(_, _, e)| pred(e))
+            .map(|(_, took, _)| *took)
+            .sum()
+    }
+}
+
+impl fmt::Display for Timeline {
+    /// Renders a left-aligned text gantt, one line per event:
+    /// `   12.3ms +  4.56ms  fetch opt/app/bin (52341 B)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (at, took, event) in &self.entries {
+            writeln!(
+                f,
+                "{:>10.1}ms +{:>9.2}ms  {}",
+                at.as_secs_f64() * 1e3,
+                took.as_secs_f64() * 1e3,
+                event.label()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut t = Timeline::new();
+        t.push(Duration::ZERO, Duration::from_millis(2), TimelineEvent::Manifest { bytes: 100 });
+        t.push(
+            Duration::from_millis(2),
+            Duration::from_millis(5),
+            TimelineEvent::RegistryFetch { path: "a".into(), bytes: 1000 },
+        );
+        t.push(
+            Duration::from_millis(7),
+            Duration::from_millis(1),
+            TimelineEvent::CacheHit { path: "b".into(), bytes: 10 },
+        );
+        assert_eq!(t.len(), 3);
+        let fetch_time =
+            t.time_in(|e| matches!(e, TimelineEvent::RegistryFetch { .. }));
+        assert_eq!(fetch_time, Duration::from_millis(5));
+        let rendered = t.to_string();
+        assert!(rendered.contains("fetch  a"));
+        assert!(rendered.contains("cache  b"));
+        assert_eq!(rendered.lines().count(), 3);
+    }
+}

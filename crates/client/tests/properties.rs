@@ -1,0 +1,120 @@
+//! Property-based tests on the shared cache's replacement invariants.
+
+use bytes::Bytes;
+use gear_client::{EvictionPolicy, SharedCache};
+use gear_hash::Fingerprint;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u16),
+    Get(u8),
+    Pin(u8),
+    Unpin(u8),
+}
+
+fn any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 1u16..512).prop_map(|(k, len)| Op::Insert(k, len)),
+        any::<u8>().prop_map(Op::Get),
+        any::<u8>().prop_map(Op::Pin),
+        any::<u8>().prop_map(Op::Unpin),
+    ]
+}
+
+fn fp(k: u8) -> Fingerprint {
+    Fingerprint::of(&[k])
+}
+
+fn body(k: u8, len: u16) -> Bytes {
+    Bytes::from(vec![k; len as usize])
+}
+
+proptest! {
+    /// A bounded cache never exceeds its capacity, regardless of operation
+    /// order or policy.
+    #[test]
+    fn capacity_never_exceeded(
+        ops in proptest::collection::vec(any_op(), 0..200),
+        capacity in 64u64..2048,
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { EvictionPolicy::Lru } else { EvictionPolicy::Fifo };
+        let mut cache = SharedCache::with_policy(policy, Some(capacity));
+        let mut pinned: std::collections::HashSet<u8> = Default::default();
+        for op in ops {
+            match op {
+                Op::Insert(k, len) => { cache.insert(fp(k), body(k, len)); }
+                Op::Get(k) => { cache.get(fp(k)); }
+                Op::Pin(k) => {
+                    if cache.contains(fp(k)) && pinned.insert(k) {
+                        cache.pin(fp(k));
+                    }
+                }
+                Op::Unpin(k) => {
+                    if pinned.remove(&k) {
+                        cache.unpin(fp(k));
+                    }
+                }
+            }
+            prop_assert!(cache.bytes() <= capacity, "{} > {}", cache.bytes(), capacity);
+        }
+    }
+
+    /// Pinned entries survive arbitrary insertion pressure.
+    #[test]
+    fn pinned_entries_survive(
+        protected in any::<u8>(),
+        pressure in proptest::collection::vec((any::<u8>(), 1u16..128), 1..64),
+    ) {
+        let mut cache = SharedCache::with_policy(EvictionPolicy::Lru, Some(1024));
+        prop_assume!(cache.insert(fp(protected), body(protected, 100)));
+        cache.pin(fp(protected));
+        for (k, len) in pressure {
+            if k != protected {
+                cache.insert(fp(k), body(k, len));
+            }
+        }
+        prop_assert!(cache.contains(fp(protected)));
+    }
+
+    /// get() after a successful insert returns exactly the inserted bytes,
+    /// and hit/miss counters account for every lookup.
+    #[test]
+    fn accounting_is_exact(ops in proptest::collection::vec(any_op(), 0..150)) {
+        let mut cache = SharedCache::new(); // unbounded
+        let mut model: std::collections::HashMap<u8, Bytes> = Default::default();
+        let mut expect_hits = 0u64;
+        let mut expect_misses = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(k, len) => {
+                    let b = body(k, len);
+                    cache.insert(fp(k), b.clone());
+                    model.entry(k).or_insert(b); // dedup: first insert wins
+                }
+                Op::Get(k) => {
+                    let got = cache.get(fp(k));
+                    match model.get(&k) {
+                        Some(expected) => {
+                            expect_hits += 1;
+                            prop_assert_eq!(got.as_ref(), Some(expected));
+                        }
+                        None => {
+                            expect_misses += 1;
+                            prop_assert!(got.is_none());
+                        }
+                    }
+                }
+                Op::Pin(k) => cache.pin(fp(k)),
+                Op::Unpin(k) => cache.unpin(fp(k)),
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits, expect_hits);
+        prop_assert_eq!(stats.misses, expect_misses);
+        // Unbounded cache: resident bytes equal the model's total.
+        let model_bytes: u64 = model.values().map(|b| b.len() as u64).sum();
+        prop_assert_eq!(cache.bytes(), model_bytes);
+    }
+}

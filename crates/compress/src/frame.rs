@@ -1,0 +1,219 @@
+//! Self-describing compressed frame format.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   [4]  = b"GZc1"
+//! method  [1]  = 0 stored | 1 lzss
+//! rawlen  [8]  = uncompressed length
+//! crc     [4]  = CRC-32 of the uncompressed bytes
+//! payload [..] = stored bytes or LZSS token stream
+//! ```
+//!
+//! A stored block is used whenever LZSS would not shrink the input, so a
+//! frame is never more than [`FRAME_OVERHEAD`] bytes larger than its input.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::crc32::crc32;
+use crate::lzss::{Level, Lzss};
+
+const MAGIC: [u8; 4] = *b"GZc1";
+const METHOD_STORED: u8 = 0;
+const METHOD_LZSS: u8 = 1;
+
+/// Fixed per-frame header size in bytes.
+pub const FRAME_OVERHEAD: usize = 4 + 1 + 8 + 4;
+
+/// Error returned by [`decompress`] for malformed frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// Frame shorter than the fixed header.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unknown compression method byte.
+    UnknownMethod(u8),
+    /// The payload failed to decode to the declared length.
+    CorruptPayload,
+    /// CRC-32 of the decoded bytes did not match the header.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed frame is truncated"),
+            DecompressError::BadMagic => write!(f, "compressed frame has invalid magic"),
+            DecompressError::UnknownMethod(m) => {
+                write!(f, "compressed frame uses unknown method {m}")
+            }
+            DecompressError::CorruptPayload => write!(f, "compressed payload is corrupt"),
+            DecompressError::ChecksumMismatch => {
+                write!(f, "decompressed data failed checksum verification")
+            }
+        }
+    }
+}
+
+impl Error for DecompressError {}
+
+/// Compresses `data` into a framed, checksummed blob.
+///
+/// Falls back to a stored block when LZSS does not help, so the result is at
+/// most `data.len() + FRAME_OVERHEAD` bytes.
+///
+/// ```
+/// use gear_compress::{compress, Level, FRAME_OVERHEAD};
+/// let framed = compress(b"xyz", Level::Fast);
+/// assert!(framed.len() <= 3 + FRAME_OVERHEAD);
+/// ```
+pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+    let tokens = Lzss::compress(data, level);
+    let (method, payload) = if tokens.len() < data.len() {
+        (METHOD_LZSS, tokens)
+    } else {
+        (METHOD_STORED, data.to_vec())
+    };
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(method);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Returns only the framed size of compressing `data`, avoiding an extra copy
+/// for storage-accounting callers that never keep the compressed bytes.
+pub fn compressed_size(data: &[u8], level: Level) -> usize {
+    let tokens = Lzss::compress(data, level);
+    FRAME_OVERHEAD + tokens.len().min(data.len())
+}
+
+/// Decompresses a frame produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns a [`DecompressError`] if the frame is truncated, has a bad magic,
+/// an unknown method, a corrupt payload, or a checksum mismatch.
+pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if frame.len() < FRAME_OVERHEAD {
+        return Err(DecompressError::Truncated);
+    }
+    if frame[..4] != MAGIC {
+        return Err(DecompressError::BadMagic);
+    }
+    let method = frame[4];
+    let raw_len = u64::from_le_bytes(frame[5..13].try_into().expect("8 bytes")) as usize;
+    let crc = u32::from_le_bytes(frame[13..17].try_into().expect("4 bytes"));
+    let payload = &frame[FRAME_OVERHEAD..];
+    let data = match method {
+        METHOD_STORED => {
+            if payload.len() != raw_len {
+                return Err(DecompressError::CorruptPayload);
+            }
+            payload.to_vec()
+        }
+        METHOD_LZSS => {
+            Lzss::decompress(payload, raw_len).ok_or(DecompressError::CorruptPayload)?
+        }
+        m => return Err(DecompressError::UnknownMethod(m)),
+    };
+    if crc32(&data) != crc {
+        return Err(DecompressError::ChecksumMismatch);
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_levels() {
+        let data = b"gear gear gear gear gear files files files".repeat(30);
+        for level in [Level::Fast, Level::Default, Level::Best] {
+            let framed = compress(&data, level);
+            assert_eq!(decompress(&framed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let framed = compress(b"", Level::Default);
+        assert_eq!(framed.len(), FRAME_OVERHEAD);
+        assert_eq!(decompress(&framed).unwrap(), b"");
+    }
+
+    #[test]
+    fn stored_fallback_bounds_size() {
+        let mut x = 0xdeadbeefu32;
+        let data: Vec<u8> = (0..300)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                (x >> 24) as u8
+            })
+            .collect();
+        let framed = compress(&data, Level::Best);
+        assert!(framed.len() <= data.len() + FRAME_OVERHEAD);
+        assert_eq!(decompress(&framed).unwrap(), data);
+    }
+
+    #[test]
+    fn compressed_size_matches_compress() {
+        let data = b"aaaabbbbccccaaaabbbbcccc".repeat(64);
+        assert_eq!(
+            compressed_size(&data, Level::Default),
+            compress(&data, Level::Default).len()
+        );
+    }
+
+    #[test]
+    fn detects_truncation() {
+        assert_eq!(decompress(&[1, 2, 3]), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut framed = compress(b"hello", Level::Fast);
+        framed[0] ^= 0xff;
+        assert_eq!(decompress(&framed), Err(DecompressError::BadMagic));
+    }
+
+    #[test]
+    fn detects_unknown_method() {
+        let mut framed = compress(b"hello", Level::Fast);
+        framed[4] = 42;
+        assert_eq!(decompress(&framed), Err(DecompressError::UnknownMethod(42)));
+    }
+
+    #[test]
+    fn detects_payload_corruption() {
+        let data = b"abcabcabcabcabcabcabcabc".repeat(100);
+        let mut framed = compress(&data, Level::Default);
+        let last = framed.len() - 1;
+        framed[last] ^= 0x55;
+        let err = decompress(&framed).unwrap_err();
+        assert!(
+            matches!(err, DecompressError::CorruptPayload | DecompressError::ChecksumMismatch),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn detects_stored_body_flip() {
+        let mut x = 99u32;
+        let data: Vec<u8> = (0..64)
+            .map(|_| {
+                x = x.wrapping_mul(48271);
+                (x >> 16) as u8
+            })
+            .collect();
+        let mut framed = compress(&data, Level::Fast);
+        assert_eq!(framed[4], 0, "expected stored block");
+        framed[FRAME_OVERHEAD] ^= 1;
+        assert_eq!(decompress(&framed), Err(DecompressError::ChecksumMismatch));
+    }
+}

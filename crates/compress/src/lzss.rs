@@ -1,0 +1,274 @@
+//! LZSS dictionary compression.
+//!
+//! The token stream packs eight tokens per flag byte; each token is either a
+//! literal byte or an `(offset, length)` back-reference into a 32 KiB sliding
+//! window. Matches are found with a hash-chain matcher whose search depth is
+//! controlled by [`Level`].
+
+/// Sliding-window size. Offsets are encoded in 16 bits, so the window must
+/// not exceed 64 KiB; 32 KiB matches zlib's window and keeps chains short.
+const WINDOW: usize = 32 * 1024;
+/// Shortest back-reference worth encoding (3 bytes would break even only
+/// against the flag bit; 4 gives a guaranteed win).
+const MIN_MATCH: usize = 4;
+/// Longest encodable match: length is stored as `len - MIN_MATCH` in a byte.
+const MAX_MATCH: usize = MIN_MATCH + 255;
+/// Number of hash buckets for 4-byte prefixes.
+const HASH_SIZE: usize = 1 << 15;
+
+/// Compression effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Level {
+    /// Shallow match search; fastest.
+    Fast,
+    /// Balanced search depth (the default).
+    #[default]
+    Default,
+    /// Deep search; best ratio.
+    Best,
+}
+
+impl Level {
+    /// Maximum hash-chain positions examined per input position.
+    fn chain_depth(self) -> usize {
+        match self {
+            Level::Fast => 8,
+            Level::Default => 32,
+            Level::Best => 128,
+        }
+    }
+}
+
+/// The LZSS codec. A unit struct; all state lives on the stack per call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lzss;
+
+impl Lzss {
+    /// Compresses `data` into a raw LZSS token stream (no frame header).
+    ///
+    /// Incompressible input expands by at most 1 bit per byte (one flag bit
+    /// per literal); callers that must bound size use the frame layer, which
+    /// falls back to stored blocks.
+    pub fn compress(data: &[u8], level: Level) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        if data.is_empty() {
+            return out;
+        }
+        let depth = level.chain_depth();
+        // head[h] = most recent position with hash h; prev[pos % WINDOW] = the
+        // previous position in the same chain.
+        let mut head = vec![usize::MAX; HASH_SIZE];
+        let mut prev = vec![usize::MAX; WINDOW];
+
+        let mut flags_at = 0usize;
+        let mut flag_bit = 8u8; // force allocation of the first flag byte
+        let mut pos = 0usize;
+
+        // A flag byte is allocated lazily, right before the first token of
+        // each group of eight, so token payloads always follow their flags.
+        macro_rules! emit_flag {
+            ($set:expr) => {
+                if flag_bit == 8 {
+                    flag_bit = 0;
+                    flags_at = out.len();
+                    out.push(0);
+                }
+                if $set {
+                    out[flags_at] |= 1 << flag_bit;
+                }
+                flag_bit += 1;
+            };
+        }
+
+        while pos < data.len() {
+            let (mut best_len, mut best_off) = (0usize, 0usize);
+            if pos + MIN_MATCH <= data.len() {
+                let h = hash4(&data[pos..]);
+                let mut candidate = head[h];
+                let limit = pos.saturating_sub(WINDOW - 1);
+                let mut steps = 0;
+                while candidate != usize::MAX && candidate >= limit && steps < depth {
+                    let len = match_len(data, candidate, pos);
+                    if len > best_len {
+                        best_len = len;
+                        best_off = pos - candidate;
+                        if len >= MAX_MATCH {
+                            break;
+                        }
+                    }
+                    candidate = prev[candidate % WINDOW];
+                    steps += 1;
+                }
+            }
+
+            if best_len >= MIN_MATCH {
+                emit_flag!(true);
+                out.extend_from_slice(&(best_off as u16).to_le_bytes());
+                out.push((best_len - MIN_MATCH) as u8);
+                // Insert every covered position into the chains so later
+                // matches can start inside this one.
+                let end = pos + best_len;
+                while pos < end {
+                    if pos + MIN_MATCH <= data.len() {
+                        let h = hash4(&data[pos..]);
+                        prev[pos % WINDOW] = head[h];
+                        head[h] = pos;
+                    }
+                    pos += 1;
+                }
+            } else {
+                emit_flag!(false);
+                out.push(data[pos]);
+                if pos + MIN_MATCH <= data.len() {
+                    let h = hash4(&data[pos..]);
+                    prev[pos % WINDOW] = head[h];
+                    head[h] = pos;
+                }
+                pos += 1;
+            }
+        }
+        out
+    }
+
+    /// Decompresses a raw LZSS token stream produced by [`Lzss::compress`].
+    ///
+    /// `expected_len` is the exact decompressed size (recorded by the frame
+    /// layer); decoding stops once it is reached.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` on a truncated stream or an out-of-range back-reference.
+    pub fn decompress(stream: &[u8], expected_len: usize) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(expected_len);
+        let mut i = 0usize;
+        while out.len() < expected_len {
+            let flags = *stream.get(i)?;
+            i += 1;
+            for bit in 0..8 {
+                if out.len() == expected_len {
+                    break;
+                }
+                if flags & (1 << bit) != 0 {
+                    let lo = *stream.get(i)?;
+                    let hi = *stream.get(i + 1)?;
+                    let len = *stream.get(i + 2)? as usize + MIN_MATCH;
+                    i += 3;
+                    let off = u16::from_le_bytes([lo, hi]) as usize;
+                    if off == 0 || off > out.len() {
+                        return None;
+                    }
+                    let start = out.len() - off;
+                    // Overlapping copies are valid (RLE-style) so copy bytewise.
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                } else {
+                    out.push(*stream.get(i)?);
+                    i += 1;
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - 15)) as usize & (HASH_SIZE - 1)
+}
+
+#[inline]
+fn match_len(data: &[u8], a: usize, b: usize) -> usize {
+    let max = (data.len() - b).min(MAX_MATCH);
+    let mut n = 0;
+    while n < max && data[a + n] == data[b + n] {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8], level: Level) -> usize {
+        let c = Lzss::compress(data, level);
+        let d = Lzss::decompress(&c, data.len()).expect("valid stream");
+        assert_eq!(d, data);
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(roundtrip(b"", Level::Default), 0);
+        roundtrip(b"a", Level::Default);
+        roundtrip(b"abc", Level::Default);
+        roundtrip(b"abcd", Level::Default);
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(100);
+        let size = roundtrip(&data, Level::Default);
+        assert!(size < data.len() / 4, "{size} vs {}", data.len());
+    }
+
+    #[test]
+    fn rle_overlapping_matches() {
+        let data = vec![0x41u8; 10_000];
+        let size = roundtrip(&data, Level::Fast);
+        assert!(size < 200);
+    }
+
+    #[test]
+    fn incompressible_bounded_expansion() {
+        // Pseudo-random (xorshift) bytes: no 4-byte matches expected.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 24) as u8
+            })
+            .collect();
+        let c = Lzss::compress(&data, Level::Best);
+        assert!(c.len() <= data.len() + data.len() / 8 + 2);
+        assert_eq!(Lzss::decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn levels_order_ratio() {
+        let data: Vec<u8> = (0..20_000u32)
+            .flat_map(|i| format!("line {} of synthetic log\n", i % 700).into_bytes())
+            .collect();
+        let fast = Lzss::compress(&data, Level::Fast).len();
+        let best = Lzss::compress(&data, Level::Best).len();
+        assert!(best <= fast);
+    }
+
+    #[test]
+    fn long_range_matches_within_window() {
+        let mut data = vec![7u8; 100];
+        data.extend(std::iter::repeat(3u8).take(WINDOW - 200));
+        data.extend_from_slice(&[7u8; 100]); // matches the prefix across ~32K
+        roundtrip(&data, Level::Best);
+    }
+
+    #[test]
+    fn rejects_corrupt_stream() {
+        let data = b"abcabcabcabcabcabc".repeat(50);
+        let mut c = Lzss::compress(&data, Level::Default);
+        c.truncate(c.len() / 2);
+        assert!(Lzss::decompress(&c, data.len()).is_none());
+    }
+
+    #[test]
+    fn rejects_bad_offset() {
+        // flag byte: first token is a match; offset 9 with empty history.
+        let stream = [0b0000_0001u8, 9, 0, 0];
+        assert!(Lzss::decompress(&stream, 8).is_none());
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests: compression must be lossless for arbitrary inputs.
+
+use gear_compress::{compress, compressed_size, decompress, Level, FRAME_OVERHEAD};
+use proptest::prelude::*;
+
+fn any_level() -> impl Strategy<Value = Level> {
+    prop_oneof![Just(Level::Fast), Just(Level::Default), Just(Level::Best)]
+}
+
+proptest! {
+    /// Arbitrary bytes survive a compress/decompress roundtrip at any level.
+    #[test]
+    fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..4096), level in any_level()) {
+        let framed = compress(&data, level);
+        prop_assert_eq!(decompress(&framed).unwrap(), data);
+    }
+
+    /// Highly repetitive input roundtrips and shrinks.
+    #[test]
+    fn roundtrip_repetitive(byte in any::<u8>(), reps in 64usize..4096, level in any_level()) {
+        let data = vec![byte; reps];
+        let framed = compress(&data, level);
+        prop_assert_eq!(decompress(&framed).unwrap(), data.clone());
+        prop_assert!(framed.len() < data.len() + FRAME_OVERHEAD);
+    }
+
+    /// The frame never expands input by more than the fixed header.
+    #[test]
+    fn bounded_expansion(data in proptest::collection::vec(any::<u8>(), 0..2048), level in any_level()) {
+        let framed = compress(&data, level);
+        prop_assert!(framed.len() <= data.len() + FRAME_OVERHEAD);
+    }
+
+    /// `compressed_size` agrees exactly with `compress().len()`.
+    #[test]
+    fn size_estimate_exact(data in proptest::collection::vec(any::<u8>(), 0..2048), level in any_level()) {
+        prop_assert_eq!(compressed_size(&data, level), compress(&data, level).len());
+    }
+
+    /// Corrupting any single payload byte is detected (never mis-decodes
+    /// silently to the original).
+    #[test]
+    fn corruption_never_silently_accepted(
+        data in proptest::collection::vec(any::<u8>(), 1..1024),
+        idx in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut framed = compress(&data, Level::Default);
+        let i = FRAME_OVERHEAD + idx.index(framed.len() - FRAME_OVERHEAD);
+        framed[i] ^= flip;
+        match decompress(&framed) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, data, "corruption silently produced original"),
+        }
+    }
+}

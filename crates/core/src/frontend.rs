@@ -1,0 +1,149 @@
+//! The registry-side Gear frontend (paper §III-B, §IV).
+//!
+//! In the paper's deployment, the Gear Converter runs *inside* the registry
+//! node: "when a regular image arrives, Gear Converter first retrieves the
+//! manifest … and builds the Gear index and Gear files", ahead of any pull,
+//! and "the original Docker image can be removed if the managers want to
+//! save storage space". [`GearFrontend`] packages that workflow: push a
+//! Docker image and it is stored, converted, and published in one step.
+
+use gear_image::{Image, ImageRef};
+use gear_registry::{DockerRegistry, GearFileStore, RegistryStats};
+
+use crate::convert::{publish, ConversionReport, ConvertError, Converter, PublishReport};
+
+/// What one frontend push did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendPushReport {
+    /// Layer/byte accounting for storing the original image.
+    pub original: gear_registry::PushReport,
+    /// Conversion accounting (time, files, collisions).
+    pub conversion: ConversionReport,
+    /// Gear publication accounting (dedup against the pool).
+    pub publication: PublishReport,
+}
+
+/// A registry node running the Gear Converter on arrival.
+#[derive(Debug, Default)]
+pub struct GearFrontend {
+    docker: DockerRegistry,
+    index: DockerRegistry,
+    files: GearFileStore,
+    converter: Converter,
+}
+
+impl GearFrontend {
+    /// A frontend with default conversion options and an uncompressed pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A frontend that compresses stored Gear files.
+    pub fn with_compressed_pool() -> Self {
+        GearFrontend { files: GearFileStore::with_compression(), ..Self::default() }
+    }
+
+    /// Replaces the converter (e.g. to enable big-file chunking).
+    pub fn with_converter(mut self, converter: Converter) -> Self {
+        self.converter = converter;
+        self
+    }
+
+    /// Stores `image`, converts it, and publishes index + Gear files.
+    ///
+    /// Conversion happens once, at push time — never on a container's start
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvertError`] if the image cannot be converted; the original is
+    /// still stored in that case.
+    pub fn push(&mut self, image: &Image) -> Result<FrontendPushReport, ConvertError> {
+        let original = self.docker.push_image(image);
+        let conversion = self.converter.convert(image)?;
+        let publication = publish(&conversion, &mut self.index, &mut self.files);
+        Ok(FrontendPushReport { original, conversion: conversion.report, publication })
+    }
+
+    /// Deletes the *original* image, keeping the Gear form — the paper's
+    /// space-saving option. Returns bytes freed in the original store.
+    pub fn drop_original(&mut self, reference: &ImageRef) -> u64 {
+        if self.docker.delete_image(reference) {
+            self.docker.gc()
+        } else {
+            0
+        }
+    }
+
+    /// The original-image registry (for Docker/Slacker clients).
+    pub fn docker(&self) -> &DockerRegistry {
+        &self.docker
+    }
+
+    /// The index-image registry (for Gear clients).
+    pub fn index(&self) -> &DockerRegistry {
+        &self.index
+    }
+
+    /// The Gear file pool (for Gear clients).
+    pub fn files(&self) -> &GearFileStore {
+        &self.files
+    }
+
+    /// `(original registry, index registry)` storage statistics.
+    pub fn stats(&self) -> (RegistryStats, RegistryStats, gear_registry::FileStoreStats) {
+        (self.docker.stats(), self.index.stats(), self.files.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use gear_fs::FsTree;
+    use gear_image::ImageBuilder;
+
+    fn image(name: &str, files: &[(&str, &[u8])]) -> Image {
+        let mut tree = FsTree::new();
+        for (p, c) in files {
+            tree.create_file(p, Bytes::copy_from_slice(c)).unwrap();
+        }
+        ImageBuilder::new(name.parse::<ImageRef>().unwrap()).layer_from_tree(&tree).build()
+    }
+
+    #[test]
+    fn push_converts_and_publishes() {
+        let mut frontend = GearFrontend::new();
+        let report =
+            frontend.push(&image("svc:1", &[("a", b"one"), ("b", b"two")])).unwrap();
+        assert_eq!(report.conversion.unique_files, 2);
+        assert_eq!(report.publication.files_uploaded, 2);
+        // Both registries serve the image name.
+        let r: ImageRef = "svc:1".parse().unwrap();
+        assert!(frontend.docker().image(&r).is_some());
+        assert!(frontend.index().image(&r).is_some());
+        assert_eq!(frontend.files().object_count(), 2);
+    }
+
+    #[test]
+    fn pushes_dedup_across_images() {
+        let mut frontend = GearFrontend::new();
+        frontend.push(&image("a:1", &[("shared", b"lib bytes"), ("a", b"A")])).unwrap();
+        let second =
+            frontend.push(&image("b:1", &[("shared", b"lib bytes"), ("b", b"B")])).unwrap();
+        assert_eq!(second.publication.files_uploaded, 1);
+        assert_eq!(second.publication.files_deduped, 1);
+    }
+
+    #[test]
+    fn drop_original_keeps_gear_form() {
+        let mut frontend = GearFrontend::new();
+        frontend.push(&image("svc:1", &[("a", b"payload")])).unwrap();
+        let r: ImageRef = "svc:1".parse().unwrap();
+        let freed = frontend.drop_original(&r);
+        assert!(freed > 0);
+        assert!(frontend.docker().image(&r).is_none(), "original gone");
+        assert!(frontend.index().image(&r).is_some(), "gear form kept");
+        assert_eq!(frontend.drop_original(&r), 0, "second drop is a no-op");
+    }
+}

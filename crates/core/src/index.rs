@@ -1,0 +1,491 @@
+//! The Gear index: an image's directory tree with fingerprint leaves.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+use gear_archive::Metadata;
+use gear_fs::{ChunkRef, FileData, FsTree, Node};
+use gear_hash::Fingerprint;
+use gear_image::{Image, ImageBuilder, ImageConfig, ImageRef};
+use serde::{Deserialize, Serialize};
+
+/// Path inside the single-layer index image where the index JSON lives.
+pub const INDEX_PATH: &str = "var/lib/gear/index.json";
+
+/// One chunk of a big file in the index (fingerprint + length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexChunk {
+    /// Chunk content fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Chunk length in bytes.
+    pub size: u64,
+}
+
+/// A node in the Gear index tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum IndexNode {
+    /// Directory.
+    Dir {
+        /// Directory metadata.
+        meta: Metadata,
+        /// Children by name.
+        children: BTreeMap<String, IndexNode>,
+    },
+    /// Regular file, identified by the fingerprint of its content.
+    File {
+        /// File metadata.
+        meta: Metadata,
+        /// Content fingerprint (names the Gear file).
+        fingerprint: Fingerprint,
+        /// Content length in bytes.
+        size: u64,
+        /// False when this entry is excluded from deduplication (collision
+        /// fallback, paper §III-B): its "fingerprint" is a salted unique id.
+        #[serde(default = "default_true", skip_serializing_if = "is_true")]
+        dedup: bool,
+    },
+    /// A big file split into individually fetchable chunks (paper §VII).
+    BigFile {
+        /// File metadata.
+        meta: Metadata,
+        /// Ordered chunk list.
+        chunks: Vec<IndexChunk>,
+        /// Total length in bytes.
+        size: u64,
+    },
+    /// Symbolic link — irregular files are served straight from the index
+    /// (paper §III-D2).
+    Symlink {
+        /// Link metadata.
+        meta: Metadata,
+        /// Link target.
+        target: String,
+    },
+}
+
+fn default_true() -> bool {
+    true
+}
+
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_true(b: &bool) -> bool {
+    *b
+}
+
+/// Error parsing or constructing a Gear index.
+#[derive(Debug)]
+pub enum IndexError {
+    /// The index JSON was malformed.
+    Json(serde_json::Error),
+    /// A tree passed to [`GearIndex::from_tree`] contained an inline file —
+    /// contents must be converted to fingerprints first.
+    UnresolvedContent(String),
+    /// The image handed to [`GearImage::from_index_image`] does not carry an
+    /// index at [`INDEX_PATH`].
+    NotAnIndexImage,
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Json(e) => write!(f, "malformed index JSON: {e}"),
+            IndexError::UnresolvedContent(p) => {
+                write!(f, "file {p} still has inline content; convert it first")
+            }
+            IndexError::NotAnIndexImage => write!(f, "image does not contain a Gear index"),
+        }
+    }
+}
+
+impl Error for IndexError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IndexError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for IndexError {
+    fn from(e: serde_json::Error) -> Self {
+        IndexError::Json(e)
+    }
+}
+
+/// The Gear index: directory structure + file fingerprints + the runtime
+/// config copied from the original image (paper §III-B/III-C).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GearIndex {
+    /// Root directory.
+    pub root: IndexNode,
+    /// Runtime configuration copied from the source Docker image.
+    pub config: ImageConfig,
+}
+
+impl GearIndex {
+    /// An empty index with default config.
+    pub fn empty() -> Self {
+        GearIndex {
+            root: IndexNode::Dir { meta: Metadata::dir_default(), children: BTreeMap::new() },
+            config: ImageConfig::default(),
+        }
+    }
+
+    /// Builds an index from a fully *converted* [`FsTree`] — one whose file
+    /// bodies are all [`FileData::Fingerprint`] or [`FileData::Chunked`].
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::UnresolvedContent`] if any file still holds inline
+    /// bytes. (Use [`crate::Converter`] to convert contents first.)
+    pub fn from_tree(tree: &FsTree, config: ImageConfig) -> Result<Self, IndexError> {
+        fn build(node: &Node, path: &str) -> Result<IndexNode, IndexError> {
+            Ok(match node {
+                Node::Dir { meta, children } => {
+                    let mut out = BTreeMap::new();
+                    for (name, child) in children {
+                        let child_path =
+                            if path.is_empty() { name.clone() } else { format!("{path}/{name}") };
+                        out.insert(name.clone(), build(child, &child_path)?);
+                    }
+                    IndexNode::Dir { meta: *meta, children: out }
+                }
+                Node::File(f) => match &f.data {
+                    FileData::Fingerprint { fingerprint, size } => IndexNode::File {
+                        meta: f.meta,
+                        fingerprint: *fingerprint,
+                        size: *size,
+                        dedup: true,
+                    },
+                    FileData::Chunked { chunks, size } => IndexNode::BigFile {
+                        meta: f.meta,
+                        chunks: chunks
+                            .iter()
+                            .map(|c| IndexChunk { fingerprint: c.fingerprint, size: c.size })
+                            .collect(),
+                        size: *size,
+                    },
+                    FileData::Inline(_) => {
+                        return Err(IndexError::UnresolvedContent(path.to_owned()))
+                    }
+                },
+                Node::Symlink(s) => {
+                    IndexNode::Symlink { meta: s.meta, target: s.target.clone() }
+                }
+            })
+        }
+        Ok(GearIndex { root: build(tree.get("").expect("root"), "")?, config })
+    }
+
+    /// Materializes the index back into an [`FsTree`] of fingerprint
+    /// placeholders — the read-only lower layer the Gear File Viewer mounts.
+    pub fn to_tree(&self) -> FsTree {
+        fn build(node: &IndexNode) -> Node {
+            match node {
+                IndexNode::Dir { meta, children } => Node::Dir {
+                    meta: *meta,
+                    children: children.iter().map(|(k, v)| (k.clone(), build(v))).collect(),
+                },
+                IndexNode::File { meta, fingerprint, size, .. } => {
+                    Node::fingerprint_file(*meta, *fingerprint, *size)
+                }
+                IndexNode::BigFile { meta, chunks, size } => Node::File(gear_fs::FileNode {
+                    meta: *meta,
+                    data: FileData::Chunked {
+                        chunks: chunks
+                            .iter()
+                            .map(|c| ChunkRef { fingerprint: c.fingerprint, size: c.size })
+                            .collect(),
+                        size: *size,
+                    },
+                }),
+                IndexNode::Symlink { meta, target } => Node::symlink(*meta, target.clone()),
+            }
+        }
+        let mut tree = FsTree::new();
+        if let IndexNode::Dir { children, .. } = &self.root {
+            for (name, child) in children {
+                tree.insert(name, build(child)).expect("index paths are valid");
+            }
+        }
+        tree
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("index serialization cannot fail")
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::Json`] for malformed input.
+    pub fn from_json(bytes: &[u8]) -> Result<Self, IndexError> {
+        Ok(serde_json::from_slice(bytes)?)
+    }
+
+    /// Size of the serialized index in bytes — the amount a client must pull
+    /// before its container can start (paper: ~0.53 MB on average).
+    pub fn serialized_len(&self) -> u64 {
+        self.to_json().len() as u64
+    }
+
+    /// Every `(fingerprint, size)` the index references (files and chunks),
+    /// in walk order, duplicates included.
+    pub fn referenced_files(&self) -> Vec<(Fingerprint, u64)> {
+        let mut out = Vec::new();
+        fn walk(node: &IndexNode, out: &mut Vec<(Fingerprint, u64)>) {
+            match node {
+                IndexNode::Dir { children, .. } => {
+                    for child in children.values() {
+                        walk(child, out);
+                    }
+                }
+                IndexNode::File { fingerprint, size, .. } => out.push((*fingerprint, *size)),
+                IndexNode::BigFile { chunks, .. } => {
+                    out.extend(chunks.iter().map(|c| (c.fingerprint, c.size)))
+                }
+                IndexNode::Symlink { .. } => {}
+            }
+        }
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Looks up the `(fingerprint, size)` of the regular file at `path`.
+    pub fn file_at(&self, path: &str) -> Option<(Fingerprint, u64)> {
+        let mut node = &self.root;
+        for comp in path.split('/') {
+            match node {
+                IndexNode::Dir { children, .. } => node = children.get(comp)?,
+                _ => return None,
+            }
+        }
+        match node {
+            IndexNode::File { fingerprint, size, .. } => Some((*fingerprint, *size)),
+            _ => None,
+        }
+    }
+
+    /// Counts of each node kind: `(dirs, files, big_files, symlinks)`.
+    pub fn node_counts(&self) -> (u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0);
+        fn walk(node: &IndexNode, c: &mut (u64, u64, u64, u64)) {
+            match node {
+                IndexNode::Dir { children, .. } => {
+                    c.0 += 1;
+                    for child in children.values() {
+                        walk(child, c);
+                    }
+                }
+                IndexNode::File { .. } => c.1 += 1,
+                IndexNode::BigFile { .. } => c.2 += 1,
+                IndexNode::Symlink { .. } => c.3 += 1,
+            }
+        }
+        walk(&self.root, &mut c);
+        c.0 -= 1; // exclude the root itself
+        c
+    }
+
+    /// Total logical bytes of all referenced file content.
+    pub fn logical_bytes(&self) -> u64 {
+        self.referenced_files().iter().map(|(_, s)| s).sum()
+    }
+}
+
+/// A Gear image: a named [`GearIndex`]. The corresponding Gear files live in
+/// a [`gear_registry::GearFileStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GearImage {
+    reference: ImageRef,
+    index: GearIndex,
+}
+
+impl GearImage {
+    /// Pairs an index with a name.
+    pub fn new(reference: ImageRef, index: GearIndex) -> Self {
+        GearImage { reference, index }
+    }
+
+    /// The image name.
+    pub fn reference(&self) -> &ImageRef {
+        &self.reference
+    }
+
+    /// The index.
+    pub fn index(&self) -> &GearIndex {
+        &self.index
+    }
+
+    /// Consumes self, returning the index.
+    pub fn into_index(self) -> GearIndex {
+        self.index
+    }
+
+    /// Packages the index as a **single-layer Docker image** so the existing
+    /// Docker registry and CLI can store and distribute it unchanged (paper
+    /// §III-C). The original image's config is carried over so containers
+    /// launch with the right environment.
+    pub fn to_index_image(&self) -> Image {
+        let mut tree = FsTree::new();
+        tree.create_file(INDEX_PATH, Bytes::from(self.index.to_json()))
+            .expect("constant path is valid");
+        ImageBuilder::new(self.reference.clone())
+            .config(self.index.config.clone())
+            .layer_from_tree(&tree)
+            .build()
+    }
+
+    /// Recovers a Gear image from its single-layer index image.
+    ///
+    /// # Errors
+    ///
+    /// [`IndexError::NotAnIndexImage`] if the image has no index file;
+    /// [`IndexError::Json`] if the index payload is malformed.
+    pub fn from_index_image(image: &Image) -> Result<Self, IndexError> {
+        let tree = image.root_fs().map_err(|_| IndexError::NotAnIndexImage)?;
+        let Some(Node::File(f)) = tree.get(INDEX_PATH) else {
+            return Err(IndexError::NotAnIndexImage);
+        };
+        let FileData::Inline(bytes) = &f.data else {
+            return Err(IndexError::NotAnIndexImage);
+        };
+        let index = GearIndex::from_json(bytes)?;
+        Ok(GearImage { reference: image.reference().clone(), index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> GearIndex {
+        let mut tree = FsTree::new();
+        tree.insert(
+            "bin/app",
+            Node::fingerprint_file(Metadata::exec_default(), Fingerprint::of(b"app"), 3),
+        )
+        .unwrap();
+        tree.insert(
+            "etc/app.conf",
+            Node::fingerprint_file(Metadata::file_default(), Fingerprint::of(b"conf"), 4),
+        )
+        .unwrap();
+        tree.insert("bin/link", Node::symlink(Metadata::file_default(), "/bin/app")).unwrap();
+        let config = ImageConfig { env: vec!["A=1".into()], ..Default::default() };
+        GearIndex::from_tree(&tree, config).unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let index = sample_index();
+        let parsed = GearIndex::from_json(&index.to_json()).unwrap();
+        assert_eq!(parsed, index);
+    }
+
+    #[test]
+    fn tree_roundtrip() {
+        let index = sample_index();
+        let tree = index.to_tree();
+        let back = GearIndex::from_tree(&tree, index.config.clone()).unwrap();
+        assert_eq!(back, index);
+    }
+
+    #[test]
+    fn rejects_inline_content() {
+        let mut tree = FsTree::new();
+        tree.create_file("raw", Bytes::from_static(b"inline")).unwrap();
+        let err = GearIndex::from_tree(&tree, ImageConfig::default()).unwrap_err();
+        assert!(matches!(err, IndexError::UnresolvedContent(p) if p == "raw"));
+    }
+
+    #[test]
+    fn referenced_files_and_counts() {
+        let index = sample_index();
+        assert_eq!(index.referenced_files().len(), 2);
+        assert_eq!(index.logical_bytes(), 7);
+        let (dirs, files, big, links) = index.node_counts();
+        assert_eq!((dirs, files, big, links), (2, 2, 0, 1));
+    }
+
+    #[test]
+    fn file_at_lookup() {
+        let index = sample_index();
+        let (fp, size) = index.file_at("bin/app").unwrap();
+        assert_eq!(fp, Fingerprint::of(b"app"));
+        assert_eq!(size, 3);
+        assert!(index.file_at("bin/link").is_none());
+        assert!(index.file_at("missing").is_none());
+    }
+
+    #[test]
+    fn index_image_roundtrip() {
+        let gear = GearImage::new("app:1".parse().unwrap(), sample_index());
+        let image = gear.to_index_image();
+        assert_eq!(image.layers().len(), 1, "index image must be single-layer");
+        assert_eq!(image.config().env, vec!["A=1"]);
+        let back = GearImage::from_index_image(&image).unwrap();
+        assert_eq!(back, gear);
+    }
+
+    #[test]
+    fn non_index_image_rejected() {
+        let mut tree = FsTree::new();
+        tree.create_file("just/a/file", Bytes::from_static(b"x")).unwrap();
+        let image = ImageBuilder::new("plain:1".parse::<ImageRef>().unwrap())
+            .layer_from_tree(&tree)
+            .build();
+        assert!(matches!(
+            GearImage::from_index_image(&image),
+            Err(IndexError::NotAnIndexImage)
+        ));
+    }
+
+    #[test]
+    fn index_is_small_relative_to_content() {
+        // 100 files of 10 KiB each: index must be a tiny fraction.
+        let mut tree = FsTree::new();
+        for i in 0..100 {
+            tree.insert(
+                &format!("data/file{i:03}"),
+                Node::fingerprint_file(
+                    Metadata::file_default(),
+                    Fingerprint::of(format!("content{i}").as_bytes()),
+                    10_240,
+                ),
+            )
+            .unwrap();
+        }
+        let index = GearIndex::from_tree(&tree, ImageConfig::default()).unwrap();
+        let ratio = index.serialized_len() as f64 / index.logical_bytes() as f64;
+        assert!(ratio < 0.05, "index/content ratio {ratio}");
+    }
+
+    #[test]
+    fn big_file_nodes_roundtrip() {
+        let chunks = vec![
+            IndexChunk { fingerprint: Fingerprint::of(b"c0"), size: 1024 },
+            IndexChunk { fingerprint: Fingerprint::of(b"c1"), size: 512 },
+        ];
+        let mut root = BTreeMap::new();
+        root.insert(
+            "model.bin".to_owned(),
+            IndexNode::BigFile { meta: Metadata::file_default(), chunks, size: 1536 },
+        );
+        let index = GearIndex {
+            root: IndexNode::Dir { meta: Metadata::dir_default(), children: root },
+            config: ImageConfig::default(),
+        };
+        let parsed = GearIndex::from_json(&index.to_json()).unwrap();
+        assert_eq!(parsed, index);
+        assert_eq!(parsed.referenced_files().len(), 2);
+        // Through a tree and back.
+        let back = GearIndex::from_tree(&parsed.to_tree(), ImageConfig::default()).unwrap();
+        assert_eq!(back.referenced_files(), index.referenced_files());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on the Gear format's core invariants.
+
+use bytes::Bytes;
+use gear_core::{publish, CollisionResolver, Converter, GearImage, GearIndex};
+use gear_fs::FsTree;
+use gear_hash::Fingerprint;
+use gear_image::{ImageBuilder, ImageConfig, ImageRef};
+use gear_registry::{DockerRegistry, GearFileStore};
+use proptest::prelude::*;
+
+fn any_component() -> impl Strategy<Value = String> {
+    "[a-z0-9_]{1,8}".prop_filter("reserved", |s| s != "." && s != "..")
+}
+
+fn any_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any_component(), 1..4).prop_map(|v| v.join("/"))
+}
+
+fn any_files() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
+    proptest::collection::vec(
+        (any_path(), proptest::collection::vec(any::<u8>(), 0..128)),
+        1..24,
+    )
+}
+
+fn image_of(files: &[(String, Vec<u8>)]) -> Option<gear_image::Image> {
+    let mut tree = FsTree::new();
+    for (p, c) in files {
+        // Paths may conflict (file under file); skip such samples.
+        tree.create_file(p, Bytes::from(c.clone())).ok()?;
+    }
+    Some(
+        ImageBuilder::new("prop:1".parse::<ImageRef>().unwrap())
+            .layer_from_tree(&tree)
+            .build(),
+    )
+}
+
+proptest! {
+    /// Conversion is lossless: every file in the image appears in the index
+    /// with the right fingerprint, and the produced Gear files hash to their
+    /// names and reproduce the content.
+    #[test]
+    fn conversion_is_lossless(files in any_files()) {
+        let Some(image) = image_of(&files) else { return Ok(()) };
+        let rootfs = image.root_fs().unwrap();
+        let conv = Converter::new().convert(&image).unwrap();
+        for file in &conv.files {
+            prop_assert_eq!(Fingerprint::of(&file.content), file.fingerprint);
+        }
+        for (path, node) in rootfs.walk() {
+            if let gear_fs::Node::File(f) = node {
+                let gear_fs::FileData::Inline(content) = &f.data else { unreachable!() };
+                let (fp, size) = conv.gear_image.index().file_at(&path).unwrap();
+                prop_assert_eq!(fp, Fingerprint::of(content), "{}", path);
+                prop_assert_eq!(size, content.len() as u64);
+                let stored = conv.files.iter().find(|g| g.fingerprint == fp).unwrap();
+                prop_assert_eq!(&stored.content, content);
+            }
+        }
+    }
+
+    /// The index survives JSON and index-image round trips.
+    #[test]
+    fn index_roundtrips(files in any_files()) {
+        let Some(image) = image_of(&files) else { return Ok(()) };
+        let conv = Converter::new().convert(&image).unwrap();
+        let index = conv.gear_image.index();
+        // JSON roundtrip.
+        let parsed = GearIndex::from_json(&index.to_json()).unwrap();
+        prop_assert_eq!(&parsed, index);
+        // Single-layer-image roundtrip.
+        let back = GearImage::from_index_image(&conv.gear_image.to_index_image()).unwrap();
+        prop_assert_eq!(back.index(), index);
+        // Tree roundtrip.
+        let rebuilt = GearIndex::from_tree(&index.to_tree(), ImageConfig::default()).unwrap();
+        prop_assert_eq!(rebuilt.referenced_files(), index.referenced_files());
+    }
+
+    /// Publishing then downloading every referenced fingerprint reproduces
+    /// the image's full content (registry-side losslessness).
+    #[test]
+    fn publish_then_fetch_all(files in any_files()) {
+        let Some(image) = image_of(&files) else { return Ok(()) };
+        let conv = Converter::new().convert(&image).unwrap();
+        let mut docker = DockerRegistry::new();
+        let mut store = GearFileStore::with_compression();
+        publish(&conv, &mut docker, &mut store);
+        for (fp, size) in conv.gear_image.index().referenced_files() {
+            let body = store.download(fp);
+            prop_assert!(body.is_some(), "missing {fp}");
+            prop_assert_eq!(body.unwrap().len() as u64, size);
+        }
+        // And the index image is pullable.
+        prop_assert!(docker.image(image.reference()).is_some());
+    }
+
+    /// The collision resolver never hands out the same id for different
+    /// contents, and always dedups identical contents.
+    #[test]
+    fn collision_resolver_is_injective(
+        contents in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..16),
+        same_key in any::<bool>(),
+    ) {
+        let mut resolver = CollisionResolver::new();
+        let shared = Fingerprint::of(b"forced-shared-key");
+        let mut seen: std::collections::HashMap<Fingerprint, Vec<u8>> = Default::default();
+        for content in &contents {
+            let bytes = Bytes::from(content.clone());
+            let key = if same_key { shared } else { Fingerprint::of(content) };
+            let (id, _) = resolver.resolve(key, &bytes);
+            if let Some(prev) = seen.get(&id) {
+                prop_assert_eq!(prev, content, "same id for different contents");
+            }
+            seen.insert(id, content.clone());
+        }
+    }
+}

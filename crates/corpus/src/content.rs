@@ -1,0 +1,177 @@
+//! Block-structured synthetic file content.
+//!
+//! File contents are built from fixed-size **blocks**, each derived from a
+//! 64-bit seed. This gives the generator precise control over the properties
+//! the storage experiments depend on:
+//!
+//! * two files are byte-identical iff their seed vectors are equal (exact
+//!   file-level dedup);
+//! * churn mutates only a fraction of a file's block seeds, so chunk-level
+//!   dedup sees partial sharing between versions, like real binaries;
+//! * block bytes are sequences of 8-byte tokens drawn from a global
+//!   vocabulary, so LZSS compresses them at realistic (~2–3×) ratios.
+//!
+//! Different seeds yield statistically independent blocks (splitmix64
+//! hashing of `(seed, position)` — *not* a shared xorshift orbit).
+
+use bytes::Bytes;
+
+/// Block size in (scaled) bytes. At the default 1/1024 corpus scale this
+/// models the paper's 128 KiB chunk unit.
+pub const BLOCK_SIZE: usize = 128;
+
+/// Tokens per block (each token is 8 bytes).
+const TOKENS_PER_BLOCK: usize = BLOCK_SIZE / 8;
+
+/// Size of the token id space. Large enough that distinct files effectively
+/// never share tokens: compression gains come from *within-file* repetition
+/// (realistic), so compressing a whole layer is not much better than
+/// compressing its files individually — which keeps the Docker-vs-Gear
+/// storage comparison honest.
+const VOCABULARY: u64 = 1 << 22;
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn mix2(a: u64, b: u64) -> u64 {
+    splitmix(a ^ splitmix(b))
+}
+
+/// The 8 bytes of vocabulary token `id`.
+#[inline]
+fn token_bytes(id: u64) -> [u8; 8] {
+    splitmix(id.wrapping_mul(0x2545_F491_4F6C_DD1D)).to_le_bytes()
+}
+
+/// Writes the `BLOCK_SIZE` bytes of the block identified by `seed`.
+fn write_block(seed: u64, out: &mut Vec<u8>) {
+    // A block is a token sequence with local repetition: each token repeats
+    // the previous one with probability 3/4, giving LZSS long runs and an
+    // overall compression ratio near what gzip achieves on real image
+    // content (~0.4–0.5).
+    let mut token = mix2(seed, 0) % VOCABULARY;
+    for i in 0..TOKENS_PER_BLOCK {
+        let roll = mix2(seed, 1 + i as u64);
+        if roll & 3 == 0 {
+            token = roll % VOCABULARY;
+        }
+        out.extend_from_slice(&token_bytes(token));
+    }
+}
+
+/// Builds file content from a vector of block seeds, truncated to `len`.
+///
+/// ```
+/// use gear_corpus::{make_content, BLOCK_SIZE};
+/// let seeds = vec![1, 2, 3];
+/// let a = make_content(&seeds, 3 * BLOCK_SIZE as u64);
+/// let b = make_content(&seeds, 3 * BLOCK_SIZE as u64);
+/// assert_eq!(a, b); // deterministic
+/// assert_eq!(a.len(), 3 * BLOCK_SIZE);
+/// ```
+pub fn make_content(seeds: &[u64], len: u64) -> Bytes {
+    let mut out = Vec::with_capacity(seeds.len() * BLOCK_SIZE);
+    for &seed in seeds {
+        write_block(seed, &mut out);
+    }
+    out.truncate(len as usize);
+    Bytes::from(out)
+}
+
+/// The block-seed vector for a brand-new file of `len` bytes, derived from
+/// the file's identity seed.
+pub fn new_file_seeds(identity: u64, len: u64) -> Vec<u64> {
+    let blocks = (len as usize).div_ceil(BLOCK_SIZE).max(1);
+    (0..blocks as u64).map(|i| mix2(identity, i)).collect()
+}
+
+/// Mutates a fraction of a file's blocks for a version bump: each block is
+/// re-seeded with probability `block_churn`, keyed by `revision` so repeated
+/// bumps keep diverging deterministically.
+pub fn mutate_seeds(seeds: &[u64], revision: u64, block_churn: f64) -> Vec<u64> {
+    let threshold = (block_churn.clamp(0.0, 1.0) * u64::MAX as f64) as u64;
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &seed)| {
+            let roll = mix2(seed ^ revision, 0xC0FFEE + i as u64);
+            if roll <= threshold {
+                mix2(seed, revision ^ 0xBEEF)
+            } else {
+                seed
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_length_exact() {
+        let seeds = new_file_seeds(42, 1000);
+        assert_eq!(seeds.len(), 8); // ceil(1000/128)
+        let c = make_content(&seeds, 1000);
+        assert_eq!(c.len(), 1000);
+        assert_eq!(c, make_content(&seeds, 1000));
+    }
+
+    #[test]
+    fn different_identities_differ() {
+        let a = make_content(&new_file_seeds(1, 512), 512);
+        let b = make_content(&new_file_seeds(2, 512), 512);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn content_is_compressible_but_not_trivial() {
+        let c = make_content(&new_file_seeds(7, 64 * 1024), 64 * 1024);
+        let packed = gear_compress_probe(&c);
+        let ratio = packed as f64 / c.len() as f64;
+        assert!(ratio < 0.75, "should compress: ratio {ratio}");
+        assert!(ratio > 0.05, "should not collapse to nothing: ratio {ratio}");
+    }
+
+    // Local probe to avoid a dev-dependency cycle: a tiny run-length proxy
+    // correlates with LZSS compressibility (repeated tokens).
+    fn gear_compress_probe(data: &[u8]) -> usize {
+        let mut distinct = std::collections::HashSet::new();
+        for w in data.chunks(8) {
+            distinct.insert(w.to_vec());
+        }
+        distinct.len() * 8 + data.len() / 8 // dictionary + references proxy
+    }
+
+    #[test]
+    fn mutation_changes_exactly_some_blocks() {
+        let seeds = new_file_seeds(9, 100 * BLOCK_SIZE as u64);
+        let mutated = mutate_seeds(&seeds, 1, 0.3);
+        let changed = seeds.iter().zip(&mutated).filter(|(a, b)| a != b).count();
+        assert!(changed > 10 && changed < 60, "changed {changed}/100 blocks at churn 0.3");
+        // Zero churn: identity. Full churn: everything changes.
+        assert_eq!(mutate_seeds(&seeds, 1, 0.0), seeds);
+        let all = mutate_seeds(&seeds, 1, 1.0);
+        assert!(seeds.iter().zip(&all).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_revision() {
+        let seeds = new_file_seeds(11, 50 * BLOCK_SIZE as u64);
+        assert_eq!(mutate_seeds(&seeds, 5, 0.4), mutate_seeds(&seeds, 5, 0.4));
+        assert_ne!(mutate_seeds(&seeds, 5, 0.9), mutate_seeds(&seeds, 6, 0.9));
+    }
+
+    #[test]
+    fn tiny_file_has_one_block() {
+        let seeds = new_file_seeds(3, 5);
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(make_content(&seeds, 5).len(), 5);
+    }
+}

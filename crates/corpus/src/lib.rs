@@ -1,0 +1,48 @@
+//! Synthetic container-image corpus mirroring the Gear paper's workload.
+//!
+//! The paper evaluates on the top-50 official Docker Hub series (Table I),
+//! each with up to 20 versions — 971 images, 370 GB unpacked. That corpus is
+//! not redistributable, so this crate generates a *calibrated synthetic
+//! equivalent*: the same 50 series in the same six categories, with
+//! per-category parameters controlling the properties every Gear experiment
+//! actually depends on:
+//!
+//! * **cross-version file churn** — how much of an image's content survives
+//!   a version bump (drives registry storage savings, Fig. 7);
+//! * **base-image sharing** — app series built `FROM` common distro bases
+//!   share those files across series (drives whole-registry dedup, Fig. 7b,
+//!   Table II);
+//! * **startup traces** — the "necessary files" a container reads to come up
+//!   and complete its task, with category-specific stability across versions
+//!   (drives Figs. 2, 8, 9, 10);
+//! * **block-level content structure** — file contents are composed of
+//!   fixed-size blocks that mutate partially on churn, so chunk-level
+//!   deduplication and compression behave like they do on real images.
+//!
+//! Everything is deterministic given a seed, and the whole corpus scales by
+//! `1/scale_denom` (default 1/1024 ≈ 360 MB of logical content) with all
+//! ratios preserved.
+//!
+//! # Examples
+//!
+//! ```
+//! use gear_corpus::{Corpus, CorpusConfig};
+//!
+//! let corpus = Corpus::generate(&CorpusConfig::quick()); // small test corpus
+//! assert!(corpus.series.len() >= 6);
+//! let first = &corpus.series[0];
+//! assert_eq!(first.images.len(), first.traces.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod content;
+mod generator;
+mod trace;
+
+pub use catalog::{BaseFamily, Category, SeriesSpec, CATALOG};
+pub use content::{make_content, mutate_seeds, new_file_seeds, BLOCK_SIZE};
+pub use generator::{Corpus, CorpusConfig, ImageSeries};
+pub use trace::{StartupTrace, TaskKind};

@@ -1,0 +1,81 @@
+//! Deployment tasks and startup access traces.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// The task a freshly deployed container performs (paper §V-D): each
+/// category runs a representative workload after launch, and "deployment
+/// time" covers pull + launch + task completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// `echo hello` (Linux distro images).
+    Echo,
+    /// Compile and run a hello-world program (language images).
+    CompileRun,
+    /// Insert/update/delete/query against the database (database images).
+    DatabaseOps,
+    /// Start a web server and answer one request (web components).
+    WebServe,
+    /// Complete the platform's specific task (application platforms).
+    PlatformTask,
+    /// The task of the miscellaneous images.
+    Generic,
+}
+
+impl TaskKind {
+    /// Pure compute time of the task (no file fetching), under the paper's
+    /// testbed CPU. These magnitudes make the pull phase dominate for Docker
+    /// at low bandwidth while keeping the run phase non-trivial, matching
+    /// the pull/run split visible in Fig. 9.
+    pub fn compute_time(self) -> Duration {
+        match self {
+            TaskKind::Echo => Duration::from_millis(120),
+            TaskKind::CompileRun => Duration::from_millis(2200),
+            TaskKind::DatabaseOps => Duration::from_millis(2800),
+            TaskKind::WebServe => Duration::from_millis(900),
+            TaskKind::PlatformTask => Duration::from_millis(3500),
+            TaskKind::Generic => Duration::from_millis(1200),
+        }
+    }
+}
+
+/// The ordered set of files a container reads to start and complete its
+/// deployment task — the "necessary data" of the paper's Fig. 2/8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StartupTrace {
+    /// Paths read, in access order (relative to the image root).
+    pub reads: Vec<String>,
+    /// The task driving the accesses.
+    pub task: TaskKind,
+}
+
+impl StartupTrace {
+    /// Number of file reads.
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_times_ordered_sensibly() {
+        assert!(TaskKind::Echo.compute_time() < TaskKind::WebServe.compute_time());
+        assert!(TaskKind::WebServe.compute_time() < TaskKind::PlatformTask.compute_time());
+    }
+
+    #[test]
+    fn trace_len() {
+        let t = StartupTrace { reads: vec!["a".into(), "b".into()], task: TaskKind::Echo };
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Statistical validation: the generated corpus actually exhibits the
+//! calibrated properties the experiments rely on.
+
+use std::collections::HashSet;
+
+use gear_corpus::{Category, Corpus, CorpusConfig};
+use gear_hash::Fingerprint;
+use gear_image::Image;
+
+fn corpus(series: &[&str], versions: usize) -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        seed: 11,
+        scale_denom: 4096,
+        series: Some(series.iter().map(|s| s.to_string()).collect()),
+        max_versions: Some(versions),
+    })
+}
+
+fn file_set(image: &Image) -> HashSet<Fingerprint> {
+    image
+        .layers()
+        .iter()
+        .flat_map(|l| l.archive().iter())
+        .filter_map(|e| match &e.kind {
+            gear_archive::EntryKind::File { content, .. } => Some(Fingerprint::of(content)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Mean fraction of version v's file set carried over from version v−1.
+fn mean_carryover(images: &[Image]) -> f64 {
+    let mut acc = 0.0;
+    let mut n = 0;
+    for pair in images.windows(2) {
+        let prev = file_set(&pair[0]);
+        let next = file_set(&pair[1]);
+        let kept = next.intersection(&prev).count();
+        acc += kept as f64 / next.len() as f64;
+        n += 1;
+    }
+    acc / n as f64
+}
+
+#[test]
+fn stable_categories_carry_more_files_than_volatile_ones() {
+    let c = corpus(&["nginx", "golang", "debian"], 10);
+    let nginx = mean_carryover(&c.series_by_name("nginx").unwrap().images);
+    let golang = mean_carryover(&c.series_by_name("golang").unwrap().images);
+    let debian = mean_carryover(&c.series_by_name("debian").unwrap().images);
+    // Web components (cold churn .22) > languages (.40) > distros (.75).
+    assert!(nginx > golang, "nginx {nginx} vs golang {golang}");
+    assert!(golang > debian, "golang {golang} vs debian {debian}");
+    // Rough magnitudes: carryover ≈ 1 − churn, within generous tolerance
+    // (refresh bursts add variance).
+    assert!((nginx - 0.78).abs() < 0.15, "nginx carryover {nginx}");
+    assert!((debian - 0.25).abs() < 0.20, "debian carryover {debian}");
+}
+
+#[test]
+fn image_sizes_track_catalog_sizes() {
+    let c = corpus(&["busybox", "redis", "kibana"], 1);
+    let size = |name: &str| c.series_by_name(name).unwrap().images[0].content_bytes();
+    assert!(size("busybox") < size("redis"));
+    assert!(size("redis") < size("kibana"));
+    // Scaled magnitude: kibana is ~1.1 GB full scale → ~270 KB at 1/4096.
+    let kibana = size("kibana");
+    assert!((100_000..800_000).contains(&kibana), "kibana scaled size {kibana}");
+}
+
+#[test]
+fn hot_fraction_of_trace_bytes_is_plausible() {
+    // Necessary data should be a minority share of the image (the paper
+    // cites 6.4 %–33 % for remote-image systems; we calibrate ~15–45 %).
+    let c = corpus(&["postgres", "tomcat"], 2);
+    for series in &c.series {
+        for (image, trace) in series.images.iter().zip(&series.traces) {
+            let rootfs = image.root_fs().unwrap();
+            let trace_bytes: u64 = trace
+                .reads
+                .iter()
+                .filter_map(|p| rootfs.get(p).map(gear_fs::Node::size))
+                .sum();
+            let fraction = trace_bytes as f64 / image.content_bytes() as f64;
+            assert!(
+                (0.05..0.60).contains(&fraction),
+                "{}: necessary fraction {fraction}",
+                image.reference()
+            );
+        }
+    }
+}
+
+#[test]
+fn base_layers_shared_and_refreshed_on_schedule() {
+    // Base release bumps every 6 versions for app images: versions 0..5
+    // share a base layer digest, version 6 gets a new one.
+    let c = corpus(&["python"], 8);
+    let images = &c.series_by_name("python").unwrap().images;
+    let base = |i: usize| images[i].layers()[0].diff_id();
+    for v in 1..6 {
+        assert_eq!(base(v), base(0), "version {v} must reuse the base layer");
+    }
+    assert_ne!(base(6), base(0), "version 6 must carry the refreshed base");
+}
+
+#[test]
+fn deterministic_across_generations_but_seed_sensitive() {
+    let a = corpus(&["redis"], 3);
+    let b = corpus(&["redis"], 3);
+    for (x, y) in a.series[0].images.iter().zip(&b.series[0].images) {
+        assert_eq!(file_set(x), file_set(y));
+    }
+    let other = Corpus::generate(&CorpusConfig {
+        seed: 12,
+        scale_denom: 4096,
+        series: Some(vec!["redis".into()]),
+        max_versions: Some(3),
+    });
+    assert_ne!(
+        file_set(&a.series[0].images[0]),
+        file_set(&other.series[0].images[0]),
+        "different seeds must give different content"
+    );
+}
+
+#[test]
+fn category_coverage_in_full_catalog() {
+    // A tiny full-catalog generation (1 version each) covers all categories
+    // and all 50 series without panicking.
+    let c = Corpus::generate(&CorpusConfig {
+        seed: 5,
+        scale_denom: 16384,
+        series: None,
+        max_versions: Some(1),
+    });
+    assert_eq!(c.series.len(), 50);
+    for cat in Category::ALL {
+        assert!(c.series.iter().any(|s| s.spec.category == cat));
+    }
+    assert_eq!(c.image_count(), 50);
+}

@@ -1,0 +1,57 @@
+//! File-system error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`FsTree`](crate::FsTree) and
+/// [`UnionFs`](crate::UnionFs) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// No entry at the given path.
+    NotFound(String),
+    /// A non-directory was found where a directory was required.
+    NotADirectory(String),
+    /// A directory (or symlink) was found where a regular file was required.
+    NotAFile(String),
+    /// Creation target already exists.
+    AlreadyExists(String),
+    /// Symlink resolution exceeded the loop limit.
+    SymlinkLoop(String),
+    /// A path failed validation.
+    InvalidPath(String),
+    /// A fingerprint placeholder could not be materialized (e.g. the Gear
+    /// file is in neither the local cache nor the registry).
+    Materialize {
+        /// Path whose content was being resolved.
+        path: String,
+        /// Description of the failure from the materializer.
+        reason: String,
+    },
+    /// Attempted to remove a non-empty directory.
+    DirectoryNotEmpty(String),
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::NotAFile(p) => write!(f, "not a regular file: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+            FsError::SymlinkLoop(p) => write!(f, "too many levels of symbolic links: {p}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            FsError::Materialize { path, reason } => {
+                write!(f, "cannot materialize {path}: {reason}")
+            }
+            FsError::DirectoryNotEmpty(p) => write!(f, "directory not empty: {p}"),
+        }
+    }
+}
+
+impl Error for FsError {}
+
+impl From<gear_archive::PathError> for FsError {
+    fn from(e: gear_archive::PathError) -> Self {
+        FsError::InvalidPath(e.to_string())
+    }
+}

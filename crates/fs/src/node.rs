@@ -1,0 +1,179 @@
+//! Tree nodes: directories, files (inline, fingerprint, or chunked), symlinks.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use gear_archive::Metadata;
+use gear_hash::Fingerprint;
+
+/// Reference to one fixed-size chunk of a big file (Gear future-work §VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Fingerprint of the chunk's content.
+    pub fingerprint: Fingerprint,
+    /// Chunk length in bytes.
+    pub size: u64,
+}
+
+/// The body of a regular file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileData {
+    /// Content held inline.
+    Inline(Bytes),
+    /// A Gear-index placeholder: the content is identified by its MD5
+    /// fingerprint and must be materialized through a
+    /// [`Materializer`](crate::Materializer) before reading.
+    Fingerprint {
+        /// Content fingerprint.
+        fingerprint: Fingerprint,
+        /// Content length in bytes (recorded in the index so `stat` works
+        /// without fetching).
+        size: u64,
+    },
+    /// A big file split into fingerprinted chunks fetched individually.
+    Chunked {
+        /// Ordered chunk list.
+        chunks: Vec<ChunkRef>,
+        /// Total length in bytes.
+        size: u64,
+    },
+}
+
+impl FileData {
+    /// Logical file size in bytes, available without materialization.
+    pub fn size(&self) -> u64 {
+        match self {
+            FileData::Inline(b) => b.len() as u64,
+            FileData::Fingerprint { size, .. } => *size,
+            FileData::Chunked { size, .. } => *size,
+        }
+    }
+
+    /// Whether the content is immediately readable without a fetch.
+    pub fn is_resolved(&self) -> bool {
+        matches!(self, FileData::Inline(_))
+    }
+}
+
+/// A regular file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileNode {
+    /// POSIX metadata.
+    pub meta: Metadata,
+    /// File body.
+    pub data: FileData,
+}
+
+/// A symbolic link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymlinkNode {
+    /// POSIX metadata.
+    pub meta: Metadata,
+    /// Link target; may be absolute (`/usr/bin/x`) or relative (`../x`).
+    pub target: String,
+}
+
+/// A node in an [`FsTree`](crate::FsTree).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Directory with named children.
+    Dir {
+        /// POSIX metadata.
+        meta: Metadata,
+        /// Children by name (sorted, so traversal is deterministic).
+        children: BTreeMap<String, Node>,
+    },
+    /// Regular file.
+    File(FileNode),
+    /// Symbolic link.
+    Symlink(SymlinkNode),
+}
+
+impl Node {
+    /// Creates an empty directory node.
+    pub fn empty_dir(meta: Metadata) -> Node {
+        Node::Dir { meta, children: BTreeMap::new() }
+    }
+
+    /// Creates an inline file node.
+    pub fn inline_file(meta: Metadata, content: Bytes) -> Node {
+        Node::File(FileNode { meta, data: FileData::Inline(content) })
+    }
+
+    /// Creates a fingerprint-placeholder file node.
+    pub fn fingerprint_file(meta: Metadata, fingerprint: Fingerprint, size: u64) -> Node {
+        Node::File(FileNode { meta, data: FileData::Fingerprint { fingerprint, size } })
+    }
+
+    /// Creates a symlink node.
+    pub fn symlink(meta: Metadata, target: impl Into<String>) -> Node {
+        Node::Symlink(SymlinkNode { meta, target: target.into() })
+    }
+
+    /// The node's metadata.
+    pub fn meta(&self) -> Metadata {
+        match self {
+            Node::Dir { meta, .. } => *meta,
+            Node::File(f) => f.meta,
+            Node::Symlink(s) => s.meta,
+        }
+    }
+
+    /// Whether this node is a directory.
+    pub fn is_dir(&self) -> bool {
+        matches!(self, Node::Dir { .. })
+    }
+
+    /// Whether this node is a regular file.
+    pub fn is_file(&self) -> bool {
+        matches!(self, Node::File(_))
+    }
+
+    /// Whether this node is a symlink.
+    pub fn is_symlink(&self) -> bool {
+        matches!(self, Node::Symlink(_))
+    }
+
+    /// Logical content size: file size for files, 0 otherwise.
+    pub fn size(&self) -> u64 {
+        match self {
+            Node::File(f) => f.data.size(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let f = Node::inline_file(Metadata::file_default(), Bytes::from_static(b"12345"));
+        assert_eq!(f.size(), 5);
+        let fp = Node::fingerprint_file(Metadata::file_default(), Fingerprint::of(b"x"), 42);
+        assert_eq!(fp.size(), 42);
+        assert!(!matches!(&fp, Node::File(n) if n.data.is_resolved()));
+        let d = Node::empty_dir(Metadata::dir_default());
+        assert_eq!(d.size(), 0);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        let d = Node::empty_dir(Metadata::dir_default());
+        assert!(d.is_dir() && !d.is_file() && !d.is_symlink());
+        let s = Node::symlink(Metadata::file_default(), "/bin/sh");
+        assert!(s.is_symlink());
+    }
+
+    #[test]
+    fn chunked_size() {
+        let chunks = vec![
+            ChunkRef { fingerprint: Fingerprint::of(b"a"), size: 10 },
+            ChunkRef { fingerprint: Fingerprint::of(b"b"), size: 5 },
+        ];
+        let data = FileData::Chunked { chunks, size: 15 };
+        assert_eq!(data.size(), 15);
+        assert!(!data.is_resolved());
+    }
+}

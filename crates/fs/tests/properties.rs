@@ -1,0 +1,110 @@
+//! Property-based tests on the VFS and union-mount invariants.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use gear_fs::{FsTree, NoFetch, UnionFs};
+use proptest::prelude::*;
+
+fn any_component() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,6}".prop_filter("reserved", |s| s != "." && s != "..")
+}
+
+fn any_rel_path() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any_component(), 1..4).prop_map(|v| v.join("/"))
+}
+
+/// A random sequence of mutations applied to a union mount.
+#[derive(Debug, Clone)]
+enum Op {
+    Write(String, Vec<u8>),
+    Mkdir(String),
+    Unlink(String),
+}
+
+fn any_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any_rel_path(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(p, c)| Op::Write(p, c)),
+        any_rel_path().prop_map(Op::Mkdir),
+        any_rel_path().prop_map(Op::Unlink),
+    ]
+}
+
+fn any_lower() -> impl Strategy<Value = FsTree> {
+    proptest::collection::vec(
+        (any_rel_path(), proptest::collection::vec(any::<u8>(), 0..16)),
+        0..12,
+    )
+    .prop_map(|files| {
+        let mut t = FsTree::new();
+        for (p, c) in files {
+            let _ = t.create_file(&p, Bytes::from(c));
+        }
+        t
+    })
+}
+
+proptest! {
+    /// `diff()` applied to the lower state reproduces `flatten()` — the
+    /// union mount's commit invariant — for arbitrary operation sequences.
+    #[test]
+    fn commit_invariant(lower in any_lower(), ops in proptest::collection::vec(any_op(), 0..24)) {
+        let lower = Arc::new(lower);
+        let mut mount = UnionFs::new(vec![lower.clone()]);
+        for op in ops {
+            match op {
+                Op::Write(p, c) => { let _ = mount.write(&p, Bytes::from(c)); }
+                Op::Mkdir(p) => { let _ = mount.mkdir_p(&p); }
+                Op::Unlink(p) => { let _ = mount.unlink(&p); }
+            }
+        }
+        let mut replay = (*lower).clone();
+        replay.apply_layer(&mount.diff()).unwrap();
+        prop_assert_eq!(replay, mount.flatten());
+    }
+
+    /// After a successful write, reading the same path returns the bytes.
+    #[test]
+    fn read_your_writes(lower in any_lower(), path in any_rel_path(), content in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut mount = UnionFs::new(vec![Arc::new(lower)]);
+        if mount.write(&path, Bytes::from(content.clone())).is_ok() {
+            prop_assert_eq!(&mount.read(&path, &NoFetch).unwrap()[..], &content[..]);
+        }
+    }
+
+    /// After unlink, the path is gone; unlink of visible paths never errors.
+    #[test]
+    fn unlink_removes(lower in any_lower(), path in any_rel_path()) {
+        let mut mount = UnionFs::new(vec![Arc::new(lower)]);
+        if mount.contains(&path) {
+            mount.unlink(&path).unwrap();
+            prop_assert!(!mount.contains(&path));
+        } else {
+            prop_assert!(mount.unlink(&path).is_err());
+        }
+    }
+
+    /// Tree stats agree with a walk-based recount after arbitrary inserts.
+    #[test]
+    fn stats_agree_with_walk(files in proptest::collection::vec((any_rel_path(), proptest::collection::vec(any::<u8>(), 0..16)), 0..16)) {
+        let mut t = FsTree::new();
+        for (p, c) in &files {
+            let _ = t.create_file(p, Bytes::from(c.clone()));
+        }
+        let s = t.stats();
+        let files_n = t.walk().filter(|(_, n)| n.is_file()).count() as u64;
+        let bytes_n: u64 = t.walk().map(|(_, n)| n.size()).sum();
+        prop_assert_eq!(s.files, files_n);
+        prop_assert_eq!(s.bytes, bytes_n);
+    }
+
+    /// to_layer/apply_layer roundtrips arbitrary trees.
+    #[test]
+    fn layer_roundtrip(lower in any_lower()) {
+        let layer = lower.to_layer();
+        let mut rebuilt = FsTree::new();
+        rebuilt.apply_layer(&layer).unwrap();
+        prop_assert_eq!(rebuilt, lower);
+    }
+}

@@ -1,0 +1,206 @@
+//! Strongly typed content identifiers.
+//!
+//! [`Fingerprint`] (MD5, 128-bit) names Gear files; [`Digest`] (SHA-256,
+//! 256-bit) names Docker layers, manifests, and Gear-index images. Keeping
+//! them as distinct newtypes prevents a layer digest from ever being used to
+//! look up a Gear file or vice versa.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::{hex, md5, sha256};
+
+macro_rules! content_id {
+    ($(#[$doc:meta])* $name:ident, $len:expr, $hash:path, $err:ident, $errmsg:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name([u8; $len]);
+
+        impl $name {
+            /// Number of raw bytes in this identifier.
+            pub const LEN: usize = $len;
+
+            /// Computes the identifier of `data`.
+            pub fn of(data: &[u8]) -> Self {
+                $name($hash(data))
+            }
+
+            /// Wraps pre-computed raw hash bytes.
+            pub fn from_bytes(bytes: [u8; $len]) -> Self {
+                $name(bytes)
+            }
+
+            /// Raw hash bytes.
+            pub fn as_bytes(&self) -> &[u8; $len] {
+                &self.0
+            }
+
+            /// Lowercase hex representation.
+            pub fn to_hex(&self) -> String {
+                hex::encode(&self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.to_hex())
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.to_hex())
+            }
+        }
+
+        #[doc = concat!("Error parsing a [`", stringify!($name), "`] from a hex string.")]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct $err;
+
+        impl fmt::Display for $err {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str($errmsg)
+            }
+        }
+
+        impl Error for $err {}
+
+        impl FromStr for $name {
+            type Err = $err;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let bytes = hex::decode(s).map_err(|_| $err)?;
+                let arr: [u8; $len] = bytes.try_into().map_err(|_| $err)?;
+                Ok($name(arr))
+            }
+        }
+
+        impl Serialize for $name {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_str(&self.to_hex())
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $name {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let s = String::deserialize(d)?;
+                s.parse().map_err(|_| D::Error::custom($errmsg))
+            }
+        }
+    };
+}
+
+content_id!(
+    /// A 128-bit MD5 content fingerprint identifying a Gear file.
+    ///
+    /// Identical file contents always produce identical fingerprints, which is
+    /// what enables file-level deduplication in the registry and file-level
+    /// sharing in the client cache (Gear paper §III-B).
+    ///
+    /// ```
+    /// use gear_hash::Fingerprint;
+    /// let a = Fingerprint::of(b"same bytes");
+    /// let b = Fingerprint::of(b"same bytes");
+    /// assert_eq!(a, b);
+    /// let parsed: Fingerprint = a.to_string().parse()?;
+    /// assert_eq!(parsed, a);
+    /// # Ok::<(), gear_hash::ParseFingerprintError>(())
+    /// ```
+    Fingerprint,
+    16,
+    md5,
+    ParseFingerprintError,
+    "expected 32 hex characters (MD5 fingerprint)"
+);
+
+content_id!(
+    /// A 256-bit SHA-256 digest identifying a Docker layer, manifest, or image.
+    ///
+    /// ```
+    /// use gear_hash::Digest;
+    /// let d = Digest::of(b"layer tarball");
+    /// assert_eq!(d.to_string().len(), 64);
+    /// ```
+    Digest,
+    32,
+    sha256,
+    ParseDigestError,
+    "expected 64 hex characters (SHA-256 digest)"
+);
+
+impl Fingerprint {
+    /// Upper bound on the probability that one or more collisions occur among
+    /// `n` distinct files, by the birthday bound `n(n-1)/2 * 2^-128`
+    /// (Gear paper Eq. 1).
+    ///
+    /// ```
+    /// // ~5e10 deduplicated files in all of Docker Hub => ~5e-18.
+    /// let p = gear_hash::Fingerprint::collision_probability_bound(5e10 as u64);
+    /// assert!(p < 1e-17);
+    /// ```
+    pub fn collision_probability_bound(n: u64) -> f64 {
+        let n = n as f64;
+        (n * (n - 1.0) / 2.0) * (2.0_f64).powi(-128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_matches_known_md5() {
+        // MD5("abc")
+        assert_eq!(
+            Fingerprint::of(b"abc").to_string(),
+            "900150983cd24fb0d6963f7d28e17f72"
+        );
+    }
+
+    #[test]
+    fn digest_matches_known_sha256() {
+        assert_eq!(
+            Digest::of(b"abc").to_string(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("zz".parse::<Fingerprint>().is_err());
+        assert!("abcd".parse::<Fingerprint>().is_err()); // too short
+        assert!(Fingerprint::of(b"x").to_string().parse::<Digest>().is_err()); // wrong width
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fp = Fingerprint::of(b"serde");
+        let json = serde_json_like(&fp.to_hex());
+        // Serialize manually through serde's data model using serde_json is
+        // exercised in gear-image; here we check Display/FromStr symmetry.
+        let back: Fingerprint = fp.to_string().parse().unwrap();
+        assert_eq!(back, fp);
+        assert_eq!(json, format!("\"{fp}\""));
+    }
+
+    fn serde_json_like(hex: &str) -> String {
+        format!("\"{hex}\"")
+    }
+
+    #[test]
+    fn collision_bound_is_tiny_at_hub_scale() {
+        let p = Fingerprint::collision_probability_bound(50_000_000_000);
+        assert!(p > 0.0 && p < 1e-17);
+    }
+
+    #[test]
+    fn ordering_is_bytewise() {
+        let a = Fingerprint::from_bytes([0u8; 16]);
+        let b = Fingerprint::from_bytes([1u8; 16]);
+        assert!(a < b);
+    }
+}

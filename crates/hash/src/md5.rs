@@ -1,0 +1,211 @@
+//! MD5 message digest, implemented from RFC 1321.
+//!
+//! MD5 is cryptographically broken for adversarial collision resistance, but
+//! the Gear paper (§III-B) argues its accidental-collision probability
+//! (bounded by the birthday paradox) is far below disk-error rates for
+//! registry-scale corpora, and uses it as the Gear-file fingerprint. The
+//! collision-detection fallback lives in `gear-core`.
+
+/// Per-round left-rotate amounts (RFC 1321 §3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// K[i] = floor(2^32 * abs(sin(i + 1))) (RFC 1321 §3.4).
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+const INIT_STATE: [u32; 4] = [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476];
+
+/// Streaming MD5 hasher.
+///
+/// ```
+/// use gear_hash::Md5;
+/// let mut h = Md5::new();
+/// h.update(b"abc");
+/// assert_eq!(gear_hash::hex_encode(&h.finalize()), "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes processed so far (including buffered).
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a hasher in the RFC 1321 initial state.
+    pub fn new() -> Self {
+        Md5 { state: INIT_STATE, len: 0, buf: [0u8; 64], buf_len: 0 }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Pads, finishes, and returns the 16-byte digest, consuming the hasher.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then 64-bit little-endian bit length.
+        self.update_pad(&[0x80]);
+        while self.buf_len != 56 {
+            self.update_pad(&[0]);
+        }
+        self.update_pad(&bit_len.to_le_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// `update` without advancing the message length (used only for padding).
+    fn update_pad(&mut self, data: &[u8]) {
+        let len = self.len;
+        self.update(data);
+        self.len = len;
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let rotated = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g])
+                .rotate_left(S[i]);
+            b = b.wrapping_add(rotated);
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex_encode;
+
+    fn md5_hex(data: &[u8]) -> String {
+        let mut h = Md5::new();
+        h.update(data);
+        hex_encode(&h.finalize())
+    }
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        assert_eq!(md5_hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(md5_hex(b"a"), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(md5_hex(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(md5_hex(b"message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            md5_hex(b"abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            md5_hex(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            md5_hex(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    /// Streaming in arbitrary chunk sizes must equal one-shot hashing.
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|i| i.to_le_bytes()).collect();
+        let oneshot = md5_hex(&data);
+        for chunk in [1usize, 3, 7, 63, 64, 65, 128, 1000] {
+            let mut h = Md5::new();
+            for piece in data.chunks(chunk) {
+                h.update(piece);
+            }
+            assert_eq!(hex_encode(&h.finalize()), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    /// Messages whose padded length straddles the block boundary.
+    #[test]
+    fn boundary_lengths() {
+        // Known values computed with the reference implementation.
+        let m55 = vec![b'x'; 55];
+        let m56 = vec![b'x'; 56];
+        let m64 = vec![b'x'; 64];
+        assert_ne!(md5_hex(&m55), md5_hex(&m56));
+        assert_ne!(md5_hex(&m56), md5_hex(&m64));
+        // Self-consistency across the boundary.
+        for n in 50..70 {
+            let m = vec![0u8; n];
+            let mut h = Md5::new();
+            h.update(&m[..n / 2]);
+            h.update(&m[n / 2..]);
+            let mut h2 = Md5::new();
+            h2.update(&m);
+            assert_eq!(h.finalize(), h2.finalize());
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the hash substrate.
+
+use gear_hash::{hex_decode, hex_encode, Digest, Fingerprint, Md5, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Hex encode/decode is a bijection on byte vectors.
+    #[test]
+    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let enc = hex_encode(&data);
+        prop_assert_eq!(hex_decode(&enc).unwrap(), data);
+    }
+
+    /// Splitting the input at any point must not change the MD5 digest.
+    #[test]
+    fn md5_split_invariance(data in proptest::collection::vec(any::<u8>(), 0..2048), split in any::<prop::sample::Index>()) {
+        let at = split.index(data.len() + 1);
+        let mut a = Md5::new();
+        a.update(&data);
+        let mut b = Md5::new();
+        b.update(&data[..at]);
+        b.update(&data[at..]);
+        prop_assert_eq!(a.finalize(), b.finalize());
+    }
+
+    /// Splitting the input at any point must not change the SHA-256 digest.
+    #[test]
+    fn sha256_split_invariance(data in proptest::collection::vec(any::<u8>(), 0..2048), split in any::<prop::sample::Index>()) {
+        let at = split.index(data.len() + 1);
+        let mut a = Sha256::new();
+        a.update(&data);
+        let mut b = Sha256::new();
+        b.update(&data[..at]);
+        b.update(&data[at..]);
+        prop_assert_eq!(a.finalize(), b.finalize());
+    }
+
+    /// Fingerprints are deterministic and parse back from their display form.
+    #[test]
+    fn fingerprint_display_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let fp = Fingerprint::of(&data);
+        prop_assert_eq!(fp, Fingerprint::of(&data));
+        let parsed: Fingerprint = fp.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, fp);
+    }
+
+    /// Digests parse back from their display form.
+    #[test]
+    fn digest_display_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let d = Digest::of(&data);
+        let parsed: Digest = d.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, d);
+    }
+
+    /// One-byte perturbations change the fingerprint (no trivial collisions).
+    #[test]
+    fn fingerprint_sensitive_to_flips(mut data in proptest::collection::vec(any::<u8>(), 1..256), idx in any::<prop::sample::Index>()) {
+        let original = Fingerprint::of(&data);
+        let i = idx.index(data.len());
+        data[i] ^= 0x01;
+        prop_assert_ne!(Fingerprint::of(&data), original);
+    }
+}

@@ -1,0 +1,51 @@
+//! Docker-compatible layered image model.
+//!
+//! This crate models the pieces of the Docker image ecosystem that the Gear
+//! framework builds on (paper §II):
+//!
+//! * [`Layer`] — an image layer: a [`gear_archive::Archive`] diff identified
+//!   by the SHA-256 *diff id* of its serialized form, plus its compressed
+//!   distribution blob.
+//! * [`Manifest`] / [`ImageConfig`] — the JSON documents a registry serves:
+//!   the manifest lists layer digests; the config carries the runtime
+//!   environment (env vars, entrypoint) that Gear copies into its index
+//!   image when converting.
+//! * [`Image`] and [`ImageBuilder`] — a named, tagged stack of layers with
+//!   root-file-system reconstruction.
+//! * [`Overlay2Store`] — the client-side graph-driver layout: layers stored
+//!   once, shared between images, union-mounted to launch containers.
+//!
+//! # Examples
+//!
+//! ```
+//! use gear_image::{ImageBuilder, ImageRef};
+//! use gear_fs::FsTree;
+//! use bytes::Bytes;
+//!
+//! let mut base = FsTree::new();
+//! base.create_file("bin/sh", Bytes::from_static(b"#!ELF"))?;
+//!
+//! let image = ImageBuilder::new("debian:buster-slim".parse::<ImageRef>()?)
+//!     .layer_from_tree(&base)
+//!     .env("PATH=/usr/bin:/bin")
+//!     .build();
+//! assert_eq!(image.layers().len(), 1);
+//! let rootfs = image.root_fs()?;
+//! assert!(rootfs.contains("bin/sh"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod image;
+mod layer;
+mod manifest;
+mod overlay2;
+mod reference;
+
+pub use image::{Image, ImageBuilder};
+pub use layer::{CompressedLayer, Layer};
+pub use manifest::{Descriptor, ImageConfig, Manifest, MEDIA_TYPE_CONFIG, MEDIA_TYPE_LAYER};
+pub use overlay2::{Overlay2Store, StoreStats};
+pub use reference::{ImageRef, ParseImageRefError};

@@ -1,0 +1,104 @@
+//! Image references (`repository:tag`).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A `repository:tag` image name, e.g. `nginx:1.17`.
+///
+/// ```
+/// use gear_image::ImageRef;
+/// let r: ImageRef = "tomcat:9.0.41".parse()?;
+/// assert_eq!(r.repository(), "tomcat");
+/// assert_eq!(r.tag(), "9.0.41");
+/// assert_eq!(r.to_string(), "tomcat:9.0.41");
+/// # Ok::<(), gear_image::ParseImageRefError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ImageRef {
+    repository: String,
+    tag: String,
+}
+
+/// Error parsing an [`ImageRef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseImageRefError {
+    input: String,
+}
+
+impl fmt::Display for ParseImageRefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid image reference {:?} (expected repository:tag)", self.input)
+    }
+}
+
+impl Error for ParseImageRefError {}
+
+impl ImageRef {
+    /// Builds a reference from parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseImageRefError`] if either part is empty or contains
+    /// `:`, whitespace, or `/` in the tag.
+    pub fn new(repository: &str, tag: &str) -> Result<Self, ParseImageRefError> {
+        let ok_repo = !repository.is_empty()
+            && repository.chars().all(|c| c.is_ascii_alphanumeric() || "-_./".contains(c));
+        let ok_tag =
+            !tag.is_empty() && tag.chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c));
+        if !ok_repo || !ok_tag {
+            return Err(ParseImageRefError { input: format!("{repository}:{tag}") });
+        }
+        Ok(ImageRef { repository: repository.to_owned(), tag: tag.to_owned() })
+    }
+
+    /// The repository (series) name, e.g. `tomcat`.
+    pub fn repository(&self) -> &str {
+        &self.repository
+    }
+
+    /// The version tag, e.g. `9.0.41`.
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+}
+
+impl fmt::Display for ImageRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.repository, self.tag)
+    }
+}
+
+impl FromStr for ImageRef {
+    type Err = ParseImageRefError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (repo, tag) = s
+            .rsplit_once(':')
+            .ok_or_else(|| ParseImageRefError { input: s.to_owned() })?;
+        ImageRef::new(repo, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let r: ImageRef = "library/nginx:1.17".parse().unwrap();
+        assert_eq!(r.repository(), "library/nginx");
+        assert_eq!(r.tag(), "1.17");
+        assert_eq!(r.to_string().parse::<ImageRef>().unwrap(), r);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("noTag".parse::<ImageRef>().is_err());
+        assert!(":empty".parse::<ImageRef>().is_err());
+        assert!("repo:".parse::<ImageRef>().is_err());
+        assert!("repo:ta g".parse::<ImageRef>().is_err());
+    }
+}

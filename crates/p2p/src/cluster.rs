@@ -1,0 +1,489 @@
+//! The cluster: per-node caches + indexes, peer-first fetch policy.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use gear_client::{ClientConfig, SharedCache};
+use gear_core::{GearImage, GearIndex};
+use gear_corpus::StartupTrace;
+use gear_fs::{FsError, FsTree, UnionFs};
+use gear_hash::Fingerprint;
+use gear_image::ImageRef;
+use gear_registry::{DockerRegistry, GearFileStore};
+use gear_simnet::Link;
+
+use crate::directory::PeerDirectory;
+
+/// Identifies a node within a [`Cluster`].
+pub type NodeId = usize;
+
+/// Errors from cluster deployments.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Node id out of range.
+    NoSuchNode(NodeId),
+    /// The index image is missing or malformed in the registry.
+    ImageNotFound(ImageRef),
+    /// A trace path could not be served.
+    Fs(FsError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::NoSuchNode(n) => write!(f, "no such node: {n}"),
+            ClusterError::ImageNotFound(r) => write!(f, "image {r} not found"),
+            ClusterError::Fs(e) => write!(f, "file system error: {e}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+impl From<FsError> for ClusterError {
+    fn from(e: FsError) -> Self {
+        ClusterError::Fs(e)
+    }
+}
+
+/// Cluster topology and cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Node↔node link (typically a fast LAN).
+    pub peer_link: Link,
+    /// Node↔registry link (typically a slower WAN uplink shared by all).
+    pub registry_link: Link,
+    /// Per-node client cost model (disk, local costs, byte scaling).
+    pub client: ClientConfig,
+}
+
+impl ClusterConfig {
+    /// A LAN cluster: 10 Gbps between nodes, the paper's 904 Mbps testbed
+    /// uplink to the registry.
+    pub fn lan(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            peer_link: Link::mbps(10_000.0).with_rtt(Duration::from_micros(80)),
+            registry_link: Link::paper_testbed(),
+            client: ClientConfig::default(),
+        }
+    }
+
+    /// An edge cluster: 1 Gbps local mesh, a thin 20 Mbps uplink — the
+    /// regime where cooperative caching matters most.
+    pub fn edge(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            peer_link: Link::mbps(1_000.0),
+            registry_link: Link::mbps(20.0),
+            client: ClientConfig::default(),
+        }
+    }
+
+    /// Replaces the per-node client config (e.g. to set the byte scale).
+    pub fn with_client(mut self, client: ClientConfig) -> Self {
+        self.client = client;
+        self
+    }
+}
+
+/// Outcome of deploying on one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeDeployment {
+    /// The node that deployed.
+    pub node: NodeId,
+    /// Simulated pull + run time.
+    pub total: Duration,
+    /// Files served from the node's own cache.
+    pub local_files: u64,
+    /// Files fetched from peers.
+    pub peer_files: u64,
+    /// Files fetched from the remote registry.
+    pub registry_files: u64,
+    /// Bytes fetched from peers (paper scale).
+    pub peer_bytes: u64,
+    /// Bytes fetched from the registry (paper scale).
+    pub registry_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Node {
+    cache: SharedCache,
+    indexes: HashMap<ImageRef, (Arc<GearIndex>, Arc<FsTree>)>,
+}
+
+/// A cluster of Gear clients with a shared peer directory.
+///
+/// Fetch policy per fingerprint: own cache → any peer holding it (LAN) →
+/// the Gear registry (uplink). Every fetched file is announced to the
+/// directory, so each unique file crosses the uplink at most once for the
+/// whole cluster.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    nodes: Vec<Node>,
+    directory: PeerDirectory,
+    registry_egress: u64,
+    peer_traffic: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `config.nodes` empty nodes.
+    pub fn new(config: ClusterConfig) -> Self {
+        let nodes = (0..config.nodes)
+            .map(|_| Node {
+                cache: SharedCache::with_policy(
+                    config.client.cache_policy,
+                    config.client.cache_capacity,
+                ),
+                indexes: HashMap::new(),
+            })
+            .collect();
+        Cluster {
+            config,
+            nodes,
+            directory: PeerDirectory::new(),
+            registry_egress: 0,
+            peer_traffic: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total bytes the registry served to this cluster (paper scale) — the
+    /// number P2P distribution exists to minimize.
+    pub fn registry_egress(&self) -> u64 {
+        self.registry_egress
+    }
+
+    /// Total node-to-node bytes (paper scale).
+    pub fn peer_traffic(&self) -> u64 {
+        self.peer_traffic
+    }
+
+    /// The cluster-wide file directory.
+    pub fn directory(&self) -> &PeerDirectory {
+        &self.directory
+    }
+
+    /// Deploys `reference` on `node`, replaying `trace` with the
+    /// peer-first fetch policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchNode`], [`ClusterError::ImageNotFound`], or
+    /// [`ClusterError::Fs`] if a trace path cannot be served (e.g. the file
+    /// is in neither any cache nor the registry).
+    pub fn deploy_on(
+        &mut self,
+        node: NodeId,
+        reference: &ImageRef,
+        trace: &StartupTrace,
+        index_registry: &DockerRegistry,
+        file_store: &GearFileStore,
+    ) -> Result<NodeDeployment, ClusterError> {
+        if node >= self.nodes.len() {
+            return Err(ClusterError::NoSuchNode(node));
+        }
+        let client = self.config.client;
+        let mut total = Duration::ZERO;
+
+        // --- pull: install the index if missing -----------------------------
+        if !self.nodes[node].indexes.contains_key(reference) {
+            let image = index_registry
+                .image(reference)
+                .ok_or_else(|| ClusterError::ImageNotFound(reference.clone()))?;
+            let gear = GearImage::from_index_image(&image)
+                .map_err(|_| ClusterError::ImageNotFound(reference.clone()))?;
+            let index = gear.into_index();
+            let index_bytes = index.serialized_len();
+            total += self.registry_link_time(index_bytes);
+            self.registry_egress += index_bytes;
+            for (fp, _) in index.referenced_files() {
+                self.nodes[node].cache.pin(fp);
+            }
+            let tree = Arc::new(index.to_tree());
+            self.nodes[node].indexes.insert(reference.clone(), (Arc::new(index), tree));
+        }
+
+        // --- run: replay the trace ------------------------------------------
+        let tree = Arc::clone(&self.nodes[node].indexes[reference].1);
+        let mut mount = UnionFs::new(vec![tree]);
+        total += client.costs.container_start + client.costs.mount_setup;
+
+        let mut report = NodeDeployment {
+            node,
+            total: Duration::ZERO,
+            local_files: 0,
+            peer_files: 0,
+            registry_files: 0,
+            peer_bytes: 0,
+            registry_bytes: 0,
+        };
+        let index = Arc::clone(&self.nodes[node].indexes[reference].0);
+        for path in &trace.reads {
+            // Resolve the fingerprint through the index, then fetch through
+            // the cluster policy; the mount serves metadata/symlinks.
+            let Some((fp, size)) = index.file_at(path) else {
+                // Not a regular file: let the mount handle (symlink/dir) or
+                // surface NotFound.
+                mount.metadata(path)?;
+                continue;
+            };
+            let (content, charge) = self.fetch(node, fp, size, file_store, &mut report)?;
+            total += charge;
+            total += client.local_read(client.scaled(content.len() as u64));
+        }
+        total += trace.task.compute_time();
+        report.total = total;
+        Ok(report)
+    }
+
+    /// Empties one node's cache (e.g. node failure / re-image), withdrawing
+    /// its directory entries.
+    pub fn reset_node(&mut self, node: NodeId) {
+        if node >= self.nodes.len() {
+            return;
+        }
+        // Withdraw everything this node announced.
+        let fingerprints: Vec<Fingerprint> = self.nodes[node]
+            .indexes
+            .values()
+            .flat_map(|(index, _)| index.referenced_files())
+            .map(|(fp, _)| fp)
+            .collect();
+        for fp in fingerprints {
+            self.directory.withdraw(fp, node);
+        }
+        self.nodes[node].cache.clear();
+        self.nodes[node].indexes.clear();
+    }
+
+    // --- internals ----------------------------------------------------------
+
+    fn registry_link_time(&self, bytes: u64) -> Duration {
+        let link = self.config.registry_link;
+        (link.rtt + link.request_overhead)
+            .mul_f64(self.config.client.request_amplification.max(0.0))
+            + link.bandwidth.transfer_time(bytes)
+    }
+
+    fn peer_link_time(&self, bytes: u64) -> Duration {
+        let link = self.config.peer_link;
+        (link.rtt + link.request_overhead)
+            .mul_f64(self.config.client.request_amplification.max(0.0))
+            + link.bandwidth.transfer_time(bytes)
+    }
+
+    fn fetch(
+        &mut self,
+        node: NodeId,
+        fingerprint: Fingerprint,
+        size: u64,
+        store: &GearFileStore,
+        report: &mut NodeDeployment,
+    ) -> Result<(Bytes, Duration), ClusterError> {
+        let client = self.config.client;
+        // 1. Own cache.
+        if let Some(content) = self.nodes[node].cache.get(fingerprint) {
+            report.local_files += 1;
+            return Ok((content, client.costs.hard_link));
+        }
+        // 2. A peer.
+        if let Some(peer) = self.directory.locate(fingerprint, node) {
+            if let Some(content) = self.nodes[peer].cache.get(fingerprint) {
+                let scaled = client.scaled(content.len() as u64);
+                let charge = self.peer_link_time(scaled)
+                    + client.disk.io_time(scaled, 1);
+                self.peer_traffic += scaled;
+                report.peer_files += 1;
+                report.peer_bytes += scaled;
+                self.admit(node, fingerprint, content.clone());
+                return Ok((content, charge));
+            }
+            // Stale directory entry (peer evicted): fall through.
+            self.directory.withdraw(fingerprint, peer);
+        }
+        // 3. The registry.
+        let content = store.download(fingerprint).ok_or_else(|| {
+            ClusterError::Fs(FsError::Materialize {
+                path: fingerprint.to_string(),
+                reason: "not in any cache or the registry".to_owned(),
+            })
+        })?;
+        let transfer = client.scaled(store.transfer_size(fingerprint).unwrap_or(size));
+        let charge = self.registry_link_time(transfer)
+            + client.decompress(transfer)
+            + client.disk.io_time(client.scaled(content.len() as u64), 1);
+        self.registry_egress += transfer;
+        report.registry_files += 1;
+        report.registry_bytes += transfer;
+        self.admit(node, fingerprint, content.clone());
+        Ok((content, charge))
+    }
+
+    fn admit(&mut self, node: NodeId, fingerprint: Fingerprint, content: Bytes) {
+        if self.nodes[node].cache.insert(fingerprint, content) {
+            self.directory.announce(fingerprint, node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gear_core::{publish, Converter};
+    use gear_corpus::TaskKind;
+    use gear_image::ImageBuilder;
+
+    fn published(files: &[(&str, &[u8])]) -> (DockerRegistry, GearFileStore, ImageRef) {
+        let mut tree = FsTree::new();
+        for (p, c) in files {
+            tree.create_file(p, Bytes::copy_from_slice(c)).unwrap();
+        }
+        let r: ImageRef = "app:1".parse().unwrap();
+        let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+        let conv = Converter::new().convert(&image).unwrap();
+        let mut reg = DockerRegistry::new();
+        let mut store = GearFileStore::new();
+        publish(&conv, &mut reg, &mut store);
+        (reg, store, r)
+    }
+
+    fn trace(paths: &[&str]) -> StartupTrace {
+        StartupTrace {
+            reads: paths.iter().map(|s| s.to_string()).collect(),
+            task: TaskKind::Echo,
+        }
+    }
+
+    #[test]
+    fn second_node_fetches_from_first() {
+        let (reg, store, r) = published(&[("lib/shared.so", &[7u8; 50_000])]);
+        let mut cluster = Cluster::new(ClusterConfig::lan(3));
+        let first = cluster.deploy_on(0, &r, &trace(&["lib/shared.so"]), &reg, &store).unwrap();
+        assert_eq!(first.registry_files, 1);
+        assert_eq!(first.peer_files, 0);
+
+        let second = cluster.deploy_on(1, &r, &trace(&["lib/shared.so"]), &reg, &store).unwrap();
+        assert_eq!(second.registry_files, 0, "the file must come from node 0");
+        assert_eq!(second.peer_files, 1);
+        // Registry egress counted the file once plus two index pulls.
+        assert!(cluster.peer_traffic() > 0);
+    }
+
+    #[test]
+    fn unique_files_cross_uplink_once_cluster_wide() {
+        let (reg, store, r) =
+            published(&[("a", &[1u8; 10_000]), ("b", &[2u8; 10_000]), ("c", &[3u8; 10_000])]);
+        let mut cluster = Cluster::new(ClusterConfig::lan(8));
+        let t = trace(&["a", "b", "c"]);
+        let mut registry_files = 0;
+        for node in 0..8 {
+            let report = cluster.deploy_on(node, &r, &t, &reg, &store).unwrap();
+            registry_files += report.registry_files;
+        }
+        assert_eq!(registry_files, 3, "each unique file leaves the registry exactly once");
+    }
+
+    #[test]
+    fn peer_fetch_is_faster_on_edge_uplink() {
+        let (reg, store, r) = published(&[("blob", &[9u8; 200_000])]);
+        let mut cluster = Cluster::new(ClusterConfig::edge(2));
+        let t = trace(&["blob"]);
+        let cold = cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();
+        let warm = cluster.deploy_on(1, &r, &t, &reg, &store).unwrap();
+        assert!(
+            warm.total < cold.total,
+            "peer fetch over the LAN must beat the thin uplink: {:?} vs {:?}",
+            warm.total,
+            cold.total
+        );
+    }
+
+    #[test]
+    fn reset_node_withdraws_directory_entries() {
+        let (reg, store, r) = published(&[("f", &[5u8; 5_000])]);
+        let mut cluster = Cluster::new(ClusterConfig::lan(2));
+        let t = trace(&["f"]);
+        cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();
+        cluster.reset_node(0);
+        // Node 1 cannot find a peer; must go to the registry.
+        let report = cluster.deploy_on(1, &r, &t, &reg, &store).unwrap();
+        assert_eq!(report.registry_files, 1);
+        assert_eq!(report.peer_files, 0);
+    }
+
+    #[test]
+    fn stale_directory_entry_falls_back_to_registry() {
+        let (reg, store, r) = published(&[("f", &[5u8; 5_000])]);
+        let mut cluster = Cluster::new(ClusterConfig::lan(2));
+        let t = trace(&["f"]);
+        cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();
+        // Evict behind the directory's back (simulates cache pressure).
+        cluster.nodes[0].cache.clear();
+        let report = cluster.deploy_on(1, &r, &t, &reg, &store).unwrap();
+        assert_eq!(report.registry_files, 1, "stale peer entry must not fail the fetch");
+    }
+
+    #[test]
+    fn cross_image_sharing_through_peers() {
+        // Two images share a library; node 0 deploys image A, node 1 then
+        // deploys image B and gets the shared file from node 0 — file-level
+        // sharing composes across images *and* across nodes.
+        let shared = vec![0xABu8; 20_000];
+        let mut tree_a = FsTree::new();
+        tree_a.create_file("lib/shared.so", Bytes::from(shared.clone())).unwrap();
+        tree_a.create_file("bin/a", Bytes::from_static(b"A")).unwrap();
+        let mut tree_b = FsTree::new();
+        tree_b.create_file("lib/shared.so", Bytes::from(shared)).unwrap();
+        tree_b.create_file("bin/b", Bytes::from_static(b"B")).unwrap();
+
+        let ra: ImageRef = "svc-a:1".parse().unwrap();
+        let rb: ImageRef = "svc-b:1".parse().unwrap();
+        let image_a = gear_image::ImageBuilder::new(ra.clone()).layer_from_tree(&tree_a).build();
+        let image_b = gear_image::ImageBuilder::new(rb.clone()).layer_from_tree(&tree_b).build();
+        let mut reg = DockerRegistry::new();
+        let mut store = GearFileStore::new();
+        let converter = Converter::new();
+        publish(&converter.convert(&image_a).unwrap(), &mut reg, &mut store);
+        publish(&converter.convert(&image_b).unwrap(), &mut reg, &mut store);
+
+        let mut cluster = Cluster::new(ClusterConfig::lan(2));
+        let ta = trace(&["lib/shared.so", "bin/a"]);
+        let tb = trace(&["lib/shared.so", "bin/b"]);
+        cluster.deploy_on(0, &ra, &ta, &reg, &store).unwrap();
+        let report = cluster.deploy_on(1, &rb, &tb, &reg, &store).unwrap();
+        assert_eq!(report.peer_files, 1, "the shared library comes from node 0");
+        assert_eq!(report.registry_files, 1, "only bin/b comes from the registry");
+    }
+
+    #[test]
+    fn bad_node_and_bad_image() {
+        let (reg, store, r) = published(&[("f", b"x")]);
+        let mut cluster = Cluster::new(ClusterConfig::lan(1));
+        assert!(matches!(
+            cluster.deploy_on(9, &r, &trace(&[]), &reg, &store),
+            Err(ClusterError::NoSuchNode(9))
+        ));
+        let ghost: ImageRef = "ghost:1".parse().unwrap();
+        assert!(matches!(
+            cluster.deploy_on(0, &ghost, &trace(&[]), &reg, &store),
+            Err(ClusterError::ImageNotFound(_))
+        ));
+    }
+}

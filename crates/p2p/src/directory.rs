@@ -1,0 +1,115 @@
+//! The cluster's fingerprint → holders directory.
+//!
+//! Models the tracker/supernode of a P2P image-distribution system: a map
+//! from content fingerprint to the set of nodes currently holding it. The
+//! directory stores only metadata; content always flows node-to-node.
+
+use std::collections::{HashMap, HashSet};
+
+use gear_hash::Fingerprint;
+
+/// A node identifier within one cluster.
+pub(crate) type RawNode = usize;
+
+/// Tracks which nodes hold which Gear files.
+#[derive(Debug, Default)]
+pub struct PeerDirectory {
+    holders: HashMap<Fingerprint, HashSet<RawNode>>,
+    /// Round-robin cursor so peer load spreads across holders.
+    cursor: usize,
+}
+
+impl PeerDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `node` now holds `fingerprint`.
+    pub(crate) fn announce(&mut self, fingerprint: Fingerprint, node: RawNode) {
+        self.holders.entry(fingerprint).or_default().insert(node);
+    }
+
+    /// Removes `node` as a holder of `fingerprint` (cache eviction).
+    pub(crate) fn withdraw(&mut self, fingerprint: Fingerprint, node: RawNode) {
+        if let Some(set) = self.holders.get_mut(&fingerprint) {
+            set.remove(&node);
+            if set.is_empty() {
+                self.holders.remove(&fingerprint);
+            }
+        }
+    }
+
+    /// Picks a holder of `fingerprint` other than `asker`, rotating among
+    /// candidates so repeated lookups spread load.
+    pub(crate) fn locate(&mut self, fingerprint: Fingerprint, asker: RawNode) -> Option<RawNode> {
+        let set = self.holders.get(&fingerprint)?;
+        let mut candidates: Vec<RawNode> =
+            set.iter().copied().filter(|n| *n != asker).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_unstable();
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(candidates[self.cursor % candidates.len()])
+    }
+
+    /// Number of distinct fingerprints known to the cluster.
+    pub fn distinct_files(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Total replica count across nodes.
+    pub fn replicas(&self) -> usize {
+        self.holders.values().map(HashSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u8) -> Fingerprint {
+        Fingerprint::of(&[n])
+    }
+
+    #[test]
+    fn announce_locate_withdraw() {
+        let mut dir = PeerDirectory::new();
+        assert!(dir.locate(fp(1), 0).is_none());
+        dir.announce(fp(1), 1);
+        dir.announce(fp(1), 2);
+        // Node 0 finds someone else.
+        let holder = dir.locate(fp(1), 0).unwrap();
+        assert!(holder == 1 || holder == 2);
+        // A holder never locates itself.
+        dir.withdraw(fp(1), 2);
+        assert!(dir.locate(fp(1), 1).is_none());
+        assert_eq!(dir.locate(fp(1), 0), Some(1));
+        dir.withdraw(fp(1), 1);
+        assert_eq!(dir.distinct_files(), 0);
+    }
+
+    #[test]
+    fn rotation_spreads_load() {
+        let mut dir = PeerDirectory::new();
+        for node in 1..=4 {
+            dir.announce(fp(9), node);
+        }
+        let mut seen = HashSet::new();
+        for _ in 0..16 {
+            seen.insert(dir.locate(fp(9), 0).unwrap());
+        }
+        assert!(seen.len() >= 3, "round-robin should reach most holders: {seen:?}");
+    }
+
+    #[test]
+    fn replica_accounting() {
+        let mut dir = PeerDirectory::new();
+        dir.announce(fp(1), 0);
+        dir.announce(fp(1), 1);
+        dir.announce(fp(2), 0);
+        assert_eq!(dir.distinct_files(), 2);
+        assert_eq!(dir.replicas(), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! The client side: a typed API over any byte transport.
+
+use bytes::Bytes;
+use gear_hash::{Digest, Fingerprint};
+use gear_image::{ImageRef, Manifest};
+
+use crate::message::{ProtoError, Request, Response, Status};
+use crate::service::RegistryService;
+
+/// Moves framed bytes to a registry node and back — the seam where a real
+/// TCP stack would sit.
+pub trait Transport {
+    /// Sends framed request bytes; returns framed response bytes.
+    fn round_trip(&mut self, wire: &[u8]) -> Vec<u8>;
+
+    /// Bytes sent so far (for traffic accounting).
+    fn bytes_sent(&self) -> u64;
+
+    /// Bytes received so far.
+    fn bytes_received(&self) -> u64;
+}
+
+/// An in-process transport wrapping a [`RegistryService`] directly.
+#[derive(Debug, Default)]
+pub struct Loopback {
+    service: RegistryService,
+    sent: u64,
+    received: u64,
+}
+
+impl Loopback {
+    /// Wraps a service.
+    pub fn new(service: RegistryService) -> Self {
+        Loopback { service, sent: 0, received: 0 }
+    }
+
+    /// The wrapped service.
+    pub fn service(&self) -> &RegistryService {
+        &self.service
+    }
+
+    /// Mutable access to the wrapped service.
+    pub fn service_mut(&mut self) -> &mut RegistryService {
+        &mut self.service
+    }
+}
+
+impl Transport for Loopback {
+    fn round_trip(&mut self, wire: &[u8]) -> Vec<u8> {
+        self.sent += wire.len() as u64;
+        let response = self.service.handle_wire(wire);
+        self.received += response.len() as u64;
+        response
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received
+    }
+}
+
+/// Typed client over a [`Transport`], implementing the paper's three Gear
+/// verbs plus the Docker pull endpoints.
+#[derive(Debug)]
+pub struct RegistryClient<T> {
+    transport: T,
+}
+
+impl<T: Transport> RegistryClient<T> {
+    /// Wraps a transport.
+    pub fn new(transport: T) -> Self {
+        RegistryClient { transport }
+    }
+
+    /// The underlying transport (for traffic accounting).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Consumes the client, returning the transport.
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ProtoError> {
+        let wire = self.transport.round_trip(&request.to_wire());
+        Response::parse(&wire)
+    }
+
+    /// `query`: whether the Gear file exists.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on framing failures or unexpected statuses.
+    pub fn query(&mut self, fingerprint: Fingerprint) -> Result<bool, ProtoError> {
+        match self.call(&Request::Query(fingerprint))?.status {
+            Status::Ok => Ok(true),
+            Status::NotFound => Ok(false),
+            other => Err(ProtoError::Unexpected(other)),
+        }
+    }
+
+    /// `upload`: stores a Gear file; returns whether it was newly stored.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Unexpected`] with [`Status::BadRequest`] when the
+    /// content does not hash to `fingerprint`.
+    pub fn upload(&mut self, fingerprint: Fingerprint, body: Bytes) -> Result<bool, ProtoError> {
+        match self.call(&Request::Upload(fingerprint, body))?.status {
+            Status::Created => Ok(true),
+            Status::Ok => Ok(false),
+            other => Err(ProtoError::Unexpected(other)),
+        }
+    }
+
+    /// `download`: fetches a Gear file.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Unexpected`] with [`Status::NotFound`] if absent.
+    pub fn download(&mut self, fingerprint: Fingerprint) -> Result<Bytes, ProtoError> {
+        let response = self.call(&Request::Download(fingerprint))?;
+        match response.status {
+            Status::Ok => Ok(response.body),
+            other => Err(ProtoError::Unexpected(other)),
+        }
+    }
+
+    /// Fetches and parses a manifest.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] for missing images or malformed manifests.
+    pub fn manifest(&mut self, reference: &ImageRef) -> Result<Manifest, ProtoError> {
+        let response = self.call(&Request::GetManifest(reference.clone()))?;
+        match response.status {
+            Status::Ok => Manifest::from_json(&response.body)
+                .map_err(|e| ProtoError::Malformed(e.to_string())),
+            other => Err(ProtoError::Unexpected(other)),
+        }
+    }
+
+    /// Fetches a raw blob.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Unexpected`] with [`Status::NotFound`] if absent.
+    pub fn blob(&mut self, digest: Digest) -> Result<Bytes, ProtoError> {
+        let response = self.call(&Request::GetBlob(digest))?;
+        match response.status {
+            Status::Ok => Ok(response.body),
+            other => Err(ProtoError::Unexpected(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gear_registry::{DockerRegistry, GearFileStore};
+
+    fn client() -> RegistryClient<Loopback> {
+        RegistryClient::new(Loopback::new(RegistryService::new(
+            DockerRegistry::new(),
+            GearFileStore::new(),
+        )))
+    }
+
+    #[test]
+    fn verbs_roundtrip_through_wire() {
+        let mut c = client();
+        let body = Bytes::from_static(b"file body");
+        let fp = Fingerprint::of(&body);
+        assert!(!c.query(fp).unwrap());
+        assert!(c.upload(fp, body.clone()).unwrap());
+        assert!(!c.upload(fp, body.clone()).unwrap(), "second upload dedups");
+        assert!(c.query(fp).unwrap());
+        assert_eq!(c.download(fp).unwrap(), body);
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let mut c = client();
+        let body = Bytes::from(vec![1u8; 1000]);
+        let fp = Fingerprint::of(&body);
+        c.upload(fp, body).unwrap();
+        assert!(c.transport().bytes_sent() > 1000, "headers + body counted");
+        c.download(fp).unwrap();
+        assert!(c.transport().bytes_received() > 1000);
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let mut c = client();
+        let fp = Fingerprint::of(b"missing");
+        assert!(matches!(
+            c.download(fp),
+            Err(ProtoError::Unexpected(Status::NotFound))
+        ));
+        assert!(matches!(
+            c.upload(fp, Bytes::from_static(b"wrong")),
+            Err(ProtoError::Unexpected(Status::BadRequest))
+        ));
+        assert!(matches!(
+            c.manifest(&"ghost:1".parse().unwrap()),
+            Err(ProtoError::Unexpected(Status::NotFound))
+        ));
+    }
+}

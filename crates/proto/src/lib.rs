@@ -1,0 +1,49 @@
+//! HTTP-style wire protocol for the Gear Registry.
+//!
+//! The paper's prototype exposes "three HTTP interfaces: query, upload, and
+//! download" on the Gear Registry, alongside the standard Docker registry
+//! endpoints for manifests and blobs; "all components in the system
+//! communicate with each other via HTTP" (§IV). This crate provides that
+//! boundary explicitly:
+//!
+//! * [`Request`] / [`Response`] — typed protocol messages;
+//! * an HTTP/1.1-flavoured wire codec ([`Request::to_wire`],
+//!   [`Request::parse`], and the same on [`Response`]) so messages can be
+//!   framed, logged, and byte-counted like real traffic;
+//! * [`RegistryService`] — the server: routes requests onto a
+//!   [`gear_registry::GearFileStore`] + [`gear_registry::DockerRegistry`]
+//!   pair;
+//! * [`RegistryClient`] — the client helper, generic over a [`Transport`]
+//!   (a loopback transport is included).
+//!
+//! # Examples
+//!
+//! ```
+//! use gear_proto::{Loopback, RegistryClient, RegistryService};
+//! use gear_registry::{DockerRegistry, GearFileStore};
+//! use gear_hash::Fingerprint;
+//! use bytes::Bytes;
+//!
+//! let service = RegistryService::new(DockerRegistry::new(), GearFileStore::new());
+//! let mut client = RegistryClient::new(Loopback::new(service));
+//!
+//! let body = Bytes::from_static(b"shared library");
+//! let fp = Fingerprint::of(&body);
+//! assert!(!client.query(fp)?);
+//! client.upload(fp, body.clone())?;
+//! assert!(client.query(fp)?);
+//! assert_eq!(client.download(fp)?, body);
+//! # Ok::<(), gear_proto::ProtoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod message;
+mod service;
+mod wire;
+
+pub use client::{Loopback, RegistryClient, Transport};
+pub use message::{ProtoError, Request, Response, Status};
+pub use service::RegistryService;

@@ -1,0 +1,137 @@
+//! Protocol messages and errors.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+use gear_hash::{Digest, Fingerprint};
+use gear_image::ImageRef;
+
+/// A request to the registry node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Gear Registry: does a file with this fingerprint exist?
+    /// (`HEAD /gear/files/<fp>`)
+    Query(Fingerprint),
+    /// Gear Registry: store a file under its fingerprint.
+    /// (`PUT /gear/files/<fp>`)
+    Upload(Fingerprint, Bytes),
+    /// Gear Registry: fetch a file by fingerprint.
+    /// (`GET /gear/files/<fp>`)
+    Download(Fingerprint),
+    /// Docker Registry: fetch a manifest by reference.
+    /// (`GET /v2/<repo>/manifests/<tag>`)
+    GetManifest(ImageRef),
+    /// Docker Registry: fetch a blob by digest.
+    /// (`GET /v2/blobs/<digest>`)
+    GetBlob(Digest),
+}
+
+/// Response status (a deliberately small HTTP subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200 — found / served.
+    Ok,
+    /// 201 — stored.
+    Created,
+    /// 400 — malformed or failed verification.
+    BadRequest,
+    /// 404 — absent.
+    NotFound,
+}
+
+impl Status {
+    /// Numeric code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::Created => 201,
+            Status::BadRequest => 400,
+            Status::NotFound => 404,
+        }
+    }
+
+    /// Parses a numeric code.
+    pub fn from_code(code: u16) -> Option<Status> {
+        match code {
+            200 => Some(Status::Ok),
+            201 => Some(Status::Created),
+            400 => Some(Status::BadRequest),
+            404 => Some(Status::NotFound),
+            _ => None,
+        }
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Created => "Created",
+            Status::BadRequest => "Bad Request",
+            Status::NotFound => "Not Found",
+        }
+    }
+}
+
+/// A response from the registry node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome.
+    pub status: Status,
+    /// Payload (file content, manifest JSON, blob bytes; empty otherwise).
+    pub body: Bytes,
+}
+
+impl Response {
+    /// An empty-bodied response.
+    pub fn status_only(status: Status) -> Self {
+        Response { status, body: Bytes::new() }
+    }
+
+    /// A 200 with a body.
+    pub fn ok(body: Bytes) -> Self {
+        Response { status: Status::Ok, body }
+    }
+}
+
+/// Protocol-level errors (framing or unexpected responses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The wire bytes were not a valid message.
+    Malformed(String),
+    /// The server answered with an unexpected status.
+    Unexpected(Status),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Malformed(why) => write!(f, "malformed message: {why}"),
+            ProtoError::Unexpected(status) => {
+                write!(f, "unexpected response status {}", status.code())
+            }
+        }
+    }
+}
+
+impl Error for ProtoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for status in [Status::Ok, Status::Created, Status::BadRequest, Status::NotFound] {
+            assert_eq!(Status::from_code(status.code()), Some(status));
+            assert!(!status.reason().is_empty());
+        }
+        assert_eq!(Status::from_code(500), None);
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert!(Response::status_only(Status::NotFound).body.is_empty());
+        assert_eq!(Response::ok(Bytes::from_static(b"x")).status, Status::Ok);
+    }
+}

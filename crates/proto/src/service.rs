@@ -1,0 +1,154 @@
+//! The server side: routing requests onto the stores.
+
+use bytes::Bytes;
+
+use gear_registry::{DockerRegistry, GearFileStore};
+
+use crate::message::{Request, Response, Status};
+
+/// A registry node serving both the Gear file verbs and the Docker
+/// manifest/blob endpoints over one connection.
+#[derive(Debug, Default)]
+pub struct RegistryService {
+    docker: DockerRegistry,
+    files: GearFileStore,
+}
+
+impl RegistryService {
+    /// Wraps existing stores.
+    pub fn new(docker: DockerRegistry, files: GearFileStore) -> Self {
+        RegistryService { docker, files }
+    }
+
+    /// The Docker registry half.
+    pub fn docker(&self) -> &DockerRegistry {
+        &self.docker
+    }
+
+    /// Mutable access to the Docker registry half (to push images).
+    pub fn docker_mut(&mut self) -> &mut DockerRegistry {
+        &mut self.docker
+    }
+
+    /// The Gear file store half.
+    pub fn files(&self) -> &GearFileStore {
+        &self.files
+    }
+
+    /// Handles one request.
+    pub fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Query(fp) => {
+                if self.files.query(fp) {
+                    Response::status_only(Status::Ok)
+                } else {
+                    Response::status_only(Status::NotFound)
+                }
+            }
+            Request::Upload(fp, body) => match self.files.upload(fp, body) {
+                Ok(outcome) if outcome.stored => Response::status_only(Status::Created),
+                Ok(_) => Response::status_only(Status::Ok), // deduplicated
+                Err(_) => Response::status_only(Status::BadRequest),
+            },
+            Request::Download(fp) => match self.files.download(fp) {
+                Some(content) => Response::ok(content),
+                None => Response::status_only(Status::NotFound),
+            },
+            Request::GetManifest(reference) => match self.docker.manifest(&reference) {
+                Some(manifest) => Response::ok(Bytes::from(manifest.to_json())),
+                None => Response::status_only(Status::NotFound),
+            },
+            Request::GetBlob(digest) => match self.docker.blob(digest) {
+                Some(blob) => Response::ok(Bytes::copy_from_slice(blob)),
+                None => Response::status_only(Status::NotFound),
+            },
+        }
+    }
+
+    /// Handles one *framed* request, returning framed response bytes — the
+    /// whole server loop for a byte transport.
+    pub fn handle_wire(&mut self, wire: &[u8]) -> Vec<u8> {
+        match Request::parse(wire) {
+            Ok(request) => self.handle(request).to_wire(),
+            Err(_) => Response::status_only(Status::BadRequest).to_wire(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gear_hash::Fingerprint;
+    use gear_image::{ImageBuilder, ImageRef, Manifest};
+
+    fn service_with_image() -> (RegistryService, ImageRef) {
+        let mut tree = gear_fs_tree();
+        tree.create_file("f", Bytes::from_static(b"x")).unwrap();
+        let r: ImageRef = "svc:1".parse().unwrap();
+        let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+        let mut service = RegistryService::default();
+        service.docker_mut().push_image(&image);
+        (service, r)
+    }
+
+    fn gear_fs_tree() -> gear_fs::FsTree {
+        gear_fs::FsTree::new()
+    }
+
+    #[test]
+    fn gear_verbs() {
+        let mut service = RegistryService::default();
+        let body = Bytes::from_static(b"content");
+        let fp = Fingerprint::of(&body);
+
+        assert_eq!(service.handle(Request::Query(fp)).status, Status::NotFound);
+        assert_eq!(
+            service.handle(Request::Upload(fp, body.clone())).status,
+            Status::Created
+        );
+        assert_eq!(service.handle(Request::Upload(fp, body.clone())).status, Status::Ok);
+        assert_eq!(service.handle(Request::Query(fp)).status, Status::Ok);
+        let response = service.handle(Request::Download(fp));
+        assert_eq!(response.status, Status::Ok);
+        assert_eq!(response.body, body);
+    }
+
+    #[test]
+    fn forged_upload_is_bad_request() {
+        let mut service = RegistryService::default();
+        let response = service.handle(Request::Upload(
+            Fingerprint::of(b"claimed"),
+            Bytes::from_static(b"other"),
+        ));
+        assert_eq!(response.status, Status::BadRequest);
+    }
+
+    #[test]
+    fn docker_endpoints() {
+        let (mut service, r) = service_with_image();
+        let response = service.handle(Request::GetManifest(r.clone()));
+        assert_eq!(response.status, Status::Ok);
+        let manifest = Manifest::from_json(&response.body).unwrap();
+        let blob = service.handle(Request::GetBlob(manifest.layers[0].digest));
+        assert_eq!(blob.status, Status::Ok);
+        assert_eq!(blob.body.len() as u64, manifest.layers[0].size);
+        // Missing lookups.
+        let ghost: ImageRef = "ghost:1".parse().unwrap();
+        assert_eq!(service.handle(Request::GetManifest(ghost)).status, Status::NotFound);
+    }
+
+    #[test]
+    fn wire_loop_end_to_end() {
+        let mut service = RegistryService::default();
+        let body = Bytes::from_static(b"wire body");
+        let fp = Fingerprint::of(&body);
+        let response_bytes =
+            service.handle_wire(&Request::Upload(fp, body.clone()).to_wire());
+        assert_eq!(Response::parse(&response_bytes).unwrap().status, Status::Created);
+        let fetched = service.handle_wire(&Request::Download(fp).to_wire());
+        assert_eq!(Response::parse(&fetched).unwrap().body, body);
+        // Garbage in → 400 out, never a panic.
+        let garbage = service.handle_wire(b"\x00\x01\x02");
+        assert_eq!(Response::parse(&garbage).unwrap().status, Status::BadRequest);
+    }
+}

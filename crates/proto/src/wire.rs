@@ -1,0 +1,249 @@
+//! HTTP/1.1-flavoured framing for [`Request`] and [`Response`].
+//!
+//! ```text
+//! PUT /gear/files/<fp> HTTP/1.1\r\n
+//! Content-Length: 14\r\n
+//! \r\n
+//! <14 body bytes>
+//! ```
+//!
+//! The subset is deliberately tiny — method, path, `Content-Length`, body —
+//! but every message byte-counts like real traffic and survives a parse
+//! roundtrip, so simulated components can exchange framed buffers.
+
+use bytes::Bytes;
+use gear_hash::{Digest, Fingerprint};
+use gear_image::ImageRef;
+
+use crate::message::{ProtoError, Request, Response, Status};
+
+const CRLF: &str = "\r\n";
+
+fn head(verb: &str, path: &str, body_len: usize) -> String {
+    format!("{verb} {path} HTTP/1.1{CRLF}Content-Length: {body_len}{CRLF}{CRLF}")
+}
+
+impl Request {
+    /// The request's method + path line, e.g. `GET /gear/files/<fp>`.
+    pub fn route(&self) -> (&'static str, String) {
+        match self {
+            Request::Query(fp) => ("HEAD", format!("/gear/files/{fp}")),
+            Request::Upload(fp, _) => ("PUT", format!("/gear/files/{fp}")),
+            Request::Download(fp) => ("GET", format!("/gear/files/{fp}")),
+            Request::GetManifest(r) => {
+                ("GET", format!("/v2/{}/manifests/{}", r.repository(), r.tag()))
+            }
+            Request::GetBlob(d) => ("GET", format!("/v2/blobs/{d}")),
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let body: &[u8] = match self {
+            Request::Upload(_, body) => body,
+            _ => &[],
+        };
+        let (verb, path) = self.route();
+        let mut out = head(verb, &path, body.len()).into_bytes();
+        out.extend_from_slice(body);
+        out
+    }
+
+    /// Parses wire bytes back into a request.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] for anything that is not a well-formed
+    /// message of the supported subset.
+    pub fn parse(wire: &[u8]) -> Result<Self, ProtoError> {
+        let (line, headers, body) = split_message(wire)?;
+        let mut parts = line.split(' ');
+        let verb = parts.next().unwrap_or_default();
+        let path = parts.next().unwrap_or_default();
+        let version = parts.next().unwrap_or_default();
+        if version != "HTTP/1.1" || parts.next().is_some() {
+            return Err(ProtoError::Malformed(format!("bad request line {line:?}")));
+        }
+        expect_length(&headers, body.len())?;
+
+        let segments: Vec<&str> = path.trim_start_matches('/').split('/').collect();
+        match (verb, segments.as_slice()) {
+            ("HEAD", ["gear", "files", fp]) => Ok(Request::Query(parse_fp(fp)?)),
+            ("PUT", ["gear", "files", fp]) => {
+                Ok(Request::Upload(parse_fp(fp)?, Bytes::copy_from_slice(body)))
+            }
+            ("GET", ["gear", "files", fp]) => Ok(Request::Download(parse_fp(fp)?)),
+            ("GET", ["v2", "blobs", digest]) => Ok(Request::GetBlob(parse_digest(digest)?)),
+            ("GET", [..]) if path.contains("/manifests/") => {
+                // /v2/<repo possibly with slashes>/manifests/<tag>
+                let inner = path.strip_prefix("/v2/").ok_or_else(|| malformed(path))?;
+                let (repo, tag) =
+                    inner.rsplit_once("/manifests/").ok_or_else(|| malformed(path))?;
+                let reference =
+                    ImageRef::new(repo, tag).map_err(|e| ProtoError::Malformed(e.to_string()))?;
+                Ok(Request::GetManifest(reference))
+            }
+            _ => Err(malformed(path)),
+        }
+    }
+}
+
+impl Response {
+    /// Serializes to wire bytes.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}{CRLF}Content-Length: {}{CRLF}{CRLF}",
+            self.status.code(),
+            self.status.reason(),
+            self.body.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses wire bytes back into a response.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] for non-messages or unknown status codes.
+    pub fn parse(wire: &[u8]) -> Result<Self, ProtoError> {
+        let (line, headers, body) = split_message(wire)?;
+        let mut parts = line.splitn(3, ' ');
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(ProtoError::Malformed(format!("bad status line {line:?}")));
+        }
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| ProtoError::Malformed(format!("bad status line {line:?}")))?;
+        let status = Status::from_code(code)
+            .ok_or_else(|| ProtoError::Malformed(format!("unknown status {code}")))?;
+        expect_length(&headers, body.len())?;
+        Ok(Response { status, body: Bytes::copy_from_slice(body) })
+    }
+}
+
+fn malformed(path: &str) -> ProtoError {
+    ProtoError::Malformed(format!("unroutable path {path:?}"))
+}
+
+fn parse_fp(s: &str) -> Result<Fingerprint, ProtoError> {
+    s.parse().map_err(|_| ProtoError::Malformed(format!("bad fingerprint {s:?}")))
+}
+
+fn parse_digest(s: &str) -> Result<Digest, ProtoError> {
+    s.parse().map_err(|_| ProtoError::Malformed(format!("bad digest {s:?}")))
+}
+
+/// Splits a wire buffer into (start line, headers, body).
+fn split_message(wire: &[u8]) -> Result<(String, Vec<(String, String)>, &[u8]), ProtoError> {
+    let boundary = find_blank_line(wire)
+        .ok_or_else(|| ProtoError::Malformed("missing header terminator".into()))?;
+    let header_text = std::str::from_utf8(&wire[..boundary])
+        .map_err(|_| ProtoError::Malformed("headers are not UTF-8".into()))?;
+    let body = &wire[boundary + 4..];
+    let mut lines = header_text.split(CRLF);
+    let start = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| ProtoError::Malformed("empty message".into()))?
+        .to_owned();
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ProtoError::Malformed(format!("bad header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    Ok((start, headers, body))
+}
+
+fn expect_length(headers: &[(String, String)], body_len: usize) -> Result<(), ProtoError> {
+    let declared: usize = headers
+        .iter()
+        .find(|(name, _)| name == "content-length")
+        .ok_or_else(|| ProtoError::Malformed("missing Content-Length".into()))?
+        .1
+        .parse()
+        .map_err(|_| ProtoError::Malformed("bad Content-Length".into()))?;
+    if declared != body_len {
+        return Err(ProtoError::Malformed(format!(
+            "Content-Length {declared} != body {body_len}"
+        )));
+    }
+    Ok(())
+}
+
+fn find_blank_line(wire: &[u8]) -> Option<usize> {
+    wire.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp() -> Fingerprint {
+        Fingerprint::of(b"some file")
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let requests = [
+            Request::Query(fp()),
+            Request::Upload(fp(), Bytes::from_static(b"body bytes")),
+            Request::Download(fp()),
+            Request::GetManifest("library/nginx:1.17".parse().unwrap()),
+            Request::GetBlob(Digest::of(b"blob")),
+        ];
+        for request in requests {
+            let wire = request.to_wire();
+            assert_eq!(Request::parse(&wire).unwrap(), request, "{request:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        for response in [
+            Response::ok(Bytes::from_static(b"payload")),
+            Response::status_only(Status::NotFound),
+            Response::status_only(Status::Created),
+            Response::status_only(Status::BadRequest),
+        ] {
+            let wire = response.to_wire();
+            assert_eq!(Response::parse(&wire).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn wire_looks_like_http() {
+        let wire = Request::Download(fp()).to_wire();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("GET /gear/files/"));
+        assert!(text.contains("HTTP/1.1\r\nContent-Length: 0\r\n\r\n"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Request::parse(b"").is_err());
+        assert!(Request::parse(b"GET /nope HTTP/1.1\r\n\r\n").is_err()); // no length
+        assert!(Request::parse(b"GET /nope HTTP/1.1\r\nContent-Length: 0\r\n\r\n").is_err()); // bad route
+        assert!(
+            Request::parse(b"GET /gear/files/zzzz HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
+                .is_err()
+        ); // bad fingerprint
+        // Length mismatch.
+        let mut wire = Request::Upload(fp(), Bytes::from_static(b"1234")).to_wire();
+        wire.pop();
+        assert!(Request::parse(&wire).is_err());
+        // Unknown status code.
+        assert!(Response::parse(b"HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn manifest_route_supports_nested_repositories() {
+        let request = Request::GetManifest("library/app/web:2.0".parse().unwrap());
+        let parsed = Request::parse(&request.to_wire()).unwrap();
+        assert_eq!(parsed, request);
+    }
+}

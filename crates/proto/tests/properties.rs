@@ -1,0 +1,72 @@
+//! Property-based tests: the wire codec is total over its message space and
+//! never panics on arbitrary input.
+
+use bytes::Bytes;
+use gear_hash::{Digest, Fingerprint};
+use gear_proto::{Request, Response, Status};
+use proptest::prelude::*;
+
+fn any_fp() -> impl Strategy<Value = Fingerprint> {
+    proptest::collection::vec(any::<u8>(), 1..32).prop_map(|b| Fingerprint::of(&b))
+}
+
+fn any_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        any_fp().prop_map(Request::Query),
+        (any_fp(), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(fp, body)| Request::Upload(fp, Bytes::from(body))),
+        any_fp().prop_map(Request::Download),
+        ("[a-z]{1,8}(/[a-z]{1,8}){0,2}", "[a-z0-9.]{1,8}").prop_map(|(repo, tag)| {
+            Request::GetManifest(
+                gear_image::ImageRef::new(&repo, &tag).expect("valid by construction"),
+            )
+        }),
+        proptest::collection::vec(any::<u8>(), 1..32)
+            .prop_map(|b| Request::GetBlob(Digest::of(&b))),
+    ]
+}
+
+fn any_response() -> impl Strategy<Value = Response> {
+    (
+        prop_oneof![
+            Just(Status::Ok),
+            Just(Status::Created),
+            Just(Status::BadRequest),
+            Just(Status::NotFound)
+        ],
+        proptest::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(status, body)| Response { status, body: Bytes::from(body) })
+}
+
+proptest! {
+    /// Every representable request survives a wire roundtrip.
+    #[test]
+    fn request_roundtrip(request in any_request()) {
+        prop_assert_eq!(Request::parse(&request.to_wire()).unwrap(), request);
+    }
+
+    /// Every representable response survives a wire roundtrip.
+    #[test]
+    fn response_roundtrip(response in any_response()) {
+        prop_assert_eq!(Response::parse(&response.to_wire()).unwrap(), response);
+    }
+
+    /// Arbitrary bytes never panic the parsers; they either parse or error.
+    #[test]
+    fn parser_is_total(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::parse(&junk);
+        let _ = Response::parse(&junk);
+    }
+
+    /// Truncating a valid message's body always fails the length check.
+    #[test]
+    fn truncated_bodies_rejected(request in any_request(), cut in 1usize..16) {
+        let wire = request.to_wire();
+        if let Request::Upload(_, body) = &request {
+            prop_assume!(body.len() >= cut);
+            let truncated = &wire[..wire.len() - cut];
+            prop_assert!(Request::parse(truncated).is_err());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The Gear Registry file store: a content-addressed pool of Gear files.
+//!
+//! Mirrors the paper's MinIO-backed file server (§IV) exposing three HTTP
+//! verbs — `query`, `upload`, `download` — keyed by MD5 fingerprint.
+//! Identical files collapse to one stored object regardless of how many
+//! images contain them, which is the registry half of Gear's file-level
+//! sharing.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+use gear_compress::{compress, Level};
+use gear_hash::Fingerprint;
+
+/// Outcome of an upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadOutcome {
+    /// Whether the object was new (false = deduplicated).
+    pub stored: bool,
+    /// Bytes this object occupies in the store (0 when deduplicated).
+    pub stored_bytes: u64,
+}
+
+/// Error returned by [`GearFileStore::upload`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UploadError {
+    /// The content's MD5 does not match the claimed fingerprint.
+    FingerprintMismatch {
+        /// Fingerprint the client claimed.
+        claimed: Fingerprint,
+        /// Fingerprint actually computed from the content.
+        actual: Fingerprint,
+    },
+}
+
+impl fmt::Display for UploadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UploadError::FingerprintMismatch { claimed, actual } => {
+                write!(f, "fingerprint mismatch: claimed {claimed}, content hashes to {actual}")
+            }
+        }
+    }
+}
+
+impl Error for UploadError {}
+
+/// Storage accounting for the file store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileStoreStats {
+    /// Unique objects stored.
+    pub objects: usize,
+    /// Bytes on disk (compressed when compression is enabled).
+    pub stored_bytes: u64,
+    /// Logical (uncompressed) bytes of stored objects.
+    pub logical_bytes: u64,
+    /// Uploads rejected as duplicates.
+    pub dedup_hits: u64,
+}
+
+#[derive(Debug, Clone)]
+struct StoredFile {
+    raw: Bytes,
+    /// Size as kept on disk and sent on the wire (compressed if enabled).
+    stored_len: u64,
+}
+
+/// A content-addressed Gear-file pool.
+#[derive(Debug, Default)]
+pub struct GearFileStore {
+    files: HashMap<Fingerprint, StoredFile>,
+    compression: Option<Level>,
+    dedup_hits: u64,
+}
+
+impl GearFileStore {
+    /// Creates a store that keeps files uncompressed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store that compresses each file at the default level —
+    /// "Gear files can be further compressed for higher space efficiency"
+    /// (paper §III-C).
+    pub fn with_compression() -> Self {
+        GearFileStore { compression: Some(Level::Default), ..Self::default() }
+    }
+
+    /// Creates a store compressing at a specific level.
+    pub fn with_level(level: Level) -> Self {
+        GearFileStore { compression: Some(level), ..Self::default() }
+    }
+
+    /// `query` verb: whether a Gear file with this fingerprint exists.
+    pub fn query(&self, fingerprint: Fingerprint) -> bool {
+        self.files.contains_key(&fingerprint)
+    }
+
+    /// `upload` verb: stores `content` under `fingerprint`, deduplicating.
+    ///
+    /// # Errors
+    ///
+    /// [`UploadError::FingerprintMismatch`] when `content` does not hash to
+    /// `fingerprint` — the store never trusts the client's naming.
+    pub fn upload(
+        &mut self,
+        fingerprint: Fingerprint,
+        content: Bytes,
+    ) -> Result<UploadOutcome, UploadError> {
+        let actual = Fingerprint::of(&content);
+        if actual != fingerprint {
+            return Err(UploadError::FingerprintMismatch { claimed: fingerprint, actual });
+        }
+        if self.files.contains_key(&fingerprint) {
+            self.dedup_hits += 1;
+            return Ok(UploadOutcome { stored: false, stored_bytes: 0 });
+        }
+        let stored_len = match self.compression {
+            Some(level) => compress(&content, level).len() as u64,
+            None => content.len() as u64,
+        };
+        self.files.insert(fingerprint, StoredFile { raw: content, stored_len });
+        Ok(UploadOutcome { stored: true, stored_bytes: stored_len })
+    }
+
+    /// `download` verb: retrieves the content for `fingerprint`.
+    pub fn download(&self, fingerprint: Fingerprint) -> Option<Bytes> {
+        self.files.get(&fingerprint).map(|f| f.raw.clone())
+    }
+
+    /// Bytes that cross the wire when downloading `fingerprint` (compressed
+    /// size if compression is on).
+    pub fn transfer_size(&self, fingerprint: Fingerprint) -> Option<u64> {
+        self.files.get(&fingerprint).map(|f| f.stored_len)
+    }
+
+    /// Number of unique objects.
+    pub fn object_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Storage accounting.
+    pub fn stats(&self) -> FileStoreStats {
+        FileStoreStats {
+            objects: self.files.len(),
+            stored_bytes: self.files.values().map(|f| f.stored_len).sum(),
+            logical_bytes: self.files.values().map(|f| f.raw.len() as u64).sum(),
+            dedup_hits: self.dedup_hits,
+        }
+    }
+
+    /// Iterates over stored files as `(fingerprint, content)` (for
+    /// persistence layers).
+    pub fn iter(&self) -> impl Iterator<Item = (Fingerprint, &Bytes)> {
+        self.files.iter().map(|(fp, f)| (*fp, &f.raw))
+    }
+
+    /// Integrity scan: re-hashes every object and returns the fingerprints
+    /// whose content no longer matches (empty = clean store).
+    pub fn verify(&self) -> Vec<Fingerprint> {
+        self.files
+            .iter()
+            .filter(|(fp, f)| Fingerprint::of(&f.raw) != **fp)
+            .map(|(fp, _)| *fp)
+            .collect()
+    }
+
+    /// Removes objects not in `live`, returning bytes freed. Models cache
+    /// replacement / garbage collection on the registry side.
+    pub fn retain_only(&mut self, live: &std::collections::HashSet<Fingerprint>) -> u64 {
+        let mut freed = 0;
+        self.files.retain(|fp, f| {
+            if live.contains(fp) {
+                true
+            } else {
+                freed += f.stored_len;
+                false
+            }
+        });
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_query_download() {
+        let mut store = GearFileStore::new();
+        let body = Bytes::from_static(b"libssl.so contents");
+        let fp = Fingerprint::of(&body);
+        assert!(!store.query(fp));
+        let out = store.upload(fp, body.clone()).unwrap();
+        assert!(out.stored);
+        assert_eq!(out.stored_bytes, body.len() as u64);
+        assert!(store.query(fp));
+        assert_eq!(store.download(fp).unwrap(), body);
+    }
+
+    #[test]
+    fn duplicate_upload_dedups() {
+        let mut store = GearFileStore::new();
+        let body = Bytes::from_static(b"same bytes");
+        let fp = Fingerprint::of(&body);
+        store.upload(fp, body.clone()).unwrap();
+        let second = store.upload(fp, body).unwrap();
+        assert!(!second.stored);
+        assert_eq!(store.object_count(), 1);
+        assert_eq!(store.stats().dedup_hits, 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_fingerprint() {
+        let mut store = GearFileStore::new();
+        let err = store
+            .upload(Fingerprint::of(b"claimed"), Bytes::from_static(b"different"))
+            .unwrap_err();
+        assert!(matches!(err, UploadError::FingerprintMismatch { .. }));
+        assert_eq!(store.object_count(), 0);
+    }
+
+    #[test]
+    fn compression_reduces_stored_bytes() {
+        let mut plain = GearFileStore::new();
+        let mut packed = GearFileStore::with_compression();
+        let body = Bytes::from(b"configuration = value\n".repeat(200));
+        let fp = Fingerprint::of(&body);
+        plain.upload(fp, body.clone()).unwrap();
+        packed.upload(fp, body.clone()).unwrap();
+        assert!(packed.stats().stored_bytes < plain.stats().stored_bytes);
+        // Transfer size follows stored size; download returns raw content.
+        assert!(packed.transfer_size(fp).unwrap() < body.len() as u64);
+        assert_eq!(packed.download(fp).unwrap(), body);
+    }
+
+    #[test]
+    fn retain_only_gc() {
+        let mut store = GearFileStore::new();
+        let a = Bytes::from_static(b"aaa");
+        let b = Bytes::from_static(b"bbb");
+        let fa = Fingerprint::of(&a);
+        let fb = Fingerprint::of(&b);
+        store.upload(fa, a).unwrap();
+        store.upload(fb, b).unwrap();
+        let live = std::collections::HashSet::from([fa]);
+        let freed = store.retain_only(&live);
+        assert_eq!(freed, 3);
+        assert!(store.query(fa));
+        assert!(!store.query(fb));
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic resource-timing models for deployment experiments.
+//!
+//! The Gear paper measures wall-clock deployment times on two servers joined
+//! by a 904 Mbps link, repeating the experiments at 100/20/5 Mbps. This crate
+//! replaces the physical testbed with explicit, deterministic models:
+//!
+//! * [`VirtualClock`] — simulated time, advanced by charges.
+//! * [`Link`] — bandwidth + RTT + per-request overhead; computes how long a
+//!   request/response of a given size takes.
+//! * [`DiskModel`] — sequential throughput + per-file overhead for local I/O
+//!   (the paper's HDD vs SSD conversion-time comparison, Fig. 6).
+//! * [`NetMetrics`] — byte/request accounting (bandwidth experiments, Fig. 8).
+//!
+//! Every deployment result in `gear-client` and `gear-bench` is a pure
+//! function of these models plus the workload, so runs are reproducible
+//! bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use gear_simnet::{Link, VirtualClock};
+//!
+//! let clock = VirtualClock::new();
+//! let link = Link::mbps(100.0);
+//! clock.advance(link.request_time(1_000_000)); // download 1 MB
+//! assert!(clock.elapsed().as_millis() >= 80);   // ~80 ms of transfer
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod disk;
+mod link;
+mod metrics;
+
+pub use clock::VirtualClock;
+pub use disk::DiskModel;
+pub use link::{Bandwidth, Link};
+pub use metrics::NetMetrics;

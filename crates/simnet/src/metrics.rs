@@ -1,0 +1,80 @@
+//! Network byte/request accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for traffic between a client and the registries, used by the
+/// bandwidth experiments (paper Fig. 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetMetrics {
+    /// Bytes downloaded (registry → client).
+    pub bytes_down: u64,
+    /// Bytes uploaded (client → registry).
+    pub bytes_up: u64,
+    /// Download requests issued.
+    pub requests_down: u64,
+    /// Upload requests issued.
+    pub requests_up: u64,
+}
+
+impl NetMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one download of `bytes`.
+    pub fn download(&mut self, bytes: u64) {
+        self.bytes_down += bytes;
+        self.requests_down += 1;
+    }
+
+    /// Records one upload of `bytes`.
+    pub fn upload(&mut self, bytes: u64) {
+        self.bytes_up += bytes;
+        self.requests_up += 1;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_down + self.bytes_up
+    }
+
+    /// Merges another metrics record into this one.
+    pub fn merge(&mut self, other: &NetMetrics) {
+        self.bytes_down += other.bytes_down;
+        self.bytes_up += other.bytes_up;
+        self.requests_down += other.requests_down;
+        self.requests_up += other.requests_up;
+    }
+}
+
+impl std::ops::Add for NetMetrics {
+    type Output = NetMetrics;
+
+    fn add(mut self, rhs: NetMetrics) -> NetMetrics {
+        self.merge(&rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_merges() {
+        let mut a = NetMetrics::new();
+        a.download(100);
+        a.download(50);
+        a.upload(10);
+        assert_eq!(a.bytes_down, 150);
+        assert_eq!(a.requests_down, 2);
+        assert_eq!(a.total_bytes(), 160);
+
+        let mut b = NetMetrics::new();
+        b.download(1);
+        let sum = a + b;
+        assert_eq!(sum.bytes_down, 151);
+        assert_eq!(sum.requests_down, 3);
+    }
+}

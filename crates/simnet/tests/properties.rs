@@ -1,0 +1,53 @@
+//! Property-based tests on the timing models' sanity invariants.
+
+use std::time::Duration;
+
+use gear_simnet::{Bandwidth, DiskModel, Link, VirtualClock};
+use proptest::prelude::*;
+
+proptest! {
+    /// Transfer time is monotone in bytes and inversely monotone in rate.
+    #[test]
+    fn transfer_monotonicity(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000, mbps in 1.0f64..10_000.0) {
+        let bw = Bandwidth::mbps(mbps);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bw.transfer_time(lo) <= bw.transfer_time(hi));
+        let faster = Bandwidth::mbps(mbps * 2.0);
+        prop_assert!(faster.transfer_time(hi) <= bw.transfer_time(hi));
+    }
+
+    /// A request is never cheaper than its raw payload transfer, and
+    /// batching with pipelining never beats the pure payload bound.
+    #[test]
+    fn request_lower_bounds(bytes in 0u64..100_000_000, count in 1u64..500, pipeline in 1u32..64, mbps in 1.0f64..1_000.0) {
+        let link = Link::mbps(mbps);
+        prop_assert!(link.request_time(bytes) >= link.bandwidth.transfer_time(bytes));
+        let batch = link.batch_time(count, bytes, pipeline);
+        prop_assert!(batch >= link.bandwidth.transfer_time(bytes));
+        // Deeper pipelines never slow a batch down.
+        prop_assert!(link.batch_time(count, bytes, pipeline + 1) <= batch);
+    }
+
+    /// Disk I/O time decomposes additively over (bytes, files).
+    #[test]
+    fn disk_additivity(bytes in 0u64..1_000_000_000, files in 0u64..10_000) {
+        let disk = DiskModel::hdd();
+        let whole = disk.io_time(bytes, files);
+        let parts = disk.io_time(bytes, 0) + disk.io_time(0, files);
+        let delta = whole.abs_diff(parts);
+        prop_assert!(delta < Duration::from_micros(5), "delta {delta:?}");
+    }
+
+    /// The virtual clock sums an arbitrary advance sequence exactly.
+    #[test]
+    fn clock_sums_exactly(advances in proptest::collection::vec(0u64..10_000_000, 0..64)) {
+        let clock = VirtualClock::new();
+        let mut total = Duration::ZERO;
+        for nanos in advances {
+            let d = Duration::from_nanos(nanos);
+            clock.advance(d);
+            total += d;
+        }
+        prop_assert_eq!(clock.elapsed(), total);
+    }
+}

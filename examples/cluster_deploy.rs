@@ -1,0 +1,71 @@
+//! Cooperative P2P distribution: an edge cluster with a thin uplink deploys
+//! the same image on every node. With the peer directory, each unique Gear
+//! file crosses the uplink once; without it, every node pays the full cost
+//! (the combination of Gear + P2P the paper's §VI-B describes).
+//!
+//! ```sh
+//! cargo run --release --example cluster_deploy
+//! ```
+
+use gear::client::ClientConfig;
+use gear::core::{publish, Converter};
+use gear::corpus::{Corpus, CorpusConfig};
+use gear::p2p::{Cluster, ClusterConfig};
+use gear::registry::{DockerRegistry, GearFileStore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One realistic image from the corpus generator.
+    let config = CorpusConfig {
+        series: Some(vec!["postgres".into()]),
+        max_versions: Some(1),
+        scale_denom: 2048,
+        ..CorpusConfig::paper()
+    };
+    let corpus = Corpus::generate(&config);
+    let series = corpus.series_by_name("postgres").expect("generated");
+    let image = &series.images[0];
+    let trace = &series.traces[0];
+
+    let mut index_registry = DockerRegistry::new();
+    let mut file_store = GearFileStore::with_compression();
+    publish(&Converter::new().convert(image)?, &mut index_registry, &mut file_store);
+
+    let nodes = 8;
+    let client = ClientConfig::paper_testbed(config.scale_denom);
+    let mut cluster =
+        Cluster::new(ClusterConfig::edge(nodes).with_client(client));
+
+    println!(
+        "deploying {} on {nodes} edge nodes (20 Mbps uplink, 1 Gbps LAN):\n",
+        image.reference()
+    );
+    println!("{:<6}{:>10}{:>10}{:>10}{:>12}", "node", "time", "registry", "peers", "local");
+    let mut total_time = 0.0;
+    let mut cold_time = 0.0; // node 0: everything over the uplink
+    for node in 0..nodes {
+        let report = cluster.deploy_on(node, image.reference(), trace, &index_registry, &file_store)?;
+        total_time += report.total.as_secs_f64();
+        if node == 0 {
+            cold_time = report.total.as_secs_f64();
+        }
+        println!(
+            "{:<6}{:>9.2}s{:>10}{:>10}{:>12}",
+            node, report.total.as_secs_f64(), report.registry_files, report.peer_files,
+            report.local_files
+        );
+    }
+    println!(
+        "\nuplink egress: {} bytes — each unique file paid once for the whole cluster",
+        cluster.registry_egress()
+    );
+    println!("LAN peer traffic: {} bytes", cluster.peer_traffic());
+    // Without cooperation every node would behave like node 0.
+    println!(
+        "without cooperation: ~{:.0}s of deployment time and ~{}x the uplink egress; \
+         with the peer directory: {:.0}s",
+        cold_time * nodes as f64,
+        nodes,
+        total_time
+    );
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Edge/IoT deployment under constrained bandwidth: the regime where Gear's
+//! lazy pulls pay off most (paper §V-E: "Gear can significantly improve
+//! container deployment under bandwidth limited scenarios such as edge/fog
+//! computing and IoT").
+//!
+//! Deploys the same image at four bandwidths with Docker and Gear, then
+//! shows how the shared-cache eviction policy behaves on a tiny edge disk.
+//!
+//! ```sh
+//! cargo run --release --example edge_deployment
+//! ```
+
+use gear::client::{ClientConfig, DockerClient, EvictionPolicy, GearClient};
+use gear::core::{publish, Converter};
+use gear::corpus::{Corpus, CorpusConfig};
+use gear::registry::{DockerRegistry, GearFileStore};
+use gear::simnet::Link;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One realistic series (nginx) from the corpus generator.
+    let config = CorpusConfig {
+        series: Some(vec!["nginx".into()]),
+        max_versions: Some(5),
+        scale_denom: 2048,
+        ..CorpusConfig::paper()
+    };
+    let corpus = Corpus::generate(&config);
+    let series = corpus.series_by_name("nginx").expect("generated");
+
+    let converter = Converter::new();
+    let mut docker_registry = DockerRegistry::new();
+    let mut gear_index = DockerRegistry::new();
+    let mut gear_files = GearFileStore::with_compression();
+    for image in &series.images {
+        docker_registry.push_image(image);
+        publish(&converter.convert(image)?, &mut gear_index, &mut gear_files);
+    }
+    let image = &series.images[0];
+    let trace = &series.traces[0];
+
+    println!("deploying {} at four bandwidths (cold clients):\n", image.reference());
+    println!("{:<12}{:>12}{:>12}{:>10}", "bandwidth", "docker", "gear", "speedup");
+    for (label, link) in Link::figure9_presets() {
+        let cfg = ClientConfig::paper_testbed(config.scale_denom).with_link(link);
+        let mut docker = DockerClient::new(cfg);
+        let mut gear = GearClient::new(cfg);
+        let (_, d) = docker.deploy(image.reference(), trace, &docker_registry)?;
+        let (_, g) = gear.deploy(image.reference(), trace, &gear_index, &gear_files)?;
+        println!(
+            "{:<12}{:>10.2}s{:>10.2}s{:>9.1}x",
+            label,
+            d.total().as_secs_f64(),
+            g.total().as_secs_f64(),
+            d.total().as_secs_f64() / g.total().as_secs_f64()
+        );
+    }
+
+    // Edge devices have small disks: bound the shared cache and compare
+    // FIFO vs LRU while cycling through the five versions twice.
+    println!("\nbounded edge cache (capacity = 40% of one image), cycling versions:");
+    for policy in [EvictionPolicy::Fifo, EvictionPolicy::Lru] {
+        let capacity = image.content_bytes() * 2 / 5;
+        let cfg = ClientConfig {
+            cache_policy: policy,
+            cache_capacity: Some(capacity),
+            ..ClientConfig::paper_testbed(config.scale_denom).with_link(Link::mbps(20.0))
+        };
+        let mut gear = GearClient::new(cfg);
+        let mut total_bytes = 0u64;
+        for _round in 0..2 {
+            for (image, trace) in series.images.iter().zip(&series.traces) {
+                let (id, report) =
+                    gear.deploy(image.reference(), trace, &gear_index, &gear_files)?;
+                gear.destroy(id);
+                gear.remove_image(image.reference()); // unpin for eviction
+                total_bytes += report.bytes_pulled;
+            }
+        }
+        let stats = gear.cache_stats();
+        println!(
+            "  {policy:?}: {} bytes downloaded, {} hits, {} misses, {} evictions",
+            total_bytes, stats.hits, stats.misses, stats.evictions
+        );
+    }
+    println!("\nLRU keeps the hot cross-version files resident longer than FIFO.");
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Quickstart: build a Docker image, convert it to the Gear format, publish
+//! it, and deploy a container that downloads only what it reads.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bytes::Bytes;
+use gear::client::{ClientConfig, GearClient};
+use gear::core::{publish, Converter};
+use gear::corpus::{StartupTrace, TaskKind};
+use gear::fs::FsTree;
+use gear::image::{ImageBuilder, ImageRef};
+use gear::registry::{DockerRegistry, GearFileStore};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Build a Docker image: a web server plus a pile of assets that are
+    //    never touched at startup.
+    // ------------------------------------------------------------------
+    let mut rootfs = FsTree::new();
+    rootfs.create_file("usr/sbin/httpd", Bytes::from(vec![0x7f; 40_000]))?;
+    rootfs.create_file("etc/httpd/httpd.conf", Bytes::from_static(b"Listen 80\n"))?;
+    for i in 0..50 {
+        rootfs.create_file(
+            &format!("var/www/assets/img{i:02}.dat"),
+            Bytes::from(vec![i as u8; 8_000]),
+        )?;
+    }
+    let reference: ImageRef = "webapp:1.0".parse()?;
+    let image = ImageBuilder::new(reference.clone())
+        .layer_from_tree(&rootfs)
+        .env("LANG=C.UTF-8")
+        .cmd(["/usr/sbin/httpd", "-D", "FOREGROUND"])
+        .build();
+    println!("built {} ({} files, {} content bytes)", image.reference(), image.file_count(), image.content_bytes());
+
+    // ------------------------------------------------------------------
+    // 2. Convert: split the image into a Gear index + content-addressed
+    //    Gear files, then publish both.
+    // ------------------------------------------------------------------
+    let conversion = Converter::new().convert(&image)?;
+    println!(
+        "converted: {} unique Gear files, index is {} bytes ({:.2}% of content)",
+        conversion.files.len(),
+        conversion.report.index_bytes,
+        100.0 * conversion.report.index_bytes as f64 / conversion.report.scanned_bytes as f64
+    );
+
+    let mut docker_registry = DockerRegistry::new();
+    let mut gear_files = GearFileStore::with_compression();
+    let report = publish(&conversion, &mut docker_registry, &mut gear_files);
+    println!(
+        "published: {} files uploaded ({} bytes stored), index image {} bytes",
+        report.files_uploaded, report.file_bytes_stored, report.index_bytes_uploaded
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Deploy. The startup trace reads the binary and the config — the 50
+    //    asset files are never downloaded.
+    // ------------------------------------------------------------------
+    let mut client = GearClient::new(ClientConfig::default());
+    let trace = StartupTrace {
+        reads: vec!["usr/sbin/httpd".into(), "etc/httpd/httpd.conf".into()],
+        task: TaskKind::WebServe,
+    };
+    let (container, deploy) = client.deploy(&reference, &trace, &docker_registry, &gear_files)?;
+    println!(
+        "deployed {}: pull {:.1} ms + run {:.1} ms, {} files fetched, {} bytes pulled",
+        deploy.reference,
+        deploy.pull.as_secs_f64() * 1e3,
+        deploy.run.as_secs_f64() * 1e3,
+        deploy.files_fetched,
+        deploy.bytes_pulled
+    );
+    assert_eq!(deploy.files_fetched, 2, "only the two accessed files cross the wire");
+
+    // A second container from the same image starts from the local cache.
+    let (second, redeploy) = client.deploy(&reference, &trace, &docker_registry, &gear_files)?;
+    println!(
+        "second deployment: {} cache hits, {} files fetched, total {:.1} ms",
+        redeploy.cache_hits,
+        redeploy.files_fetched,
+        redeploy.total().as_secs_f64() * 1e3
+    );
+    assert_eq!(redeploy.files_fetched, 0);
+
+    client.destroy(container);
+    client.destroy(second);
+    println!("done.");
+    Ok(())
+}

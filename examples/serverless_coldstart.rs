@@ -1,0 +1,103 @@
+//! Serverless cold starts: the paper's introduction motivates Gear with the
+//! "long cold-start latency … mainly caused by the image downloading
+//! process" in serverless platforms. This example models a function
+//! scheduler placing 60 short-lived invocations of five function images on
+//! a fresh worker node, comparing Docker (full pulls) against Gear (index +
+//! on-demand files, shared cache across functions).
+//!
+//! ```sh
+//! cargo run --release --example serverless_coldstart
+//! ```
+
+use std::time::Duration;
+
+use gear::client::{ClientConfig, DockerClient, GearClient, TimelineEvent};
+use gear::core::{publish, Converter};
+use gear::corpus::{Corpus, CorpusConfig};
+use gear::registry::{DockerRegistry, GearFileStore};
+use gear::simnet::Link;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Five "function runtime" images (the kinds of images FaaS platforms
+    // build functions on), one version each.
+    let config = CorpusConfig {
+        series: Some(
+            ["python", "node", "golang", "ruby", "php"].iter().map(|s| s.to_string()).collect(),
+        ),
+        max_versions: Some(1),
+        scale_denom: 2048,
+        ..CorpusConfig::paper()
+    };
+    let corpus = Corpus::generate(&config);
+
+    let converter = Converter::new();
+    let mut docker_registry = DockerRegistry::new();
+    let mut gear_index = DockerRegistry::new();
+    let mut gear_files = GearFileStore::with_compression();
+    for image in corpus.all_images() {
+        docker_registry.push_image(image);
+        publish(&converter.convert(image)?, &mut gear_index, &mut gear_files);
+    }
+
+    // A fresh worker with a 100 Mbps uplink takes 60 invocations round-robin
+    // across the five functions. Images arrive cold; caches warm up.
+    let client_config =
+        ClientConfig::paper_testbed(config.scale_denom).with_link(Link::mbps(100.0));
+    let mut docker = DockerClient::new(client_config);
+    let mut gear = GearClient::new(client_config);
+
+    let mut docker_total = Duration::ZERO;
+    let mut gear_total = Duration::ZERO;
+    let mut docker_p99 = Duration::ZERO;
+    let mut gear_p99 = Duration::ZERO;
+    let invocations = 60;
+    for i in 0..invocations {
+        let series = &corpus.series[i % corpus.series.len()];
+        let image = &series.images[0];
+        let trace = &series.traces[0];
+
+        let (did, dr) = docker.deploy(image.reference(), trace, &docker_registry)?;
+        docker.destroy(did);
+        docker_total += dr.total();
+        docker_p99 = docker_p99.max(dr.total());
+
+        let (gid, gr) = gear.deploy(image.reference(), trace, &gear_index, &gear_files)?;
+        gear.destroy(gid);
+        gear_total += gr.total();
+        gear_p99 = gear_p99.max(gr.total());
+
+        if i < corpus.series.len() {
+            println!(
+                "cold {:<12} docker {:>6.2}s   gear {:>6.2}s ({} fetches)",
+                image.reference().repository(),
+                dr.total().as_secs_f64(),
+                gr.total().as_secs_f64(),
+                gr.files_fetched
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "{invocations} invocations: docker {:.1}s total (worst {:.2}s) | gear {:.1}s total (worst {:.2}s)",
+        docker_total.as_secs_f64(),
+        docker_p99.as_secs_f64(),
+        gear_total.as_secs_f64(),
+        gear_p99.as_secs_f64(),
+    );
+    println!(
+        "speedup {:.1}x — after warmup, Gear launches skip the network entirely",
+        docker_total.as_secs_f64() / gear_total.as_secs_f64()
+    );
+
+    // Show where a warm Gear launch spends its time.
+    let series = &corpus.series[0];
+    let (id, report) =
+        gear.deploy(series.images[0].reference(), &series.traces[0], &gear_index, &gear_files)?;
+    gear.destroy(id);
+    let fetch_time =
+        report.timeline.time_in(|e| matches!(e, TimelineEvent::RegistryFetch { .. }));
+    println!("\nwarm launch timeline ({} events, {:?} fetching):", report.timeline.len(), fetch_time);
+    print!("{}", report.timeline);
+    Ok(())
+}

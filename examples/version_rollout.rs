@@ -1,0 +1,71 @@
+//! CI/CD version rollout: deploy ten consecutive Tomcat versions the way a
+//! deployment pipeline replaces containers, comparing Docker, Slacker, and
+//! Gear (the scenario of the paper's Fig. 10).
+//!
+//! ```sh
+//! cargo run --release --example version_rollout
+//! ```
+
+use gear::client::{ClientConfig, DockerClient, GearClient, SlackerClient};
+use gear::core::{publish, Converter};
+use gear::corpus::{Corpus, CorpusConfig};
+use gear::registry::{DockerRegistry, GearFileStore};
+use gear::simnet::Link;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Generate only the tomcat series at a small scale.
+    let config = CorpusConfig {
+        series: Some(vec!["tomcat".into()]),
+        max_versions: Some(10),
+        scale_denom: 2048,
+        ..CorpusConfig::paper()
+    };
+    let corpus = Corpus::generate(&config);
+    let series = corpus.series_by_name("tomcat").expect("generated");
+    println!("generated {} tomcat versions", series.images.len());
+
+    // Publish original images (Docker/Slacker path) and Gear conversions.
+    let converter = Converter::new();
+    let mut docker_registry = DockerRegistry::new();
+    let mut gear_index = DockerRegistry::new();
+    let mut gear_files = GearFileStore::with_compression();
+    for image in &series.images {
+        docker_registry.push_image(image);
+        let conversion = converter.convert(image)?;
+        publish(&conversion, &mut gear_index, &mut gear_files);
+    }
+
+    // Persistent clients at the paper's testbed bandwidth.
+    let client_config =
+        ClientConfig::paper_testbed(config.scale_denom).with_link(Link::mbps(1000.0));
+    let mut docker = DockerClient::new(client_config);
+    let mut slacker = SlackerClient::new(client_config);
+    let mut gear = GearClient::new(client_config);
+
+    println!("{:<8}{:>12}{:>12}{:>12}{:>18}", "version", "docker", "slacker", "gear", "gear bytes");
+    for (image, trace) in series.images.iter().zip(&series.traces) {
+        let (_, d) = docker.deploy(image.reference(), trace, &docker_registry)?;
+        let (sid, s) = slacker.deploy(image.reference(), trace, &docker_registry)?;
+        slacker.destroy(sid);
+        let (gid, g) = gear.deploy(image.reference(), trace, &gear_index, &gear_files)?;
+        gear.destroy(gid);
+        println!(
+            "{:<8}{:>10.2}s{:>10.2}s{:>10.2}s{:>18}",
+            image.reference().tag(),
+            d.total().as_secs_f64(),
+            s.total().as_secs_f64(),
+            g.total().as_secs_f64(),
+            g.bytes_pulled
+        );
+    }
+
+    let stats = gear.cache_stats();
+    println!(
+        "\ngear shared cache: {} hits / {} misses — later versions reuse earlier files",
+        stats.hits, stats.misses
+    );
+    println!(
+        "slacker never improves (no sharing); docker improves only when whole layers repeat"
+    );
+    Ok(())
+}
