@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic() {
-        let mut v = vec![
+        let mut v = [
             ArchivePath::new("b").unwrap(),
             ArchivePath::new("a/z").unwrap(),
             ArchivePath::new("a").unwrap(),

@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--scale N] [--seed S] [--versions V] [--quick] <experiment>...
 //!
-//! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 all
+//! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 cluster faults all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
@@ -43,7 +43,7 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => config = CorpusConfig::quick(),
             "--help" | "-h" => {
                 return Err("usage: repro [--scale N] [--seed S] [--versions V] [--quick] \
-                            <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|cluster|all>..."
+                            <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|cluster|faults|all>..."
                     .to_owned())
             }
             name if !name.starts_with('-') => experiments.push(name.to_owned()),
@@ -66,7 +66,10 @@ fn main() -> ExitCode {
     };
 
     let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
-        vec!["table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "cluster"]
+        vec![
+            "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "cluster",
+            "faults",
+        ]
     } else {
         args.experiments.iter().map(String::as_str).collect()
     };
@@ -88,8 +91,9 @@ fn main() -> ExitCode {
     );
 
     // The deployment experiments share one published corpus.
-    let needs_publish =
-        wanted.iter().any(|e| matches!(*e, "fig8" | "fig9" | "fig10" | "fig11" | "cluster"));
+    let needs_publish = wanted
+        .iter()
+        .any(|e| matches!(*e, "fig8" | "fig9" | "fig10" | "fig11" | "cluster" | "faults"));
     let published = if needs_publish {
         eprintln!("converting and publishing corpus to registries...");
         Some(experiments::fig8::publish_corpus(&ctx))
@@ -114,7 +118,7 @@ fn main() -> ExitCode {
                 let series = if ctx.corpus.series_by_name("tomcat").is_some() {
                     "tomcat"
                 } else {
-                    &ctx.corpus.series[0].spec.name
+                    ctx.corpus.series[0].spec.name
                 };
                 println!(
                     "{}",
@@ -124,11 +128,14 @@ fn main() -> ExitCode {
             "fig11" => {
                 println!("{}", experiments::fig11::run(&ctx, published.as_ref().expect("published")))
             }
+            "faults" => {
+                println!("{}", experiments::faults::run(&ctx, published.as_ref().expect("published")))
+            }
             "cluster" => {
                 let series = if ctx.corpus.series_by_name("postgres").is_some() {
                     "postgres"
                 } else {
-                    &ctx.corpus.series[0].spec.name
+                    ctx.corpus.series[0].spec.name
                 };
                 println!(
                     "{}",

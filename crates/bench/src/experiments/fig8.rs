@@ -111,11 +111,10 @@ pub fn run(ctx: &ExperimentContext, published: &PublishedCorpus) -> Fig8 {
         .filter_map(|c| per_cat.remove(c).map(|v| (*c, v)))
         .collect();
     for (_, v) in &mut categories {
-        if v.deployments > 0 {
-            v.docker /= v.deployments;
-            v.gear_cold /= v.deployments;
-            v.gear_warm /= v.deployments;
-        }
+        let n = v.deployments.max(1);
+        v.docker /= n;
+        v.gear_cold /= n;
+        v.gear_warm /= n;
     }
     Fig8 { categories }
 }

@@ -14,7 +14,7 @@ use gear_hash::{Digest, Fingerprint};
 use gear_image::ImageRef;
 use gear_corpus::StartupTrace;
 use gear_registry::{DockerRegistry, GearFileStore};
-use gear_simnet::NetMetrics;
+use gear_simnet::{FaultKind, FaultPlan, NetMetrics, RetryPolicy};
 
 use crate::cache::SharedCache;
 use crate::config::ClientConfig;
@@ -49,6 +49,12 @@ pub enum DeployError {
     Fs(FsError),
     /// No such container.
     NoSuchContainer(ContainerId),
+    /// Injected faults exhausted the retry budget on one request; the
+    /// deployment aborts with no partial state in the shared cache.
+    FaultBudgetExhausted {
+        /// Attempts the retry policy allowed (all consumed).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for DeployError {
@@ -58,6 +64,9 @@ impl fmt::Display for DeployError {
             DeployError::BadIndex(e) => write!(f, "invalid Gear index image: {e}"),
             DeployError::Fs(e) => write!(f, "file system error during deployment: {e}"),
             DeployError::NoSuchContainer(id) => write!(f, "no such container: {id}"),
+            DeployError::FaultBudgetExhausted { attempts } => {
+                write!(f, "injected faults exhausted the retry budget ({attempts} attempts)")
+            }
         }
     }
 }
@@ -93,19 +102,35 @@ struct Container {
 }
 
 /// One fetch performed by the materializer during a read.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum FetchEvent {
     CacheHit { bytes: u64 },
-    Downloaded { transfer_bytes: u64, raw_bytes: u64 },
+    Downloaded { fingerprint: Fingerprint, content: Bytes, transfer_bytes: u64 },
     Missing,
 }
 
 /// Materializer backed by the shared cache and the Gear Registry. Events are
-/// recorded so the caller can charge simulated time afterwards.
+/// recorded so the caller can charge simulated time afterwards — and, under
+/// fault injection, so the caller can insert a download into the shared
+/// cache *only after* the simulated request actually succeeded. A per-read
+/// scratch map dedups repeated fingerprints within one read so the
+/// accounting matches what cache admission would have produced.
 struct CacheAndRegistry<'a> {
     cache: RefCell<&'a mut SharedCache>,
     store: &'a GearFileStore,
     events: RefCell<Vec<FetchEvent>>,
+    fetched: RefCell<HashMap<Fingerprint, Bytes>>,
+}
+
+impl<'a> CacheAndRegistry<'a> {
+    fn new(cache: &'a mut SharedCache, store: &'a GearFileStore) -> Self {
+        CacheAndRegistry {
+            cache: RefCell::new(cache),
+            store,
+            events: RefCell::new(Vec::new()),
+            fetched: RefCell::new(HashMap::new()),
+        }
+    }
 }
 
 impl Materializer for CacheAndRegistry<'_> {
@@ -114,14 +139,21 @@ impl Materializer for CacheAndRegistry<'_> {
             self.events.borrow_mut().push(FetchEvent::CacheHit { bytes: content.len() as u64 });
             return Ok(content);
         }
+        if let Some(content) = self.fetched.borrow().get(&fingerprint) {
+            // Already downloaded earlier in this read; a committed cache
+            // would have served it, so account it as a hit.
+            self.events.borrow_mut().push(FetchEvent::CacheHit { bytes: content.len() as u64 });
+            return Ok(content.clone());
+        }
         match self.store.download(fingerprint) {
             Some(content) => {
                 let transfer = self.store.transfer_size(fingerprint).unwrap_or(content.len() as u64);
                 self.events.borrow_mut().push(FetchEvent::Downloaded {
+                    fingerprint,
+                    content: content.clone(),
                     transfer_bytes: transfer,
-                    raw_bytes: content.len() as u64,
                 });
-                self.cache.borrow_mut().insert(fingerprint, content.clone());
+                self.fetched.borrow_mut().insert(fingerprint, content.clone());
                 Ok(content)
             }
             None => {
@@ -130,6 +162,15 @@ impl Materializer for CacheAndRegistry<'_> {
             }
         }
     }
+}
+
+/// Per-client fault-injection state: the plan, the retry budget, and how
+/// many failed attempts have been retried so far.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    retries: u64,
 }
 
 /// The Gear deployment client (paper §III-D): pulls tiny index images,
@@ -145,6 +186,8 @@ pub struct GearClient {
     blobs: HashSet<Digest>,
     metrics: NetMetrics,
     next_id: u64,
+    /// Active fault injection, if any (see [`GearClient::inject_faults`]).
+    faults: Option<FaultState>,
 }
 
 impl GearClient {
@@ -158,7 +201,72 @@ impl GearClient {
             blobs: HashSet::new(),
             metrics: NetMetrics::new(),
             next_id: 0,
+            faults: None,
         }
+    }
+
+    /// Activates fault injection: every registry request this client makes
+    /// draws from `plan`, and failed attempts are retried under `policy`
+    /// (timeouts and backoff charged to the simulated deployment time).
+    /// Exhausting the budget aborts the deployment with
+    /// [`DeployError::FaultBudgetExhausted`] and leaves no partial entries
+    /// in the shared cache.
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.faults = Some(FaultState { plan, policy, retries: 0 });
+    }
+
+    /// Deactivates fault injection.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Failed request attempts retried since [`GearClient::inject_faults`].
+    pub fn fault_retries(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |state| state.retries)
+    }
+
+    /// Prices one registry request of `scaled_bytes` under the active fault
+    /// plan: the nominal request time, plus per-attempt fault costs (drops
+    /// and over-budget stalls cost the per-attempt timeout; corruption and
+    /// truncation cost a full wasted transfer) and backoff between attempts.
+    ///
+    /// Associated function (not `&mut self`) so callers holding disjoint
+    /// field borrows can still charge requests.
+    fn charged_request(
+        faults: &mut Option<FaultState>,
+        config: ClientConfig,
+        scaled_bytes: u64,
+    ) -> Result<Duration, DeployError> {
+        let nominal = config.request_time(scaled_bytes);
+        let Some(state) = faults else {
+            return Ok(nominal);
+        };
+        let attempts = state.policy.max_attempts.max(1);
+        let mut elapsed = Duration::ZERO;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                elapsed += state.policy.backoff(attempt);
+            }
+            match state.plan.next_fault() {
+                None => return Ok(elapsed + nominal),
+                Some(FaultKind::Stall(extra))
+                    if nominal + extra <= state.policy.timeout =>
+                {
+                    // Late but within the per-attempt budget: delivered.
+                    return Ok(elapsed + nominal + extra);
+                }
+                Some(FaultKind::Drop) | Some(FaultKind::Stall(_)) => {
+                    elapsed += state.policy.timeout;
+                    state.retries += 1;
+                }
+                Some(FaultKind::Corrupt) | Some(FaultKind::Truncate) => {
+                    // The bytes crossed the wire but failed verification.
+                    elapsed += nominal;
+                    state.retries += 1;
+                }
+            }
+        }
+        Err(DeployError::FaultBudgetExhausted { attempts })
     }
 
     /// The client's configuration.
@@ -186,6 +294,11 @@ impl GearClient {
         self.cache.bytes()
     }
 
+    /// Whether `fingerprint` is resident in the shared cache.
+    pub fn cache_contains(&self, fingerprint: Fingerprint) -> bool {
+        self.cache.contains(fingerprint)
+    }
+
     /// Empties the shared cache (the paper's "no local cache" scenario).
     pub fn clear_cache(&mut self) {
         self.cache.clear();
@@ -208,6 +321,7 @@ impl GearClient {
         store: &GearFileStore,
     ) -> Result<(ContainerId, DeploymentReport), DeployError> {
         let mut report = DeploymentReport::new(reference.clone());
+        let retries_before = self.fault_retries();
 
         // ---- pull phase: fetch the (tiny) index image ----------------------
         let mut pull = Duration::ZERO;
@@ -216,7 +330,7 @@ impl GearClient {
                 .manifest(reference)
                 .ok_or_else(|| DeployError::ImageNotFound(reference.clone()))?;
             let manifest_bytes = manifest.to_json().len() as u64;
-            let took = self.config.request_time(manifest_bytes);
+            let took = Self::charged_request(&mut self.faults, self.config, manifest_bytes)?;
             report
                 .timeline
                 .push(pull, took, TimelineEvent::Manifest { bytes: manifest_bytes });
@@ -231,7 +345,8 @@ impl GearClient {
                 }
                 // The index is metadata, not image content: its size is not
                 // scaled up — it is already "paper scale" (a few hundred KB).
-                let took = self.config.request_time(desc.size) + self.config.decompress(desc.size);
+                let took = Self::charged_request(&mut self.faults, self.config, desc.size)?
+                    + self.config.decompress(desc.size);
                 report.timeline.push(pull, took, TimelineEvent::Index { bytes: desc.size });
                 pull += took;
                 report.bytes_pulled += desc.size;
@@ -257,13 +372,10 @@ impl GearClient {
         run += launch;
 
         for path in &trace.reads {
-            let session = CacheAndRegistry {
-                cache: RefCell::new(&mut self.cache),
-                store,
-                events: RefCell::new(Vec::new()),
-            };
+            let session = CacheAndRegistry::new(&mut self.cache, store);
             let read = mount.read(path, &session);
-            let events = session.events.into_inner();
+            let CacheAndRegistry { events, .. } = session;
+            let events = events.into_inner();
             read?;
             for event in events {
                 match event {
@@ -278,14 +390,20 @@ impl GearClient {
                         );
                         run += took;
                     }
-                    FetchEvent::Downloaded { transfer_bytes, raw_bytes } => {
+                    FetchEvent::Downloaded { fingerprint, content, transfer_bytes } => {
                         let scaled_transfer = self.config.scaled(transfer_bytes);
-                        let scaled_raw = self.config.scaled(raw_bytes);
+                        let scaled_raw = self.config.scaled(content.len() as u64);
+                        // Charge the (possibly faulty) request first: if the
+                        // retry budget is exhausted the deploy aborts and the
+                        // file never reaches the shared cache.
+                        let request =
+                            Self::charged_request(&mut self.faults, self.config, scaled_transfer)?;
+                        self.cache.insert(fingerprint, content);
                         report.files_fetched += 1;
                         report.requests += 1;
                         report.bytes_pulled += scaled_transfer;
                         self.metrics.download(scaled_transfer);
-                        let took = self.config.request_time(scaled_transfer)
+                        let took = request
                             + self.config.decompress(scaled_transfer)
                             + self
                                 .config
@@ -310,6 +428,7 @@ impl GearClient {
         report.timeline.push(pull + run, task, TimelineEvent::Task);
         run += task;
         report.run = run;
+        report.retries = self.fault_retries() - retries_before;
 
         let id = ContainerId::from_raw(self.next_id);
         self.next_id += 1;
@@ -337,6 +456,7 @@ impl GearClient {
     ) -> Result<(ContainerId, DeploymentReport), DeployError> {
         // Install the index first (charged like a normal pull) by running a
         // deploy with an empty trace, then discard that container.
+        let retries_before = self.fault_retries();
         let empty = StartupTrace { reads: Vec::new(), task: trace.task };
         let (warmup, mut report) = self.deploy(reference, &empty, docker, store)?;
         self.destroy(warmup);
@@ -358,8 +478,12 @@ impl GearClient {
             }
         }
 
-        // One pipelined batch over the link.
+        // One pipelined batch over the link. Under fault injection each file
+        // is still one request: retries and timeouts for it are charged on
+        // top of the batch, and a file is committed to the cache only after
+        // its request survived the fault plan.
         let mut batch_bytes = 0u64;
+        let mut fault_overhead = Duration::ZERO;
         for (fp, _) in &wanted {
             let content = store.download(*fp).ok_or_else(|| {
                 DeployError::Fs(FsError::Materialize {
@@ -369,6 +493,8 @@ impl GearClient {
             })?;
             let transfer =
                 self.config.scaled(store.transfer_size(*fp).unwrap_or(content.len() as u64));
+            let charged = Self::charged_request(&mut self.faults, self.config, transfer)?;
+            fault_overhead += charged.saturating_sub(self.config.request_time(transfer));
             batch_bytes += transfer;
             self.cache.insert(*fp, content);
             report.files_fetched += 1;
@@ -381,7 +507,7 @@ impl GearClient {
                 + self.config.link.bandwidth.transfer_time(batch_bytes)
                 + self.config.decompress(batch_bytes)
                 + self.config.disk.io_time(batch_bytes, wanted.len() as u64);
-            report.pull += batch_time;
+            report.pull += batch_time + fault_overhead;
             report.requests += wanted.len() as u64;
             report.bytes_pulled += batch_bytes;
             self.metrics.download(batch_bytes);
@@ -392,6 +518,7 @@ impl GearClient {
         report.run = run_report.run;
         report.cache_hits = run_report.cache_hits;
         report.timeline = run_report.timeline;
+        report.retries = self.fault_retries() - retries_before;
         Ok((id, report))
     }
 
@@ -418,20 +545,23 @@ impl GearClient {
         let mut elapsed = Duration::ZERO;
         for _ in 0..ops {
             for path in op_reads {
-                let session = CacheAndRegistry {
-                    cache: RefCell::new(&mut self.cache),
-                    store,
-                    events: RefCell::new(Vec::new()),
-                };
+                let session = CacheAndRegistry::new(&mut self.cache, store);
                 let read = container.mount.read(path, &session);
-                let events = session.events.into_inner();
+                let CacheAndRegistry { events, .. } = session;
+                let events = events.into_inner();
                 let content = read?;
                 // Every op pays the local read, exactly as Docker does; only
                 // a first-touch download additionally pays the network.
                 elapsed += config.local_read(config.scaled(content.len() as u64));
                 for event in events {
-                    if let FetchEvent::Downloaded { transfer_bytes, .. } = event {
-                        elapsed += config.request_time(config.scaled(transfer_bytes));
+                    if let FetchEvent::Downloaded { fingerprint, content, transfer_bytes } = event
+                    {
+                        elapsed += Self::charged_request(
+                            &mut self.faults,
+                            config,
+                            config.scaled(transfer_bytes),
+                        )?;
+                        self.cache.insert(fingerprint, content);
                     }
                 }
             }
@@ -455,20 +585,20 @@ impl GearClient {
         len: u64,
         store: &GearFileStore,
     ) -> Result<Bytes, DeployError> {
+        let config = self.config;
         let container =
             self.containers.get_mut(&id).ok_or(DeployError::NoSuchContainer(id))?;
-        let session = CacheAndRegistry {
-            cache: RefCell::new(&mut self.cache),
-            store,
-            events: RefCell::new(Vec::new()),
-        };
+        let session = CacheAndRegistry::new(&mut self.cache, store);
         let read = container.mount.read_range(path, offset, len, &session);
-        let events = session.events.into_inner();
+        let CacheAndRegistry { events, .. } = session;
+        let events = events.into_inner();
         let content = read?;
         for event in events {
-            if let FetchEvent::Downloaded { transfer_bytes, .. } = event {
-                let scaled = self.config.scaled(transfer_bytes);
+            if let FetchEvent::Downloaded { fingerprint, content, transfer_bytes } = event {
+                let scaled = config.scaled(transfer_bytes);
+                Self::charged_request(&mut self.faults, config, scaled)?;
                 self.metrics.download(scaled);
+                self.cache.insert(fingerprint, content);
             }
         }
         Ok(content)
@@ -788,6 +918,63 @@ mod tests {
                 .count(),
             2
         );
+    }
+
+    #[test]
+    fn transient_faults_slow_deployment_but_keep_results_identical() {
+        let (docker, store, r) = setup(&[("app/bin", b"binary bytes")], "svc:1");
+
+        let mut clean = GearClient::new(ClientConfig::default());
+        let (_, baseline) = clean.deploy(&r, &trace(&["app/bin"]), &docker, &store).unwrap();
+
+        let mut faulty = GearClient::new(ClientConfig::default());
+        faulty.inject_faults(
+            FaultPlan::new(7).fail_requests(0, 1, FaultKind::Drop),
+            RetryPolicy::standard(11),
+        );
+        let (_, report) = faulty.deploy(&r, &trace(&["app/bin"]), &docker, &store).unwrap();
+
+        assert_eq!(report.retries, 2, "two scripted drops were retried");
+        assert_eq!(report.files_fetched, baseline.files_fetched);
+        assert_eq!(report.bytes_pulled, baseline.bytes_pulled);
+        assert_eq!(report.cache_hits, baseline.cache_hits);
+        assert!(
+            report.total() > baseline.total(),
+            "retries cost simulated time: {:?} !> {:?}",
+            report.total(),
+            baseline.total()
+        );
+        assert_eq!(faulty.cache_bytes(), clean.cache_bytes(), "same files end up cached");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let (docker, store, r) = setup(&[("a", b"one"), ("b", b"two")], "svc:1");
+        let deploy_once = || {
+            let mut client = GearClient::new(ClientConfig::default());
+            client.inject_faults(
+                FaultPlan::new(42).with_drop(0.3),
+                RetryPolicy::standard(42),
+            );
+            let (_, report) = client.deploy(&r, &trace(&["a", "b"]), &docker, &store).unwrap();
+            report
+        };
+        assert_eq!(deploy_once(), deploy_once(), "same seeds → identical report");
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_with_no_partial_cache_entries() {
+        let (docker, store, r) = setup(&[("app/bin", b"binary")], "svc:1");
+        let mut client = GearClient::new(ClientConfig::default());
+        client.inject_faults(FaultPlan::new(3).with_drop(1.0), RetryPolicy::standard(5));
+        let err = client.deploy(&r, &trace(&["app/bin"]), &docker, &store).unwrap_err();
+        assert!(matches!(err, DeployError::FaultBudgetExhausted { attempts: 4 }));
+        assert_eq!(client.cache_bytes(), 0, "aborted deploy left data in the cache");
+        // Clearing the plan makes the same deployment succeed.
+        client.clear_faults();
+        let (_, report) = client.deploy(&r, &trace(&["app/bin"]), &docker, &store).unwrap();
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.files_fetched, 1);
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct DeploymentReport {
     pub files_fetched: u64,
     /// On-demand lookups served by the local shared cache.
     pub cache_hits: u64,
+    /// Failed request attempts that were retried under fault injection
+    /// (zero when no fault plan is active).
+    pub retries: u64,
     /// Ordered step-by-step record of the deployment (populated by the Gear
     /// engine; coarse or empty for the baselines).
     pub timeline: Timeline,
@@ -44,6 +47,7 @@ impl DeploymentReport {
             requests: 0,
             files_fetched: 0,
             cache_hits: 0,
+            retries: 0,
             timeline: Timeline::new(),
         }
     }

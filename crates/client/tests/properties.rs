@@ -1,7 +1,7 @@
 //! Property-based tests on the shared cache's replacement invariants.
 
 use bytes::Bytes;
-use gear_client::{EvictionPolicy, SharedCache};
+use gear_client::{ClientConfig, DeployError, EvictionPolicy, GearClient, SharedCache};
 use gear_hash::Fingerprint;
 use proptest::prelude::*;
 
@@ -116,5 +116,65 @@ proptest! {
         // Unbounded cache: resident bytes equal the model's total.
         let model_bytes: u64 = model.values().map(|b| b.len() as u64).sum();
         prop_assert_eq!(cache.bytes(), model_bytes);
+    }
+
+    /// A deployment aborted by fault-budget exhaustion never leaves a
+    /// partial entry in the shared cache: whatever request the failure
+    /// burst lands on, every cached file is one that was fully (and
+    /// successfully) transferred, and the byte accounting matches exactly.
+    #[test]
+    fn aborted_deploys_leave_no_partial_cache_entries(
+        fail_from in 0u64..8,
+        sizes in proptest::collection::vec(8u16..2048, 2..6),
+    ) {
+        use gear_core::{publish, Converter};
+        use gear_corpus::{StartupTrace, TaskKind};
+        use gear_fs::FsTree;
+        use gear_image::{ImageBuilder, ImageRef};
+        use gear_registry::{DockerRegistry, GearFileStore};
+        use gear_simnet::{FaultKind, FaultPlan, RetryPolicy};
+
+        let mut tree = FsTree::new();
+        let mut contents: Vec<(String, Bytes)> = Vec::new();
+        for (i, len) in sizes.iter().enumerate() {
+            let path = format!("data/f{i}");
+            // Distinct bytes per file so fingerprints never collide.
+            let b = Bytes::from(vec![i as u8 + 1; *len as usize]);
+            tree.create_file(&path, b.clone()).unwrap();
+            contents.push((path, b));
+        }
+        let r: ImageRef = "prop:1".parse().unwrap();
+        let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+        let conv = Converter::new().convert(&image).unwrap();
+        let mut docker = DockerRegistry::new();
+        let mut store = GearFileStore::new();
+        publish(&conv, &mut docker, &mut store);
+        let trace = StartupTrace {
+            reads: contents.iter().map(|(p, _)| p.clone()).collect(),
+            task: TaskKind::Echo,
+        };
+
+        // Fail every request from `fail_from` on: the deploy aborts there
+        // (or succeeds outright if the burst starts past its last request).
+        let mut client = GearClient::new(ClientConfig::default());
+        client.inject_faults(
+            FaultPlan::new(0).fail_requests(fail_from, u64::MAX, FaultKind::Drop),
+            RetryPolicy::standard(0),
+        );
+        match client.deploy(&r, &trace, &docker, &store) {
+            Ok((_, report)) => prop_assert_eq!(report.files_fetched, contents.len() as u64),
+            Err(DeployError::FaultBudgetExhausted { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected deploy error: {}", other),
+        }
+        // Whatever happened, the cache holds only complete, correct files.
+        let mut expected_bytes = 0u64;
+        let stats = client.cache_stats();
+        for (_, content) in &contents {
+            if client.cache_contains(Fingerprint::of(content)) {
+                expected_bytes += content.len() as u64;
+            }
+        }
+        prop_assert_eq!(client.cache_bytes(), expected_bytes, "cache bytes must be consistent");
+        prop_assert_eq!(stats.evictions, 0, "unbounded cache never evicts");
     }
 }

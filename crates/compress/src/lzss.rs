@@ -252,7 +252,7 @@ mod tests {
     #[test]
     fn long_range_matches_within_window() {
         let mut data = vec![7u8; 100];
-        data.extend(std::iter::repeat(3u8).take(WINDOW - 200));
+        data.extend(std::iter::repeat_n(3u8, WINDOW - 200));
         data.extend_from_slice(&[7u8; 100]); // matches the prefix across ~32K
         roundtrip(&data, Level::Best);
     }

@@ -112,8 +112,8 @@ impl CollisionResolver {
                     let mut salted = content.to_vec();
                     salted.extend_from_slice(&salt.to_le_bytes());
                     let id = Fingerprint::of(&salted);
-                    if !self.seen.contains_key(&id) {
-                        self.seen.insert(id, content.clone());
+                    if let std::collections::hash_map::Entry::Vacant(slot) = self.seen.entry(id) {
+                        slot.insert(content.clone());
                         return (id, false);
                     }
                     salt += 1;

@@ -379,7 +379,7 @@ impl Generator {
                     // One Docker layer per sub-layer, keyed on its revision:
                     // unrefreshed sub-layers keep their digest and dedup in
                     // the registry across versions.
-                    for l in 0..APP_SUBLAYERS {
+                    for (l, rev) in app_rev.iter().enumerate() {
                         let files: Vec<FileSpec> = app_files
                             .iter()
                             .filter(|f| f.sublayer == l)
@@ -390,7 +390,7 @@ impl Generator {
                         }
                         let key = mix2(
                             series_seed,
-                            0x8000 + (l as u64) * 0x0001_0000 + app_rev[l],
+                            0x8000 + (l as u64) * 0x0001_0000 + rev,
                         );
                         builder = builder.existing_layer(self.layer_for(key, &files));
                     }
@@ -681,10 +681,8 @@ mod tests {
     #[test]
     fn consecutive_versions_share_files() {
         let corpus = quick();
-        let series = corpus.series_by_name("tomcat").or(corpus.series.first().map(|s| {
-            // quick() may not include tomcat; any app series works.
-            s
-        }));
+        // quick() may not include tomcat; any app series works.
+        let series = corpus.series_by_name("tomcat").or(corpus.series.first());
         let series = series.expect("non-empty corpus");
         let fingerprints = |img: &Image| -> std::collections::HashSet<Fingerprint> {
             img.layers()

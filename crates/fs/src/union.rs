@@ -474,7 +474,7 @@ impl UnionFs {
         let path = valid.as_str();
         let in_upper = self.upper.contains(path);
         let in_lower = self.find_lower(path).is_some();
-        if !in_upper && !(in_lower && !self.lower_hidden(path)) {
+        if !in_upper && (!in_lower || self.lower_hidden(path)) {
             return Err(FsError::NotFound(path.to_owned()));
         }
         if in_upper {

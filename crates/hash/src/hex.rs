@@ -59,7 +59,7 @@ impl Error for FromHexError {}
 /// ```
 pub fn decode(s: &str) -> Result<Vec<u8>, FromHexError> {
     let bytes = s.as_bytes();
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return Err(FromHexError::OddLength);
     }
     let mut out = Vec::with_capacity(bytes.len() / 2);

@@ -14,7 +14,7 @@ use gear_fs::{FsError, FsTree, UnionFs};
 use gear_hash::Fingerprint;
 use gear_image::ImageRef;
 use gear_registry::{DockerRegistry, GearFileStore};
-use gear_simnet::Link;
+use gear_simnet::{FaultKind, FaultPlan, Link, RetryPolicy};
 
 use crate::directory::PeerDirectory;
 
@@ -30,6 +30,12 @@ pub enum ClusterError {
     ImageNotFound(ImageRef),
     /// A trace path could not be served.
     Fs(FsError),
+    /// Injected faults exhausted the retry budget on a registry transfer
+    /// (peers had already been tried; the registry was the last resort).
+    FaultBudgetExhausted {
+        /// Attempts the retry policy allowed (all consumed).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -38,6 +44,9 @@ impl fmt::Display for ClusterError {
             ClusterError::NoSuchNode(n) => write!(f, "no such node: {n}"),
             ClusterError::ImageNotFound(r) => write!(f, "image {r} not found"),
             ClusterError::Fs(e) => write!(f, "file system error: {e}"),
+            ClusterError::FaultBudgetExhausted { attempts } => {
+                write!(f, "injected faults exhausted the retry budget ({attempts} attempts)")
+            }
         }
     }
 }
@@ -110,6 +119,17 @@ pub struct NodeDeployment {
     pub peer_bytes: u64,
     /// Bytes fetched from the registry (paper scale).
     pub registry_bytes: u64,
+    /// Failed transfer attempts retried or degraded under fault injection
+    /// (zero when no fault plan is active).
+    pub retries: u64,
+}
+
+/// Cluster-wide fault-injection state (see [`Cluster::inject_faults`]).
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    retries: u64,
 }
 
 #[derive(Debug)]
@@ -131,6 +151,7 @@ pub struct Cluster {
     directory: PeerDirectory,
     registry_egress: u64,
     peer_traffic: u64,
+    faults: Option<FaultState>,
 }
 
 impl Cluster {
@@ -151,7 +172,28 @@ impl Cluster {
             directory: PeerDirectory::new(),
             registry_egress: 0,
             peer_traffic: 0,
+            faults: None,
         }
+    }
+
+    /// Activates fault injection: every network transfer in the cluster
+    /// (peer and registry alike) draws from `plan`. A failed peer transfer
+    /// degrades to the next holder and finally to the registry; registry
+    /// transfers are retried under `policy`, and only exhausting that last
+    /// resort aborts the deployment with
+    /// [`ClusterError::FaultBudgetExhausted`].
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+        self.faults = Some(FaultState { plan, policy, retries: 0 });
+    }
+
+    /// Deactivates fault injection.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Failed transfer attempts retried since [`Cluster::inject_faults`].
+    pub fn fault_retries(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |state| state.retries)
     }
 
     /// Number of nodes.
@@ -200,6 +242,7 @@ impl Cluster {
             return Err(ClusterError::NoSuchNode(node));
         }
         let client = self.config.client;
+        let retries_before = self.fault_retries();
         let mut total = Duration::ZERO;
 
         // --- pull: install the index if missing -----------------------------
@@ -211,7 +254,8 @@ impl Cluster {
                 .map_err(|_| ClusterError::ImageNotFound(reference.clone()))?;
             let index = gear.into_index();
             let index_bytes = index.serialized_len();
-            total += self.registry_link_time(index_bytes);
+            let nominal = self.registry_link_time(index_bytes);
+            total += self.charged_registry_transfer(nominal)?;
             self.registry_egress += index_bytes;
             for (fp, _) in index.referenced_files() {
                 self.nodes[node].cache.pin(fp);
@@ -233,6 +277,7 @@ impl Cluster {
             registry_files: 0,
             peer_bytes: 0,
             registry_bytes: 0,
+            retries: 0,
         };
         let index = Arc::clone(&self.nodes[node].indexes[reference].0);
         for path in &trace.reads {
@@ -250,6 +295,7 @@ impl Cluster {
         }
         total += trace.task.compute_time();
         report.total = total;
+        report.retries = self.fault_retries() - retries_before;
         Ok(report)
     }
 
@@ -289,6 +335,52 @@ impl Cluster {
             + link.bandwidth.transfer_time(bytes)
     }
 
+    /// Draws one fault for a transfer whose clean duration is `nominal`.
+    /// `Ok(extra)` means the transfer succeeded with `extra` stall time;
+    /// `Err(wasted)` means it failed after `wasted` simulated time (a drop
+    /// or over-budget stall burns the per-attempt timeout; corruption and
+    /// truncation burn a full wasted transfer).
+    fn attempt(faults: &mut Option<FaultState>, nominal: Duration) -> Result<Duration, Duration> {
+        let Some(state) = faults else {
+            return Ok(Duration::ZERO);
+        };
+        match state.plan.next_fault() {
+            None => Ok(Duration::ZERO),
+            Some(FaultKind::Stall(extra)) if nominal + extra <= state.policy.timeout => Ok(extra),
+            Some(FaultKind::Drop) | Some(FaultKind::Stall(_)) => {
+                state.retries += 1;
+                Err(state.policy.timeout)
+            }
+            Some(FaultKind::Corrupt) | Some(FaultKind::Truncate) => {
+                state.retries += 1;
+                Err(nominal)
+            }
+        }
+    }
+
+    /// Charges one registry transfer of clean duration `nominal` under the
+    /// full retry budget (the registry is the last resort — there is no one
+    /// left to degrade to).
+    fn charged_registry_transfer(&mut self, nominal: Duration) -> Result<Duration, ClusterError> {
+        let attempts = match &self.faults {
+            None => return Ok(nominal),
+            Some(state) => state.policy.max_attempts.max(1),
+        };
+        let mut charge = Duration::ZERO;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                if let Some(state) = &self.faults {
+                    charge += state.policy.backoff(attempt);
+                }
+            }
+            match Self::attempt(&mut self.faults, nominal) {
+                Ok(extra) => return Ok(charge + nominal + extra),
+                Err(wasted) => charge += wasted,
+            }
+        }
+        Err(ClusterError::FaultBudgetExhausted { attempts })
+    }
+
     fn fetch(
         &mut self,
         node: NodeId,
@@ -303,20 +395,29 @@ impl Cluster {
             report.local_files += 1;
             return Ok((content, client.costs.hard_link));
         }
-        // 2. A peer.
-        if let Some(peer) = self.directory.locate(fingerprint, node) {
-            if let Some(content) = self.nodes[peer].cache.get(fingerprint) {
-                let scaled = client.scaled(content.len() as u64);
-                let charge = self.peer_link_time(scaled)
-                    + client.disk.io_time(scaled, 1);
-                self.peer_traffic += scaled;
-                report.peer_files += 1;
-                report.peer_bytes += scaled;
-                self.admit(node, fingerprint, content.clone());
-                return Ok((content, charge));
+        let mut charge = Duration::ZERO;
+        // 2. Peers, in load-spreading order. A faulty transfer gets one
+        // attempt per holder — real P2P clients switch peers rather than
+        // hammer a bad one — and degrades to the next, then to the registry.
+        for peer in self.directory.holders_except(fingerprint, node) {
+            let Some(content) = self.nodes[peer].cache.get(fingerprint) else {
+                // Stale directory entry (peer evicted): try the next holder.
+                self.directory.withdraw(fingerprint, peer);
+                continue;
+            };
+            let scaled = client.scaled(content.len() as u64);
+            let nominal = self.peer_link_time(scaled);
+            match Self::attempt(&mut self.faults, nominal) {
+                Ok(extra) => {
+                    charge += nominal + extra + client.disk.io_time(scaled, 1);
+                    self.peer_traffic += scaled;
+                    report.peer_files += 1;
+                    report.peer_bytes += scaled;
+                    self.admit(node, fingerprint, content.clone());
+                    return Ok((content, charge));
+                }
+                Err(wasted) => charge += wasted,
             }
-            // Stale directory entry (peer evicted): fall through.
-            self.directory.withdraw(fingerprint, peer);
         }
         // 3. The registry.
         let content = store.download(fingerprint).ok_or_else(|| {
@@ -326,7 +427,8 @@ impl Cluster {
             })
         })?;
         let transfer = client.scaled(store.transfer_size(fingerprint).unwrap_or(size));
-        let charge = self.registry_link_time(transfer)
+        let nominal = self.registry_link_time(transfer);
+        charge += self.charged_registry_transfer(nominal)?
             + client.decompress(transfer)
             + client.disk.io_time(client.scaled(content.len() as u64), 1);
         self.registry_egress += transfer;
@@ -470,6 +572,87 @@ mod tests {
         let report = cluster.deploy_on(1, &rb, &tb, &reg, &store).unwrap();
         assert_eq!(report.peer_files, 1, "the shared library comes from node 0");
         assert_eq!(report.registry_files, 1, "only bin/b comes from the registry");
+    }
+
+    #[test]
+    fn faulty_peer_degrades_to_another_peer() {
+        let (reg, store, r) = published(&[("f", &[5u8; 40_000])]);
+        let mut cluster = Cluster::new(ClusterConfig::lan(3));
+        let t = trace(&["f"]);
+        cluster.deploy_on(0, &r, &t, &reg, &store).unwrap(); // registry
+        cluster.deploy_on(1, &r, &t, &reg, &store).unwrap(); // peer 0
+        // Node 2: draw 0 is its index pull, draw 1 the first peer attempt.
+        cluster.inject_faults(
+            FaultPlan::new(9).fail_requests(1, 1, FaultKind::Drop),
+            RetryPolicy::standard(9),
+        );
+        let report = cluster.deploy_on(2, &r, &t, &reg, &store).unwrap();
+        assert_eq!(report.peer_files, 1, "the second holder serves the file");
+        assert_eq!(report.registry_files, 0);
+        assert_eq!(report.retries, 1);
+    }
+
+    #[test]
+    fn all_peers_faulty_degrades_to_registry() {
+        let (reg, store, r) = published(&[("f", &[5u8; 40_000])]);
+        let mut cluster = Cluster::new(ClusterConfig::lan(3));
+        let t = trace(&["f"]);
+        cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();
+        cluster.deploy_on(1, &r, &t, &reg, &store).unwrap();
+        // Node 2: fail both peer attempts (draws 1 and 2); the registry
+        // attempt (draw 3) is clean.
+        cluster.inject_faults(
+            FaultPlan::new(9).fail_requests(1, 2, FaultKind::Drop),
+            RetryPolicy::standard(9),
+        );
+        let clean = {
+            let mut c = Cluster::new(ClusterConfig::lan(3));
+            c.deploy_on(0, &r, &t, &reg, &store).unwrap();
+            c.deploy_on(1, &r, &t, &reg, &store).unwrap();
+            c.deploy_on(2, &r, &t, &reg, &store).unwrap()
+        };
+        let report = cluster.deploy_on(2, &r, &t, &reg, &store).unwrap();
+        assert_eq!(report.peer_files, 0);
+        assert_eq!(report.registry_files, 1, "the registry is the last resort");
+        assert_eq!(report.retries, 2);
+        assert!(
+            report.total > clean.total,
+            "degradation costs simulated time: {:?} !> {:?}",
+            report.total,
+            clean.total
+        );
+    }
+
+    #[test]
+    fn registry_exhaustion_is_a_typed_error() {
+        let (reg, store, r) = published(&[("f", &[5u8; 5_000])]);
+        let mut cluster = Cluster::new(ClusterConfig::lan(1));
+        cluster.inject_faults(FaultPlan::new(2).with_drop(1.0), RetryPolicy::standard(4));
+        assert!(matches!(
+            cluster.deploy_on(0, &r, &trace(&["f"]), &reg, &store),
+            Err(ClusterError::FaultBudgetExhausted { attempts: 4 })
+        ));
+        // Clearing the plan makes the same deployment succeed.
+        cluster.clear_faults();
+        let report = cluster.deploy_on(0, &r, &trace(&["f"]), &reg, &store).unwrap();
+        assert_eq!(report.registry_files, 1);
+        assert_eq!(report.retries, 0);
+    }
+
+    #[test]
+    fn cluster_fault_injection_is_deterministic() {
+        let (reg, store, r) = published(&[("a", &[1u8; 9_000]), ("b", &[2u8; 9_000])]);
+        let t = trace(&["a", "b"]);
+        let deploy_once = || {
+            let mut cluster = Cluster::new(ClusterConfig::edge(2));
+            cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();
+            cluster.inject_faults(
+                FaultPlan::new(77).with_drop(0.4),
+                RetryPolicy::standard(77),
+            );
+            cluster.deploy_on(1, &r, &t, &reg, &store).unwrap()
+        };
+        assert_eq!(deploy_once(), deploy_once(), "same seeds → identical deployment");
     }
 
     #[test]

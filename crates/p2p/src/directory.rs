@@ -40,18 +40,28 @@ impl PeerDirectory {
         }
     }
 
-    /// Picks a holder of `fingerprint` other than `asker`, rotating among
-    /// candidates so repeated lookups spread load.
-    pub(crate) fn locate(&mut self, fingerprint: Fingerprint, asker: RawNode) -> Option<RawNode> {
-        let set = self.holders.get(&fingerprint)?;
+    /// All holders of `fingerprint` other than `asker`, in the order a
+    /// degrading fetch should try them: rotated among candidates so repeated
+    /// lookups spread load, with the rest serving as fallbacks for when the
+    /// preferred peer's transfer fails.
+    pub(crate) fn holders_except(
+        &mut self,
+        fingerprint: Fingerprint,
+        asker: RawNode,
+    ) -> Vec<RawNode> {
+        let Some(set) = self.holders.get(&fingerprint) else {
+            return Vec::new();
+        };
         let mut candidates: Vec<RawNode> =
             set.iter().copied().filter(|n| *n != asker).collect();
         if candidates.is_empty() {
-            return None;
+            return candidates;
         }
         candidates.sort_unstable();
         self.cursor = self.cursor.wrapping_add(1);
-        Some(candidates[self.cursor % candidates.len()])
+        let start = self.cursor % candidates.len();
+        candidates.rotate_left(start);
+        candidates
     }
 
     /// Number of distinct fingerprints known to the cluster.
@@ -76,16 +86,17 @@ mod tests {
     #[test]
     fn announce_locate_withdraw() {
         let mut dir = PeerDirectory::new();
-        assert!(dir.locate(fp(1), 0).is_none());
+        assert!(dir.holders_except(fp(1), 0).is_empty());
         dir.announce(fp(1), 1);
         dir.announce(fp(1), 2);
-        // Node 0 finds someone else.
-        let holder = dir.locate(fp(1), 0).unwrap();
-        assert!(holder == 1 || holder == 2);
+        // Node 0 finds everyone else.
+        let holders = dir.holders_except(fp(1), 0);
+        assert_eq!(holders.len(), 2);
+        assert!(holders.contains(&1) && holders.contains(&2));
         // A holder never locates itself.
         dir.withdraw(fp(1), 2);
-        assert!(dir.locate(fp(1), 1).is_none());
-        assert_eq!(dir.locate(fp(1), 0), Some(1));
+        assert!(dir.holders_except(fp(1), 1).is_empty());
+        assert_eq!(dir.holders_except(fp(1), 0), vec![1]);
         dir.withdraw(fp(1), 1);
         assert_eq!(dir.distinct_files(), 0);
     }
@@ -98,7 +109,7 @@ mod tests {
         }
         let mut seen = HashSet::new();
         for _ in 0..16 {
-            seen.insert(dir.locate(fp(9), 0).unwrap());
+            seen.insert(dir.holders_except(fp(9), 0)[0]);
         }
         assert!(seen.len() >= 3, "round-robin should reach most holders: {seen:?}");
     }

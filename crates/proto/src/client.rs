@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use gear_hash::{Digest, Fingerprint};
 use gear_image::{ImageRef, Manifest};
+use gear_simnet::{RetryPolicy, VirtualClock};
 
 use crate::message::{ProtoError, Request, Response, Status};
 use crate::service::RegistryService;
@@ -64,15 +65,32 @@ impl Transport for Loopback {
 
 /// Typed client over a [`Transport`], implementing the paper's three Gear
 /// verbs plus the Docker pull endpoints.
+///
+/// With [`RegistryClient::with_retry`], transport-level failures (unparseable
+/// frames, per-attempt timeouts measured on the virtual clock, payloads that
+/// fail content verification) are retried under a [`RetryPolicy`]: each retry
+/// waits an exponentially growing, seeded-jitter backoff charged to the
+/// clock, and an exhausted budget surfaces as [`ProtoError::Exhausted`].
+/// Application-level answers (`404`, `400`) are never retried.
 #[derive(Debug)]
 pub struct RegistryClient<T> {
     transport: T,
+    retry: Option<(RetryPolicy, VirtualClock)>,
+    retries: u64,
 }
 
 impl<T: Transport> RegistryClient<T> {
-    /// Wraps a transport.
+    /// Wraps a transport; no retries, errors surface immediately.
     pub fn new(transport: T) -> Self {
-        RegistryClient { transport }
+        RegistryClient { transport, retry: None, retries: 0 }
+    }
+
+    /// Wraps a transport with a retry policy. Attempt durations and backoff
+    /// waits are measured against / charged to `clock` — share it with the
+    /// transport (e.g. [`FaultyTransport`](crate::FaultyTransport)) so
+    /// per-attempt timeouts observe the simulated cost of each attempt.
+    pub fn with_retry(transport: T, policy: RetryPolicy, clock: VirtualClock) -> Self {
+        RegistryClient { transport, retry: Some((policy, clock)), retries: 0 }
     }
 
     /// The underlying transport (for traffic accounting).
@@ -85,9 +103,55 @@ impl<T: Transport> RegistryClient<T> {
         self.transport
     }
 
+    /// Failed attempts that were retried (or counted toward exhaustion).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
     fn call(&mut self, request: &Request) -> Result<Response, ProtoError> {
-        let wire = self.transport.round_trip(&request.to_wire());
-        Response::parse(&wire)
+        self.call_checked(request, |_| Ok(()))
+    }
+
+    /// One logical request: under a retry policy, transport-level failures
+    /// (including `check` rejections) consume attempts separated by backoff;
+    /// without one, the first error surfaces directly.
+    fn call_checked(
+        &mut self,
+        request: &Request,
+        check: impl Fn(&Response) -> Result<(), ProtoError>,
+    ) -> Result<Response, ProtoError> {
+        let wire = request.to_wire();
+        let Some((policy, clock)) = self.retry.clone() else {
+            let response = Response::parse(&self.transport.round_trip(&wire))?;
+            check(&response)?;
+            return Ok(response);
+        };
+        let attempts = policy.max_attempts.max(1);
+        let mut last = ProtoError::Malformed("no attempt made".to_owned());
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                clock.advance(policy.backoff(attempt));
+            }
+            let before = clock.elapsed();
+            let raw = self.transport.round_trip(&wire);
+            let took = clock.elapsed().saturating_sub(before);
+            let outcome = if took > policy.timeout {
+                Err(ProtoError::Timeout(took))
+            } else {
+                Response::parse(&raw).and_then(|response| {
+                    check(&response)?;
+                    Ok(response)
+                })
+            };
+            match outcome {
+                Ok(response) => return Ok(response),
+                Err(error) => {
+                    self.retries += 1;
+                    last = error;
+                }
+            }
+        }
+        Err(ProtoError::Exhausted { attempts, last: Box::new(last) })
     }
 
     /// `query`: whether the Gear file exists.
@@ -117,13 +181,23 @@ impl<T: Transport> RegistryClient<T> {
         }
     }
 
-    /// `download`: fetches a Gear file.
+    /// `download`: fetches a Gear file, re-verifying that the payload hashes
+    /// to the requested fingerprint (end-to-end corruption detection).
     ///
     /// # Errors
     ///
-    /// [`ProtoError::Unexpected`] with [`Status::NotFound`] if absent.
+    /// [`ProtoError::Unexpected`] with [`Status::NotFound`] if absent;
+    /// [`ProtoError::Corrupted`] if the payload fails verification.
     pub fn download(&mut self, fingerprint: Fingerprint) -> Result<Bytes, ProtoError> {
-        let response = self.call(&Request::Download(fingerprint))?;
+        let response = self.call_checked(&Request::Download(fingerprint), |response| {
+            if response.status == Status::Ok && Fingerprint::of(&response.body) != fingerprint {
+                Err(ProtoError::Corrupted(format!(
+                    "gear file {fingerprint}: payload does not hash to its fingerprint"
+                )))
+            } else {
+                Ok(())
+            }
+        })?;
         match response.status {
             Status::Ok => Ok(response.body),
             other => Err(ProtoError::Unexpected(other)),
@@ -144,13 +218,23 @@ impl<T: Transport> RegistryClient<T> {
         }
     }
 
-    /// Fetches a raw blob.
+    /// Fetches a raw blob, re-verifying that the payload hashes to the
+    /// requested digest.
     ///
     /// # Errors
     ///
-    /// [`ProtoError::Unexpected`] with [`Status::NotFound`] if absent.
+    /// [`ProtoError::Unexpected`] with [`Status::NotFound`] if absent;
+    /// [`ProtoError::Corrupted`] if the payload fails verification.
     pub fn blob(&mut self, digest: Digest) -> Result<Bytes, ProtoError> {
-        let response = self.call(&Request::GetBlob(digest))?;
+        let response = self.call_checked(&Request::GetBlob(digest), |response| {
+            if response.status == Status::Ok && Digest::of(&response.body) != digest {
+                Err(ProtoError::Corrupted(format!(
+                    "blob {digest}: payload does not hash to its digest"
+                )))
+            } else {
+                Ok(())
+            }
+        })?;
         match response.status {
             Status::Ok => Ok(response.body),
             other => Err(ProtoError::Unexpected(other)),
@@ -160,6 +244,8 @@ impl<T: Transport> RegistryClient<T> {
 
 #[cfg(test)]
 mod tests {
+    use std::time::Duration;
+
     use super::*;
     use gear_registry::{DockerRegistry, GearFileStore};
 
@@ -191,6 +277,75 @@ mod tests {
         assert!(c.transport().bytes_sent() > 1000, "headers + body counted");
         c.download(fp).unwrap();
         assert!(c.transport().bytes_received() > 1000);
+    }
+
+    #[test]
+    fn transient_drops_are_retried_to_success() {
+        use gear_simnet::{FaultKind, FaultPlan, FaultyLink, Link, RetryPolicy, VirtualClock};
+
+        let body = Bytes::from_static(b"survives two drops");
+        let fp = Fingerprint::of(&body);
+        let mut loopback = Loopback::default();
+        loopback.service_mut().files_mut().upload(fp, body.clone()).unwrap();
+
+        // Requests 0 and 1 drop; attempt 3 succeeds within a 4-attempt budget.
+        let plan = FaultPlan::new(0).fail_requests(0, 1, FaultKind::Drop);
+        let clock = VirtualClock::new();
+        let transport = crate::FaultyTransport::new(
+            loopback,
+            FaultyLink::new(Link::mbps(100.0), plan),
+            clock.clone(),
+        );
+        let mut client =
+            RegistryClient::with_retry(transport, RetryPolicy::standard(3), clock.clone());
+        assert_eq!(client.download(fp).unwrap(), body);
+        assert_eq!(client.retries(), 2);
+        // Two give-ups + two backoffs + one clean transfer all charged.
+        assert!(clock.elapsed() > Duration::from_secs(2));
+    }
+
+    #[test]
+    fn exhausted_budget_is_typed_never_wrong_bytes() {
+        use gear_simnet::{FaultPlan, FaultyLink, Link, RetryPolicy, VirtualClock};
+
+        let body = Bytes::from_static(b"unreachable");
+        let fp = Fingerprint::of(&body);
+        let mut loopback = Loopback::default();
+        loopback.service_mut().files_mut().upload(fp, body).unwrap();
+
+        let plan = FaultPlan::new(0).with_drop(1.0);
+        let clock = VirtualClock::new();
+        let transport = crate::FaultyTransport::new(
+            loopback,
+            FaultyLink::new(Link::mbps(100.0), plan),
+            clock.clone(),
+        );
+        let mut client = RegistryClient::with_retry(transport, RetryPolicy::standard(3), clock);
+        match client.download(fp).unwrap_err() {
+            ProtoError::Exhausted { attempts, last } => {
+                assert_eq!(attempts, 4);
+                assert!(matches!(*last, ProtoError::Malformed(_)));
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn application_errors_are_not_retried() {
+        use gear_simnet::{RetryPolicy, VirtualClock};
+
+        let clock = VirtualClock::new();
+        let mut c = RegistryClient::with_retry(
+            Loopback::default(),
+            RetryPolicy::standard(1),
+            clock,
+        );
+        let fp = Fingerprint::of(b"absent");
+        assert!(matches!(
+            c.download(fp),
+            Err(ProtoError::Unexpected(Status::NotFound))
+        ));
+        assert_eq!(c.retries(), 0, "a 404 is an answer, not a fault");
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   [`gear_registry::GearFileStore`] + [`gear_registry::DockerRegistry`]
 //!   pair;
 //! * [`RegistryClient`] — the client helper, generic over a [`Transport`]
-//!   (a loopback transport is included).
+//!   (a loopback transport is included), with optional retry/timeout/backoff
+//!   via [`RegistryClient::with_retry`];
+//! * [`FaultyTransport`] — a transport wrapper injecting deterministic
+//!   wire-level faults from a [`gear_simnet::FaultPlan`], for chaos testing
+//!   the whole stack under simulated time.
 //!
 //! # Examples
 //!
@@ -40,10 +44,12 @@
 #![warn(missing_docs)]
 
 mod client;
+mod faulty;
 mod message;
 mod service;
 mod wire;
 
 pub use client::{Loopback, RegistryClient, Transport};
+pub use faulty::FaultyTransport;
 pub use message::{ProtoError, Request, Response, Status};
 pub use service::RegistryService;

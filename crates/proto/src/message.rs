@@ -94,13 +94,27 @@ impl Response {
     }
 }
 
-/// Protocol-level errors (framing or unexpected responses).
+/// Protocol-level errors (framing, transport faults, or unexpected
+/// responses).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtoError {
     /// The wire bytes were not a valid message.
     Malformed(String),
     /// The server answered with an unexpected status.
     Unexpected(Status),
+    /// One attempt exceeded the per-attempt simulated-time budget.
+    Timeout(std::time::Duration),
+    /// The payload arrived but failed content verification (bit flips in
+    /// transit): what was verified and why it failed.
+    Corrupted(String),
+    /// Every attempt the retry policy allowed has failed; carries the last
+    /// attempt's error.
+    Exhausted {
+        /// Attempts consumed (the policy's `max_attempts`).
+        attempts: u32,
+        /// Why the final attempt failed.
+        last: Box<ProtoError>,
+    },
 }
 
 impl fmt::Display for ProtoError {
@@ -110,11 +124,25 @@ impl fmt::Display for ProtoError {
             ProtoError::Unexpected(status) => {
                 write!(f, "unexpected response status {}", status.code())
             }
+            ProtoError::Timeout(took) => {
+                write!(f, "attempt exceeded its time budget ({took:?})")
+            }
+            ProtoError::Corrupted(why) => write!(f, "payload failed verification: {why}"),
+            ProtoError::Exhausted { attempts, last } => {
+                write!(f, "retry budget exhausted after {attempts} attempts; last error: {last}")
+            }
         }
     }
 }
 
-impl Error for ProtoError {}
+impl Error for ProtoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProtoError::Exhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -35,6 +35,11 @@ impl RegistryService {
         &self.files
     }
 
+    /// Mutable access to the Gear file store half (to seed files).
+    pub fn files_mut(&mut self) -> &mut GearFileStore {
+        &mut self.files
+    }
+
     /// Handles one request.
     pub fn handle(&mut self, request: Request) -> Response {
         match request {

@@ -136,8 +136,11 @@ fn parse_digest(s: &str) -> Result<Digest, ProtoError> {
     s.parse().map_err(|_| ProtoError::Malformed(format!("bad digest {s:?}")))
 }
 
+/// (start line, headers, body) of a parsed wire buffer.
+type MessageParts<'a> = (String, Vec<(String, String)>, &'a [u8]);
+
 /// Splits a wire buffer into (start line, headers, body).
-fn split_message(wire: &[u8]) -> Result<(String, Vec<(String, String)>, &[u8]), ProtoError> {
+fn split_message(wire: &[u8]) -> Result<MessageParts<'_>, ProtoError> {
     let boundary = find_blank_line(wire)
         .ok_or_else(|| ProtoError::Malformed("missing header terminator".into()))?;
     let header_text = std::str::from_utf8(&wire[..boundary])

@@ -1,0 +1,104 @@
+//! Chaos properties: under randomized fault plans the client either returns
+//! byte-identical content or a typed error — never wrong data — and scripted
+//! failures below the retry budget are invisible to the result.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use gear_hash::Fingerprint;
+use gear_proto::{FaultyTransport, Loopback, ProtoError, RegistryClient};
+use gear_simnet::{FaultKind, FaultPlan, FaultyLink, Link, RetryPolicy, VirtualClock};
+use proptest::prelude::*;
+
+fn client_over(
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    content: &[u8],
+) -> (RegistryClient<FaultyTransport<Loopback>>, Fingerprint) {
+    let mut loopback = Loopback::default();
+    let fp = Fingerprint::of(content);
+    loopback
+        .service_mut()
+        .files_mut()
+        .upload(fp, Bytes::copy_from_slice(content))
+        .expect("seed upload");
+    let link = FaultyLink::new(Link::mbps(100.0), plan)
+        .with_give_up(Duration::from_millis(300));
+    let clock = VirtualClock::new();
+    let transport = FaultyTransport::new(loopback, link, clock.clone());
+    (RegistryClient::with_retry(transport, policy, clock), fp)
+}
+
+fn any_fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::Drop),
+        Just(FaultKind::Corrupt),
+        Just(FaultKind::Truncate),
+        (1u64..200).prop_map(|ms| FaultKind::Stall(Duration::from_millis(ms))),
+    ]
+}
+
+proptest! {
+    /// Whatever the drop rate, a download is either the exact bytes or a
+    /// typed `Exhausted` error — never silently wrong content.
+    #[test]
+    fn downloads_are_exact_or_typed_errors(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..0.5,
+        content in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let plan = FaultPlan::new(seed).with_drop(drop_p);
+        let (mut client, fp) = client_over(plan, RetryPolicy::standard(seed), &content);
+        match client.download(fp) {
+            Ok(body) => prop_assert_eq!(body.as_ref(), content.as_slice()),
+            Err(ProtoError::Exhausted { attempts, .. }) => prop_assert_eq!(attempts, 4),
+            Err(other) => prop_assert!(false, "untyped failure path: {}", other),
+        }
+    }
+
+    /// Any run of scripted failures shorter than the retry budget yields a
+    /// result byte-identical to the fault-free run.
+    #[test]
+    fn failures_below_budget_are_invisible(
+        kind in any_fault_kind(),
+        failures in 1u64..4,
+        content in proptest::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let (mut clean, fp) = client_over(FaultPlan::reliable(), RetryPolicy::standard(1), &content);
+        let baseline = clean.download(fp).expect("fault-free download");
+
+        let plan = FaultPlan::new(1).fail_requests(0, failures - 1, kind);
+        let (mut faulty, fp) = client_over(plan, RetryPolicy::standard(1), &content);
+        let body = faulty.download(fp).expect("within-budget faults must be retried away");
+        prop_assert_eq!(body, baseline);
+        // A within-budget stall is delivered without a retry; hard faults
+        // each consume one.
+        match kind {
+            FaultKind::Stall(extra) if extra < Duration::from_secs(2) => {}
+            _ => prop_assert_eq!(faulty.retries(), failures),
+        }
+    }
+
+    /// Fault decisions depend only on (seed, request index): two clients
+    /// with the same seeds agree on every outcome and every timing.
+    #[test]
+    fn chaos_is_deterministic(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..1.0,
+        requests in 1usize..12,
+    ) {
+        let content = b"deterministic payload";
+        let run = || {
+            let plan = FaultPlan::new(seed).with_drop(drop_p);
+            let (mut client, fp) = client_over(plan, RetryPolicy::standard(seed), content);
+            let outcomes: Vec<String> = (0..requests)
+                .map(|_| match client.download(fp) {
+                    Ok(body) => format!("ok:{}", body.len()),
+                    Err(e) => format!("err:{e}"),
+                })
+                .collect();
+            (outcomes, client.retries())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

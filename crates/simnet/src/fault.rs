@@ -1,0 +1,402 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] decides, per request, whether the simulated link misbehaves
+//! and how: the response is dropped, stalled, bit-flipped, or truncated.
+//! Decisions are a pure function of the plan's seed and the request index, so
+//! a run is exactly reproducible — same seed, same faults, same simulated
+//! timings. [`FaultyLink`] wraps a [`Link`] with a plan and prices failed
+//! attempts in simulated time; [`RetryPolicy`] describes how a client spends
+//! its retry budget (attempts, per-attempt timeout, exponential backoff with
+//! seeded jitter).
+
+use std::time::Duration;
+
+use crate::link::Link;
+
+/// How one request misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The response never arrives; the caller waits its timeout for nothing.
+    Drop,
+    /// The response arrives, but only after the extra delay.
+    Stall(Duration),
+    /// The response arrives on time with flipped payload bits.
+    Corrupt,
+    /// The response arrives on time but cut short.
+    Truncate,
+}
+
+/// A scripted fault: every request whose index falls in `from..=to` fails
+/// with `kind`, regardless of the random probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scripted {
+    from: u64,
+    to: u64,
+    kind: FaultKind,
+}
+
+/// A seeded, deterministic source of per-request fault decisions.
+///
+/// Probabilistic faults draw from a splitmix64 stream keyed by
+/// `(seed, request index)`, so the decision for request *n* does not depend
+/// on how many requests preceded it in real time — replaying the same
+/// request sequence replays the same faults. Scripted schedules
+/// ([`FaultPlan::fail_requests`]) override the random draw.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_p: f64,
+    corrupt_p: f64,
+    truncate_p: f64,
+    stall_p: f64,
+    stall: Duration,
+    scripted: Vec<Scripted>,
+    requests: u64,
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects a fault.
+    pub fn reliable() -> Self {
+        Self::default()
+    }
+
+    /// An empty plan with the given seed; add faults with the `with_*`
+    /// builders or [`FaultPlan::fail_requests`].
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..Self::default() }
+    }
+
+    /// Sets the per-request probability of a dropped response.
+    pub fn with_drop(mut self, probability: f64) -> Self {
+        self.drop_p = probability.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-request probability of a corrupted response.
+    pub fn with_corrupt(mut self, probability: f64) -> Self {
+        self.corrupt_p = probability.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-request probability of a truncated response.
+    pub fn with_truncate(mut self, probability: f64) -> Self {
+        self.truncate_p = probability.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-request probability of a stalled response and the extra
+    /// delay a stall adds.
+    pub fn with_stall(mut self, probability: f64, delay: Duration) -> Self {
+        self.stall_p = probability.clamp(0.0, 1.0);
+        self.stall = delay;
+        self
+    }
+
+    /// Scripts a deterministic failure window: every request with index in
+    /// `from..=to` (0-based, counting every attempt) fails with `kind`.
+    pub fn fail_requests(mut self, from: u64, to: u64, kind: FaultKind) -> Self {
+        self.scripted.push(Scripted { from, to, kind });
+        self
+    }
+
+    /// Decides the fate of the next request, advancing the request counter.
+    pub fn next_fault(&mut self) -> Option<FaultKind> {
+        let index = self.requests;
+        self.requests += 1;
+        let fault = self.fault_at(index);
+        if fault.is_some() {
+            self.injected += 1;
+        }
+        fault
+    }
+
+    /// The decision for request `index` without advancing any state.
+    pub fn fault_at(&self, index: u64) -> Option<FaultKind> {
+        for s in &self.scripted {
+            if (s.from..=s.to).contains(&index) {
+                return Some(s.kind);
+            }
+        }
+        let unit = unit_draw(self.seed, index);
+        let mut threshold = self.drop_p;
+        if unit < threshold {
+            return Some(FaultKind::Drop);
+        }
+        threshold += self.stall_p;
+        if unit < threshold {
+            return Some(FaultKind::Stall(self.stall));
+        }
+        threshold += self.corrupt_p;
+        if unit < threshold {
+            return Some(FaultKind::Corrupt);
+        }
+        threshold += self.truncate_p;
+        if unit < threshold {
+            return Some(FaultKind::Truncate);
+        }
+        None
+    }
+
+    /// Requests decided so far.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+/// How a client spends its retry budget: attempt count, per-attempt timeout
+/// (in simulated time), and exponential backoff with seeded jitter. All
+/// waiting is charged to the virtual clock, never to wall time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Per-attempt budget in simulated time; an attempt exceeding it counts
+    /// as failed and is charged exactly this long.
+    pub timeout: Duration,
+    /// Backoff before the second attempt; doubles every further attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff (before jitter).
+    pub max_backoff: Duration,
+    /// Seed for deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A single attempt, no retries: faults surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            timeout: Duration::from_secs(30),
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Four attempts, 2 s per-attempt timeout, 50 ms base backoff capped at
+    /// 1 s — a typical client default.
+    pub fn standard(jitter_seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            timeout: Duration::from_secs(2),
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed,
+        }
+    }
+
+    /// The backoff charged before attempt number `attempt` (1-based; attempt
+    /// 0 is the first try and waits nothing): exponential in the attempt
+    /// number, capped, plus up to 50 % seeded jitter.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 || self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = self.base_backoff.saturating_mul(1u32 << (attempt - 1).min(16));
+        let capped = exp.min(self.max_backoff.max(self.base_backoff));
+        let jitter = capped.mul_f64(0.5 * unit_draw(self.jitter_seed, attempt as u64));
+        capped + jitter
+    }
+}
+
+/// Outcome of one request over a [`FaultyLink`]: the injected fault (if any)
+/// and the simulated time the attempt cost, successful or not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkOutcome {
+    /// The fault injected into this request, or `None` on clean delivery.
+    pub fault: Option<FaultKind>,
+    /// Simulated time the attempt took. Failed attempts still cost time:
+    /// a drop costs the give-up timeout, a stall costs the transfer plus the
+    /// stall, corruption and truncation cost the full transfer.
+    pub elapsed: Duration,
+}
+
+/// A [`Link`] that misbehaves according to a [`FaultPlan`], charging
+/// simulated time for failed attempts exactly as a real client would
+/// experience them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyLink {
+    link: Link,
+    plan: FaultPlan,
+    give_up: Duration,
+}
+
+impl FaultyLink {
+    /// Wraps `link` with `plan`; dropped responses cost the default 1 s
+    /// give-up timeout (see [`FaultyLink::with_give_up`]).
+    pub fn new(link: Link, plan: FaultPlan) -> Self {
+        FaultyLink { link, plan, give_up: Duration::from_secs(1) }
+    }
+
+    /// Sets how long a caller waits before declaring a request lost.
+    pub fn with_give_up(mut self, give_up: Duration) -> Self {
+        self.give_up = give_up;
+        self
+    }
+
+    /// The underlying healthy link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// The fault plan (request/injection counters included).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The give-up timeout charged for dropped responses.
+    pub fn give_up(&self) -> Duration {
+        self.give_up
+    }
+
+    /// Decides the fate of the next request, advancing the plan.
+    pub fn next_fault(&mut self) -> Option<FaultKind> {
+        self.plan.next_fault()
+    }
+
+    /// The healthy price of one request moving `payload_bytes`.
+    pub fn transfer(&self, payload_bytes: u64) -> Duration {
+        self.link.request_time(payload_bytes)
+    }
+
+    /// Performs one request of `payload_bytes`, drawing the next fault from
+    /// the plan and pricing the attempt in simulated time.
+    pub fn request(&mut self, payload_bytes: u64) -> LinkOutcome {
+        let fault = self.plan.next_fault();
+        let elapsed = match fault {
+            None | Some(FaultKind::Corrupt) | Some(FaultKind::Truncate) => {
+                self.link.request_time(payload_bytes)
+            }
+            Some(FaultKind::Stall(extra)) => self.link.request_time(payload_bytes) + extra,
+            Some(FaultKind::Drop) => self.give_up,
+        };
+        LinkOutcome { fault, elapsed }
+    }
+}
+
+/// A uniform draw in `[0, 1)`, pure in `(seed, index)` (splitmix64).
+fn unit_draw(seed: u64, index: u64) -> f64 {
+    let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // 53 significant bits → an exact double in [0, 1).
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_faults() {
+        let mut a = FaultPlan::new(7).with_drop(0.3).with_corrupt(0.2);
+        let mut b = FaultPlan::new(7).with_drop(0.3).with_corrupt(0.2);
+        let seq_a: Vec<_> = (0..200).map(|_| a.next_fault()).collect();
+        let seq_b: Vec<_> = (0..200).map(|_| b.next_fault()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0, "p=0.5 over 200 draws must fault sometimes");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = FaultPlan::new(1).with_drop(0.5);
+        let mut b = FaultPlan::new(2).with_drop(0.5);
+        let seq_a: Vec<_> = (0..200).map(|_| a.next_fault()).collect();
+        let seq_b: Vec<_> = (0..200).map(|_| b.next_fault()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn reliable_plan_never_faults() {
+        let mut plan = FaultPlan::reliable();
+        assert!((0..100).all(|_| plan.next_fault().is_none()));
+        assert_eq!(plan.injected(), 0);
+        assert_eq!(plan.requests(), 100);
+    }
+
+    #[test]
+    fn certain_drop_always_faults() {
+        let mut plan = FaultPlan::new(9).with_drop(1.0);
+        assert!((0..50).all(|_| plan.next_fault() == Some(FaultKind::Drop)));
+    }
+
+    #[test]
+    fn scripted_window_fires_exactly() {
+        let mut plan = FaultPlan::new(0).fail_requests(3, 7, FaultKind::Truncate);
+        for i in 0..12u64 {
+            let fault = plan.next_fault();
+            if (3..=7).contains(&i) {
+                assert_eq!(fault, Some(FaultKind::Truncate), "request {i}");
+            } else {
+                assert_eq!(fault, None, "request {i}");
+            }
+        }
+        assert_eq!(plan.injected(), 5);
+    }
+
+    #[test]
+    fn fault_at_is_pure() {
+        let plan = FaultPlan::new(42).with_drop(0.4);
+        let first: Vec<_> = (0..64).map(|i| plan.fault_at(i)).collect();
+        let second: Vec<_> = (0..64).map(|i| plan.fault_at(i)).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn faulty_link_charges_failed_attempts() {
+        let link = Link::mbps(100.0);
+        let plan = FaultPlan::new(0)
+            .fail_requests(0, 0, FaultKind::Drop)
+            .fail_requests(1, 1, FaultKind::Stall(Duration::from_millis(300)))
+            .fail_requests(2, 2, FaultKind::Corrupt);
+        let mut faulty = FaultyLink::new(link, plan).with_give_up(Duration::from_millis(500));
+        let clean = link.request_time(10_000);
+
+        let dropped = faulty.request(10_000);
+        assert_eq!(dropped.fault, Some(FaultKind::Drop));
+        assert_eq!(dropped.elapsed, Duration::from_millis(500));
+
+        let stalled = faulty.request(10_000);
+        assert_eq!(stalled.elapsed, clean + Duration::from_millis(300));
+
+        let corrupted = faulty.request(10_000);
+        assert_eq!(corrupted.fault, Some(FaultKind::Corrupt));
+        assert_eq!(corrupted.elapsed, clean, "bytes still crossed the wire");
+
+        let ok = faulty.request(10_000);
+        assert_eq!(ok.fault, None);
+        assert_eq!(ok.elapsed, clean);
+        assert_eq!(faulty.plan().injected(), 3);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy::standard(11);
+        assert_eq!(policy.backoff(0), Duration::ZERO);
+        let b1 = policy.backoff(1);
+        let b2 = policy.backoff(2);
+        assert!(b1 >= policy.base_backoff);
+        assert!(b2 > b1, "exponential growth: {b1:?} !< {b2:?}");
+        // Far attempts stay below cap + 50 % jitter.
+        let far = policy.backoff(30);
+        assert!(far <= policy.max_backoff.mul_f64(1.5));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic() {
+        let a = RetryPolicy::standard(5);
+        let b = RetryPolicy::standard(5);
+        let c = RetryPolicy::standard(6);
+        assert_eq!(a.backoff(3), b.backoff(3));
+        assert_ne!(a.backoff(3), c.backoff(3), "different seed, different jitter");
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`DiskModel`] — sequential throughput + per-file overhead for local I/O
 //!   (the paper's HDD vs SSD conversion-time comparison, Fig. 6).
 //! * [`NetMetrics`] — byte/request accounting (bandwidth experiments, Fig. 8).
+//! * [`FaultPlan`] / [`FaultyLink`] — seeded, deterministic fault injection
+//!   (drops, stalls, corruption, truncation) with failed attempts priced in
+//!   simulated time; [`RetryPolicy`] describes a client's retry budget.
 //!
 //! Every deployment result in `gear-client` and `gear-bench` is a pure
 //! function of these models plus the workload, so runs are reproducible
@@ -31,10 +34,12 @@
 
 mod clock;
 mod disk;
+mod fault;
 mod link;
 mod metrics;
 
 pub use clock::VirtualClock;
 pub use disk::DiskModel;
+pub use fault::{FaultKind, FaultPlan, FaultyLink, LinkOutcome, RetryPolicy};
 pub use link::{Bandwidth, Link};
 pub use metrics::NetMetrics;

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use gear_simnet::{Bandwidth, DiskModel, Link, VirtualClock};
+use gear_simnet::{Bandwidth, DiskModel, FaultKind, FaultPlan, FaultyLink, Link, VirtualClock};
 use proptest::prelude::*;
 
 proptest! {
@@ -49,5 +49,61 @@ proptest! {
             total += d;
         }
         prop_assert_eq!(clock.elapsed(), total);
+    }
+
+    /// A fault plan's decisions are a pure function of (seed, request
+    /// index): replays agree draw by draw, and `fault_at` predicts them.
+    #[test]
+    fn fault_plans_are_deterministic(
+        seed in any::<u64>(),
+        drop_p in 0.0f64..1.0,
+        corrupt_p in 0.0f64..0.5,
+        draws in 1usize..64,
+    ) {
+        let mut a = FaultPlan::new(seed).with_drop(drop_p).with_corrupt(corrupt_p);
+        let mut b = FaultPlan::new(seed).with_drop(drop_p).with_corrupt(corrupt_p);
+        for index in 0..draws {
+            let predicted = a.fault_at(index as u64);
+            prop_assert_eq!(a.next_fault(), b.next_fault());
+            prop_assert_eq!(a.fault_at(index as u64), predicted, "fault_at must be pure");
+        }
+        prop_assert_eq!(a.injected(), b.injected());
+    }
+
+    /// Total simulated time over a request sequence is monotonically
+    /// non-decreasing in the number of scripted faults: every injected
+    /// fault costs time, never saves it.
+    #[test]
+    fn faulty_time_is_monotone_in_fault_count(
+        requests in 1u64..32,
+        payload in 1u64..1_000_000,
+        kind in prop_oneof![
+            Just(FaultKind::Drop),
+            Just(FaultKind::Corrupt),
+            Just(FaultKind::Truncate),
+            (1u64..500).prop_map(|ms| FaultKind::Stall(Duration::from_millis(ms))),
+        ],
+    ) {
+        let elapsed_with_faults = |faulted: u64| {
+            let mut plan = FaultPlan::reliable();
+            if faulted > 0 {
+                plan = FaultPlan::new(0).fail_requests(0, faulted - 1, kind);
+            }
+            let mut link = FaultyLink::new(Link::mbps(100.0), plan);
+            let mut total = Duration::ZERO;
+            for _ in 0..requests {
+                total += link.request(payload).elapsed;
+            }
+            total
+        };
+        let mut previous = elapsed_with_faults(0);
+        for faulted in 1..=requests {
+            let now = elapsed_with_faults(faulted);
+            prop_assert!(
+                now >= previous,
+                "{faulted} faults took {now:?}, fewer took {previous:?}"
+            );
+            previous = now;
+        }
     }
 }

@@ -1,0 +1,18 @@
+//! Index sampling (`any::<prop::sample::Index>()`).
+
+/// An abstract index, resolved against a concrete collection length with
+/// [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    pub(crate) fn from_raw(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves to a position in `[0, size)`; `size` must be non-zero.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "cannot index an empty collection");
+        self.0 % size
+    }
+}

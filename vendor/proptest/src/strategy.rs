@@ -1,0 +1,415 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+
+/// Generates values of one type from an RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through a function.
+    fn prop_map<U, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, map }
+    }
+
+    /// Rejects values failing a predicate (resampling, bounded).
+    fn prop_filter<F>(self, reason: &'static str, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason, predicate }
+    }
+
+    /// Type-erases the strategy (for heterogeneous alternatives).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.inner.generate(rng);
+            if (self.predicate)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 1000 samples in a row", self.reason);
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Uniform choice among boxed alternatives (built by `prop_oneof!`).
+pub struct Union<T> {
+    alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps a non-empty alternative list.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { alternatives }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.alternatives.len() as u64) as usize;
+        self.alternatives[pick].generate(rng)
+    }
+}
+
+/// Always generates clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- any::<T>() -----------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        crate::sample::Index::from_raw(rng.next_u64() as usize)
+    }
+}
+
+// ---- ranges ---------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range(self.start as u64, self.end as u64) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.in_range(*self.start() as u64, *self.end() as u64 + 1) as $t
+            }
+        }
+    )*};
+}
+
+range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A/a, B/b);
+tuple_strategy!(A/a, B/b, C/c);
+tuple_strategy!(A/a, B/b, C/c, D/d);
+tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+
+// ---- string patterns ------------------------------------------------------
+
+/// A `&str` is a strategy generating strings matching a small regex subset:
+/// literal characters, `[...]` classes (with ranges), `(...)` groups, and
+/// `{m,n}` / `{n}` / `?` / `+` / `*` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        let seq = parse_sequence(&chars, &mut i, self);
+        assert!(i == chars.len(), "unbalanced `)` in pattern {self:?}");
+        let mut out = String::new();
+        generate_sequence(&seq, rng, &mut out);
+        out
+    }
+}
+
+enum PatternNode {
+    /// One character drawn from a set.
+    Class(Vec<char>),
+    /// A parenthesized sub-sequence.
+    Group(Vec<Quantified>),
+}
+
+struct Quantified {
+    node: PatternNode,
+    min: usize,
+    max: usize,
+}
+
+fn generate_sequence(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+    for item in seq {
+        let count = rng.in_range(item.min as u64, item.max as u64 + 1) as usize;
+        for _ in 0..count {
+            match &item.node {
+                PatternNode::Class(choices) => {
+                    let pick = rng.below(choices.len() as u64) as usize;
+                    out.push(choices[pick]);
+                }
+                PatternNode::Group(inner) => generate_sequence(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Parses atoms until the end of input or an unmatched `)` (left for the
+/// caller to consume).
+fn parse_sequence(chars: &[char], i: &mut usize, pattern: &str) -> Vec<Quantified> {
+    let mut seq = Vec::new();
+    while *i < chars.len() && chars[*i] != ')' {
+        let node = match chars[*i] {
+            '(' => {
+                *i += 1;
+                let inner = parse_sequence(chars, i, pattern);
+                assert!(chars.get(*i) == Some(&')'), "unterminated group in pattern {pattern:?}");
+                *i += 1;
+                PatternNode::Group(inner)
+            }
+            '[' => PatternNode::Class(parse_class(chars, i, pattern)),
+            '\\' if *i + 1 < chars.len() => {
+                *i += 2;
+                PatternNode::Class(vec![chars[*i - 1]])
+            }
+            c => {
+                *i += 1;
+                PatternNode::Class(vec![c])
+            }
+        };
+        let (min, max) = parse_quantifier(chars, i, pattern);
+        seq.push(Quantified { node, min, max });
+    }
+    seq
+}
+
+fn parse_class(chars: &[char], i: &mut usize, pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    *i += 1; // opening '['
+    while *i < chars.len() && chars[*i] != ']' {
+        if chars[*i] == '\\' && *i + 1 < chars.len() {
+            set.push(chars[*i + 1]);
+            *i += 2;
+        } else if *i + 2 < chars.len() && chars[*i + 1] == '-' && chars[*i + 2] != ']' {
+            let (lo, hi) = (chars[*i], chars[*i + 2]);
+            assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            *i += 3;
+        } else {
+            set.push(chars[*i]);
+            *i += 1;
+        }
+    }
+    assert!(*i < chars.len(), "unterminated class in pattern {pattern:?}");
+    *i += 1; // closing ']'
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    set
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    let (min, max) = match chars.get(*i) {
+        Some('{') => {
+            let close =
+                chars[*i..].iter().position(|&c| c == '}').expect("unterminated quantifier") + *i;
+            let spec: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => {
+                    (lo.parse().expect("bad quantifier"), hi.parse().expect("bad quantifier"))
+                }
+                None => {
+                    let n = spec.parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        _ => (1, 1),
+    };
+    assert!(min <= max, "bad quantifier {{{min},{max}}} in pattern {pattern:?}");
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_match_their_shape() {
+        let mut rng = TestRng::with_seed(7);
+        for _ in 0..200 {
+            let s = "[A-Z_]{1,8}=[a-z0-9/:.]{0,16}".generate(&mut rng);
+            let (key, value) = s.split_once('=').expect("has =");
+            assert!((1..=8).contains(&key.len()), "{s}");
+            assert!(key.chars().all(|c| c.is_ascii_uppercase() || c == '_'), "{s}");
+            assert!(value.len() <= 16, "{s}");
+        }
+    }
+
+    #[test]
+    fn groups_repeat_whole_subpatterns() {
+        let mut rng = TestRng::with_seed(8);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}(/[a-z]{1,8}){0,2}".generate(&mut rng);
+            let parts: Vec<&str> = s.split('/').collect();
+            assert!((1..=3).contains(&parts.len()), "{s}");
+            for p in parts {
+                assert!((1..=8).contains(&p.len()), "{s}");
+                assert!(p.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::with_seed(9);
+        for _ in 0..200 {
+            let v = (3u16..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_alternative() {
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut rng = TestRng::with_seed(11);
+        let draws: Vec<u8> = (0..64).map(|_| u.generate(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+}

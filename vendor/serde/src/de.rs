@@ -1,0 +1,253 @@
+//! Deserializer trait, the built-in [`Value`] deserializer, and
+//! `Deserialize` impls for std types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::value::Value;
+use crate::{Deserialize, DeserializeOwned};
+
+/// Error constructor for deserializers (mirrors `serde::de::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// The concrete deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// An "expected X, found Y" error for a value that has the wrong shape.
+    pub fn mismatch(expected: &str, found: &Value) -> Self {
+        DeError(format!("expected {expected}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// The giving end of [`Deserialize`]. Value-oriented: implementations expose
+/// the input as a borrowed [`Value`] tree via [`Deserializer::value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// The input as a value tree.
+    fn value(self) -> &'de Value;
+}
+
+/// The built-in deserializer over a borrowed [`Value`].
+#[derive(Debug, Clone, Copy)]
+pub struct ValueDeserializer<'a> {
+    input: &'a Value,
+}
+
+impl<'a> ValueDeserializer<'a> {
+    /// Wraps a value tree.
+    pub fn new(input: &'a Value) -> Self {
+        ValueDeserializer { input }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
+    type Error = DeError;
+
+    fn value(self) -> &'de Value {
+        self.input
+    }
+}
+
+// ---- impls for std types --------------------------------------------------
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        v.as_str().map(str::to_owned).ok_or_else(|| D::Error::custom(mismatch("string", v)))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        v.as_bool().ok_or_else(|| D::Error::custom(mismatch("bool", v)))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        v.as_str()
+            .and_then(|s| {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Some(c),
+                    _ => None,
+                }
+            })
+            .ok_or_else(|| D::Error::custom(mismatch("single-char string", v)))
+    }
+}
+
+macro_rules! de_unsigned {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.value();
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| D::Error::custom(mismatch(stringify!($t), v)))
+            }
+        }
+    )*};
+}
+
+macro_rules! de_signed {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let v = deserializer.value();
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| D::Error::custom(mismatch(stringify!($t), v)))
+            }
+        }
+    )*};
+}
+
+de_unsigned!(u8, u16, u32, u64, usize);
+de_signed!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        v.as_f64().ok_or_else(|| D::Error::custom(mismatch("number", v)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|n| n as f32)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        if v.is_null() {
+            Ok(None)
+        } else {
+            crate::from_value(v).map(Some).map_err(|e| D::Error::custom(e))
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        let items = v.as_array().ok_or_else(|| D::Error::custom(mismatch("array", v)))?;
+        items
+            .iter()
+            .map(|item| crate::from_value(item).map_err(|e| D::Error::custom(e)))
+            .collect()
+    }
+}
+
+impl<'de, A: DeserializeOwned, B: DeserializeOwned> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        match v.as_array() {
+            Some([a, b]) => Ok((
+                crate::from_value(a).map_err(|e| D::Error::custom(e))?,
+                crate::from_value(b).map_err(|e| D::Error::custom(e))?,
+            )),
+            _ => Err(D::Error::custom(mismatch("2-element array", v))),
+        }
+    }
+}
+
+impl<'de, A: DeserializeOwned, B: DeserializeOwned, C: DeserializeOwned> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        match v.as_array() {
+            Some([a, b, c]) => Ok((
+                crate::from_value(a).map_err(|e| D::Error::custom(e))?,
+                crate::from_value(b).map_err(|e| D::Error::custom(e))?,
+                crate::from_value(c).map_err(|e| D::Error::custom(e))?,
+            )),
+            _ => Err(D::Error::custom(mismatch("3-element array", v))),
+        }
+    }
+}
+
+impl<'de, V: DeserializeOwned> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        let map = v.as_object().ok_or_else(|| D::Error::custom(mismatch("object", v)))?;
+        map.iter()
+            .map(|(k, item)| {
+                crate::from_value(item).map(|v| (k.to_owned(), v)).map_err(|e| D::Error::custom(e))
+            })
+            .collect()
+    }
+}
+
+impl<'de, V: DeserializeOwned> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        BTreeMap::<String, V>::deserialize(deserializer).map(|m| m.into_iter().collect())
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Arc<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Arc::new)
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.value();
+        let map = v.as_object().ok_or_else(|| D::Error::custom(mismatch("duration object", v)))?;
+        let secs = map
+            .get("secs")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| D::Error::custom("duration missing `secs`"))?;
+        let nanos = map
+            .get("nanos")
+            .and_then(Value::as_u64)
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| D::Error::custom("duration missing `nanos`"))?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(deserializer.value().clone())
+    }
+}
+
+fn mismatch(expected: &str, found: &Value) -> String {
+    format!("expected {expected}, found {}", found.kind())
+}

@@ -1,0 +1,90 @@
+//! A minimal, vendored serde-compatible serialization facade.
+//!
+//! The real `serde` is a generic data-model framework; this stand-in keeps
+//! the same *surface* (the `Serialize` / `Deserialize` traits, `Serializer` /
+//! `Deserializer`, `de::Error`, and the derive macros) but routes everything
+//! through one concrete in-memory [`Value`] tree, which is all this
+//! workspace needs (its only format is JSON via the vendored `serde_json`).
+//!
+//! Hand-written impls like the ones on `gear_hash::Fingerprint` compile
+//! unchanged: `Serializer::serialize_str`, `String::deserialize(d)`, and
+//! `D::Error::custom(..)` all exist with the usual shapes.
+
+#![forbid(unsafe_code)]
+// Vendored stand-in: keep upstream-shaped code as-is rather than chasing
+// style lints in it.
+#![allow(clippy::all)]
+
+use std::fmt;
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserializer;
+pub use ser::Serializer;
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+/// A type that can serialize itself into the data model.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (the built-in [`value`] serializer never
+    /// fails).
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can deserialize itself from the data model.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error type on shape or type mismatches.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A `Deserialize` bound free of the input lifetime (all of this facade's
+/// impls produce owned data).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Serializes any value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    match value.serialize(ser::ValueSerializer) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Deserializes any [`DeserializeOwned`] type from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`de::DeError`] when the tree does not match the target type.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T, de::DeError> {
+    T::deserialize(de::ValueDeserializer::new(value))
+}
+
+/// Error raised by serialization (the built-in serializer is infallible;
+/// this exists so `S::Error` has a concrete inhabitant for custom impls).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerError(pub String);
+
+impl fmt::Display for SerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl ser::Error for SerError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerError(msg.to_string())
+    }
+}

@@ -1,0 +1,278 @@
+//! Serializer trait and the built-in [`Value`] serializer, plus `Serialize`
+//! impls for std types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::value::{Map, Number, Value};
+use crate::{to_value, Serialize};
+
+/// Error constructor for serializers (mirrors `serde::ser::Error`).
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from a message.
+    fn custom<T: fmt::Display>(msg: T) -> Self;
+}
+
+/// An uninhabited error for the infallible built-in serializer.
+#[derive(Debug, Clone, Copy)]
+pub enum Never {}
+
+impl fmt::Display for Never {
+    fn fmt(&self, _: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {}
+    }
+}
+
+impl std::error::Error for Never {}
+
+impl Error for Never {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        panic!("serialization cannot fail: {msg}")
+    }
+}
+
+/// The receiving end of [`Serialize`]. Unlike real serde this is
+/// value-oriented: every shape method funnels into [`Serializer::accept`].
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Accepts a fully built value tree (the single required method).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the built-in serializer never fails.
+    fn accept(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::accept`].
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.accept(Value::String(v.to_owned()))
+    }
+
+    /// Serializes a bool.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::accept`].
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.accept(Value::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::accept`].
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.accept(Value::Number(Number::U64(v)))
+    }
+
+    /// Serializes a signed integer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::accept`].
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        if v >= 0 {
+            self.accept(Value::Number(Number::U64(v as u64)))
+        } else {
+            self.accept(Value::Number(Number::I64(v)))
+        }
+    }
+
+    /// Serializes a float.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::accept`].
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.accept(Value::Number(Number::F64(v)))
+    }
+
+    /// Serializes a unit/null.
+    ///
+    /// # Errors
+    ///
+    /// As [`Serializer::accept`].
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.accept(Value::Null)
+    }
+}
+
+/// The built-in serializer: produces a [`Value`], never fails.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Never;
+
+    fn accept(self, value: Value) -> Result<Value, Never> {
+        Ok(value)
+    }
+}
+
+// ---- impls for std types --------------------------------------------------
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (*self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(serializer),
+            None => serializer.serialize_unit(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.accept(Value::Array(self.iter().map(|v| to_value(v)).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.accept(Value::Array(vec![to_value(&self.0), to_value(&self.1)]))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer
+            .accept(Value::Array(vec![to_value(&self.0), to_value(&self.1), to_value(&self.2)]))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(k.clone(), to_value(v));
+        }
+        serializer.accept(Value::Object(map))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort keys for deterministic output.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut map = Map::new();
+        for k in keys {
+            map.insert(k.clone(), to_value(&self[k]));
+        }
+        serializer.accept(Value::Object(map))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for Duration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = Map::new();
+        map.insert("secs", Value::Number(Number::U64(self.as_secs())));
+        map.insert("nanos", Value::Number(Number::U64(u64::from(self.subsec_nanos()))));
+        serializer.accept(Value::Object(map))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.accept(self.clone())
+    }
+}

@@ -1,0 +1,472 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! minimal serde facade.
+//!
+//! Implemented without `syn`/`quote`: the derive input is walked as raw
+//! token trees and the generated impl is built as source text and parsed
+//! back into a `TokenStream`. Supports exactly the shapes this workspace
+//! uses:
+//!
+//! - named structs, with `#[serde(rename = "...")]`, `#[serde(default)]`,
+//!   `#[serde(default = "path")]` and `#[serde(skip_serializing_if = "path")]`
+//!   on fields;
+//! - newtype structs (serialized as the inner value, matching serde's
+//!   default), including `#[serde(transparent)]`;
+//! - unit-only enums (serialized as the variant name string);
+//! - internally tagged enums with struct variants:
+//!   `#[serde(tag = "...", rename_all = "snake_case")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container- or field-level serde attributes.
+#[derive(Default)]
+struct Attrs {
+    rename: Option<String>,
+    tag: Option<String>,
+    rename_all_snake: bool,
+    transparent: bool,
+    /// `Some(None)` for bare `default`, `Some(Some(path))` for `default = "path"`.
+    default: Option<Option<String>>,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: Attrs,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+struct Variant {
+    name: String,
+    fields: Vec<Field>,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    /// Single-element tuple struct (serialized as the inner value).
+    Newtype,
+    UnitEnum(Vec<String>),
+    TaggedEnum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: Attrs,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let code = match parse_input(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---- parsing --------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut attrs = Attrs::default();
+    while is_punct(tokens.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            parse_attr_group(&g.stream(), &mut attrs)?;
+        }
+        i += 2;
+    }
+    skip_visibility(&tokens, &mut i);
+
+    let item_kind = ident_str(tokens.get(i)).ok_or("expected `struct` or `enum`")?;
+    i += 1;
+    let name = ident_str(tokens.get(i)).ok_or("expected a type name")?;
+    i += 1;
+    if is_punct(tokens.get(i), '<') {
+        return Err(format!("serde_derive: generic type `{name}` is not supported"));
+    }
+
+    let shape = match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_fields(&g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let elems = count_top_level_elements(&g.stream());
+                if elems != 1 {
+                    return Err(format!(
+                        "serde_derive: tuple struct `{name}` with {elems} fields is not supported"
+                    ));
+                }
+                Shape::Newtype
+            }
+            _ => return Err(format!("serde_derive: unit struct `{name}` is not supported")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_enum_body(&name, &attrs, &g.stream())?
+            }
+            _ => return Err(format!("expected a body for enum `{name}`")),
+        },
+        other => return Err(format!("serde_derive: cannot derive for `{other}`")),
+    };
+
+    Ok(Input { name, attrs, shape })
+}
+
+/// Parses the contents of one `#[...]` group, folding `serde(...)` keys
+/// into `attrs` and ignoring everything else (doc comments, lint attrs).
+fn parse_attr_group(stream: &TokenStream, attrs: &mut Attrs) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if ident_str(tokens.first()).as_deref() != Some("serde") {
+        return Ok(());
+    }
+    let Some(TokenTree::Group(list)) = tokens.get(1) else {
+        return Err("malformed #[serde] attribute".into());
+    };
+    let items: Vec<TokenTree> = list.stream().into_iter().collect();
+    let mut i = 0;
+    while i < items.len() {
+        let key = ident_str(items.get(i)).ok_or("expected ident in #[serde(...)]")?;
+        i += 1;
+        let value = if is_punct(items.get(i), '=') {
+            let lit = match items.get(i + 1) {
+                Some(TokenTree::Literal(l)) => unquote(&l.to_string())?,
+                _ => return Err(format!("expected string after `{key} =`")),
+            };
+            i += 2;
+            Some(lit)
+        } else {
+            None
+        };
+        if is_punct(items.get(i), ',') {
+            i += 1;
+        }
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename_all", Some(v)) if v == "snake_case" => attrs.rename_all_snake = true,
+            ("rename_all", Some(v)) => {
+                return Err(format!("serde_derive: rename_all = {v:?} is not supported"))
+            }
+            ("transparent", None) => attrs.transparent = true,
+            ("default", v) => attrs.default = Some(v),
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            (other, _) => {
+                return Err(format!("serde_derive: unsupported serde attribute `{other}`"))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_fields(stream: &TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = Attrs::default();
+        while is_punct(tokens.get(i), '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                parse_attr_group(&g.stream(), &mut attrs)?;
+            }
+            i += 2;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = ident_str(tokens.get(i)).ok_or("expected a field name")?;
+        i += 1;
+        if !is_punct(tokens.get(i), ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        // Skip the type: everything up to the next comma outside `<...>`.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+fn parse_enum_body(name: &str, container: &Attrs, stream: &TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut all_unit = true;
+    let mut i = 0;
+    while i < tokens.len() {
+        while is_punct(tokens.get(i), '#') {
+            i += 2; // doc comments; variant-level serde attrs are unsupported
+        }
+        let vname = ident_str(tokens.get(i)).ok_or("expected a variant name")?;
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                all_unit = false;
+                i += 1;
+                parse_fields(&g.stream())?
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "serde_derive: tuple variant `{name}::{vname}` is not supported"
+                ));
+            }
+            _ => Vec::new(),
+        };
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, fields });
+    }
+    if container.tag.is_some() {
+        Ok(Shape::TaggedEnum(variants))
+    } else if all_unit {
+        Ok(Shape::UnitEnum(variants.into_iter().map(|v| v.name).collect()))
+    } else {
+        Err(format!("serde_derive: enum `{name}` needs #[serde(tag = \"...\")] to carry data"))
+    }
+}
+
+// ---- codegen: Serialize ---------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Newtype => "serde::Serialize::serialize(&self.0, serializer)".to_string(),
+        Shape::NamedStruct(fields) => {
+            let mut code = String::from("let mut map = serde::Map::new();\n");
+            for f in fields {
+                code.push_str(&ser_insert(f, &format!("&self.{}", f.name)));
+            }
+            code.push_str("serde::Serializer::accept(serializer, serde::Value::Object(map))");
+            code
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => serde::Serializer::serialize_str(serializer, \"{v}\"),\n"
+                    )
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+        Shape::TaggedEnum(variants) => {
+            let tag = input.attrs.tag.as_deref().unwrap_or("tag");
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vtag = variant_key(&v.name, input.attrs.rename_all_snake);
+                    let bindings: Vec<&str> = v.fields.iter().map(|f| f.name.as_str()).collect();
+                    let mut arm = format!(
+                        "{name}::{vname} {{ {binds} }} => {{\n\
+                         let mut map = serde::Map::new();\n\
+                         map.insert(\"{tag}\", serde::Value::String(\"{vtag}\".to_string()));\n",
+                        vname = v.name,
+                        binds = bindings.join(", "),
+                    );
+                    for f in &v.fields {
+                        arm.push_str(&ser_insert(f, &f.name));
+                    }
+                    arm.push_str(
+                        "serde::Serializer::accept(serializer, serde::Value::Object(map))\n}\n",
+                    );
+                    arm
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// One `map.insert(...)` statement for a field, honouring `skip_serializing_if`.
+fn ser_insert(f: &Field, value_expr: &str) -> String {
+    let key = f.key();
+    let insert = format!("map.insert(\"{key}\", serde::to_value({value_expr}));\n");
+    match &f.attrs.skip_serializing_if {
+        Some(pred) => format!("if !{pred}({value_expr}) {{\n{insert}}}\n"),
+        None => insert,
+    }
+}
+
+// ---- codegen: Deserialize -------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let err = "<D::Error as serde::de::Error>::custom";
+    let body = match &input.shape {
+        Shape::Newtype => format!(
+            "serde::from_value(serde::Deserializer::value(deserializer))\n\
+             .map({name})\n.map_err(|e| {err}(e))"
+        ),
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields.iter().map(|f| de_field(name, f)).collect();
+            format!(
+                "let v = serde::Deserializer::value(deserializer);\n\
+                 let map = v.as_object()\n\
+                 .ok_or_else(|| {err}(\"expected object for `{name}`\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let v = serde::Deserializer::value(deserializer);\n\
+                 match v.as_str() {{\n{arms}\
+                 _ => Err({err}(format!(\"invalid `{name}` variant: {{v}}\"))),\n}}"
+            )
+        }
+        Shape::TaggedEnum(variants) => {
+            let tag = input.attrs.tag.as_deref().unwrap_or("tag");
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vtag = variant_key(&v.name, input.attrs.rename_all_snake);
+                    let inits: String =
+                        v.fields.iter().map(|f| de_field(&format!("{name}::{}", v.name), f)).collect();
+                    format!("\"{vtag}\" => Ok({name}::{vname} {{\n{inits}}}),\n", vname = v.name)
+                })
+                .collect();
+            format!(
+                "let v = serde::Deserializer::value(deserializer);\n\
+                 let map = v.as_object()\n\
+                 .ok_or_else(|| {err}(\"expected object for `{name}`\"))?;\n\
+                 let tag = map.get(\"{tag}\").and_then(serde::Value::as_str)\n\
+                 .ok_or_else(|| {err}(\"missing `{tag}` tag for `{name}`\"))?;\n\
+                 match tag {{\n{arms}\
+                 other => Err({err}(format!(\"unknown `{name}` variant: {{other}}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+/// One `field: ...,` initializer looking the key up in `map`.
+fn de_field(owner: &str, f: &Field) -> String {
+    let key = f.key();
+    let err = "<D::Error as serde::de::Error>::custom";
+    let missing = match &f.attrs.default {
+        Some(Some(path)) => format!("{path}()"),
+        Some(None) => "Default::default()".to_string(),
+        None => format!("return Err({err}(\"missing field `{key}` in `{owner}`\"))"),
+    };
+    format!(
+        "{field}: match map.get(\"{key}\") {{\n\
+         Some(v) => serde::from_value(v).map_err(|e| {err}(e))?,\n\
+         None => {missing},\n}},\n",
+        field = f.name,
+    )
+}
+
+// ---- small helpers --------------------------------------------------------
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn ident_str(t: Option<&TokenTree>) -> Option<String> {
+    match t {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if ident_str(tokens.get(*i)).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1; // pub(crate) / pub(super)
+            }
+        }
+    }
+}
+
+fn count_top_level_elements(stream: &TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut elems = 0usize;
+    let mut saw_token = false;
+    for t in stream.clone() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if saw_token {
+                    elems += 1;
+                    saw_token = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        elems += 1;
+    }
+    elems
+}
+
+/// Strips the surrounding quotes from a string literal token.
+fn unquote(lit: &str) -> Result<String, String> {
+    let inner = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a plain string literal, got {lit}"))?;
+    Ok(inner.to_string())
+}
+
+/// Variant name → its wire tag (optionally snake_cased).
+fn variant_key(name: &str, snake: bool) -> String {
+    if !snake {
+        return name.to_string();
+    }
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
