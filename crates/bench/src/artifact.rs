@@ -1,0 +1,231 @@
+//! Machine-readable bench artifacts and the CI regression baseline.
+//!
+//! `repro --json` writes one `BENCH_<name>.json` per experiment — the
+//! rendered table plus flat `key → value` metrics — so the perf trajectory
+//! is tracked across commits. A recorded [`Baseline`]
+//! (`ci/bench-baseline-quick.json`) lets the CI smoke job fail when the
+//! `streams = 1` deployment times drift from the checked-in Fig. 9 numbers.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::concurrency::Concurrency;
+use crate::experiments::fig9::Fig9;
+
+/// One named scalar measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Flat key, e.g. `"20Mbps/streams4/cold_secs"`.
+    pub key: String,
+    /// The measured value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Creates a metric.
+    pub fn new(key: impl Into<String>, value: f64) -> Self {
+        Metric { key: key.into(), value }
+    }
+}
+
+/// A per-experiment result file (`BENCH_<name>.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Experiment name as given on the `repro` command line.
+    pub name: String,
+    /// Corpus scale denominator the run used.
+    pub scale_denom: u64,
+    /// Corpus seed the run used.
+    pub seed: u64,
+    /// Flat scalar metrics (empty for experiments that only render text).
+    pub metrics: Vec<Metric>,
+    /// The rendered table, exactly as printed to stdout.
+    pub text: String,
+}
+
+impl BenchArtifact {
+    /// Creates an artifact with no metrics yet.
+    pub fn new(name: &str, scale_denom: u64, seed: u64, text: String) -> Self {
+        BenchArtifact { name: name.to_owned(), scale_denom, seed, metrics: Vec::new(), text }
+    }
+
+    /// The file this artifact is written to.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Serializes to `dir/BENCH_<name>.json`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// Flattens a Fig. 9 result into metrics.
+pub fn fig9_metrics(fig9: &Fig9) -> Vec<Metric> {
+    let mut metrics = Vec::new();
+    for run in &fig9.runs {
+        let (docker, cold, warm) = run.overall();
+        let (warm_speedup, cold_speedup) = run.speedups();
+        metrics.push(Metric::new(format!("{}/docker_secs", run.label), docker.as_secs_f64()));
+        metrics.push(Metric::new(format!("{}/cold_secs", run.label), cold.as_secs_f64()));
+        metrics.push(Metric::new(format!("{}/warm_secs", run.label), warm.as_secs_f64()));
+        metrics.push(Metric::new(format!("{}/cold_speedup", run.label), cold_speedup));
+        metrics.push(Metric::new(format!("{}/warm_speedup", run.label), warm_speedup));
+    }
+    metrics
+}
+
+/// Flattens a concurrency sweep into metrics.
+pub fn concurrency_metrics(concurrency: &Concurrency) -> Vec<Metric> {
+    let mut metrics = Vec::new();
+    for sweep in &concurrency.sweeps {
+        for point in &sweep.points {
+            let prefix = format!("{}/streams{}", sweep.label, point.streams);
+            metrics.push(Metric::new(format!("{prefix}/cold_secs"), point.cold.as_secs_f64()));
+            metrics.push(Metric::new(format!("{prefix}/warm_secs"), point.warm.as_secs_f64()));
+        }
+    }
+    metrics
+}
+
+/// Recorded `streams = 1` deployment times the CI smoke job compares
+/// against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Corpus scale the baseline was recorded at.
+    pub scale_denom: u64,
+    /// Corpus seed the baseline was recorded at.
+    pub seed: u64,
+    /// One row per bandwidth preset.
+    pub rows: Vec<BaselineRow>,
+}
+
+/// One bandwidth preset's recorded serial times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineRow {
+    /// Preset label, e.g. `"20Mbps"`.
+    pub label: String,
+    /// Recorded `streams = 1` cold-cache mean (seconds).
+    pub cold_secs: f64,
+    /// Recorded `streams = 1` warm-cache mean (seconds).
+    pub warm_secs: f64,
+}
+
+impl Baseline {
+    /// Records the `streams = 1` rows of a sweep as a new baseline.
+    pub fn from_concurrency(concurrency: &Concurrency, scale_denom: u64, seed: u64) -> Self {
+        let rows = concurrency
+            .sweeps
+            .iter()
+            .map(|sweep| {
+                let base = sweep.baseline();
+                BaselineRow {
+                    label: sweep.label.to_owned(),
+                    cold_secs: base.cold.as_secs_f64(),
+                    warm_secs: base.warm.as_secs_f64(),
+                }
+            })
+            .collect();
+        Baseline { scale_denom, seed, rows }
+    }
+
+    /// Loads a baseline from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors, or a message when the JSON does not parse.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let bytes = fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        serde_json::from_slice(&bytes).map_err(|e| format!("parse {}: {e}", path.display()))
+    }
+
+    /// Compares a fresh sweep against this baseline. Returns one message
+    /// per regression: a `streams = 1` time more than `tolerance`
+    /// (fractional, e.g. `0.01`) above the recorded value, or a preset
+    /// missing from the run. Faster-than-recorded results pass.
+    pub fn regressions(&self, concurrency: &Concurrency, tolerance: f64) -> Vec<String> {
+        let mut problems = Vec::new();
+        for row in &self.rows {
+            let Some(sweep) = concurrency.sweeps.iter().find(|s| s.label == row.label) else {
+                problems.push(format!("baseline preset {} missing from the run", row.label));
+                continue;
+            };
+            let base = sweep.baseline();
+            for (phase, current, recorded) in [
+                ("cold", base.cold.as_secs_f64(), row.cold_secs),
+                ("warm", base.warm.as_secs_f64(), row.warm_secs),
+            ] {
+                if current > recorded * (1.0 + tolerance) {
+                    problems.push(format!(
+                        "{}/{phase}: streams=1 took {current:.4}s, recorded {recorded:.4}s \
+                         (+{:.1}% > {:.1}% tolerance)",
+                        row.label,
+                        (current / recorded - 1.0) * 100.0,
+                        tolerance * 100.0,
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    use crate::experiments::concurrency::{BandwidthSweep, StreamPoint};
+
+    fn sweep(label: &'static str, cold_ms: u64) -> BandwidthSweep {
+        BandwidthSweep {
+            label,
+            points: vec![StreamPoint {
+                streams: 1,
+                cold: Duration::from_millis(cold_ms),
+                warm: Duration::from_millis(cold_ms / 2),
+            }],
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_json() {
+        let mut artifact = BenchArtifact::new("fig9", 1024, 7, "table".to_owned());
+        artifact.metrics.push(Metric::new("20Mbps/cold_secs", 1.25));
+        let json = serde_json::to_string(&artifact).unwrap();
+        let back: BenchArtifact = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, "fig9");
+        assert_eq!(back.metrics, artifact.metrics);
+        assert_eq!(artifact.file_name(), "BENCH_fig9.json");
+    }
+
+    #[test]
+    fn baseline_flags_regressions_but_not_improvements() {
+        let recorded = Concurrency { sweeps: vec![sweep("20Mbps", 1_000)] };
+        let baseline = Baseline::from_concurrency(&recorded, 64, 7);
+
+        let same = Concurrency { sweeps: vec![sweep("20Mbps", 1_000)] };
+        assert!(baseline.regressions(&same, 0.01).is_empty());
+
+        let faster = Concurrency { sweeps: vec![sweep("20Mbps", 900)] };
+        assert!(baseline.regressions(&faster, 0.01).is_empty(), "improvements pass");
+
+        let slower = Concurrency { sweeps: vec![sweep("20Mbps", 1_100)] };
+        let problems = baseline.regressions(&slower, 0.01);
+        assert_eq!(problems.len(), 2, "cold and warm both regressed: {problems:?}");
+
+        let missing = Concurrency { sweeps: vec![] };
+        assert_eq!(baseline.regressions(&missing, 0.01).len(), 1);
+    }
+}

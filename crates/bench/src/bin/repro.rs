@@ -2,28 +2,47 @@
 //! paper from the synthetic corpus.
 //!
 //! ```text
-//! repro [--scale N] [--seed S] [--versions V] [--quick] <experiment>...
+//! repro [--scale N] [--seed S] [--versions V] [--quick] [--json]
+//!       [--baseline FILE] [--record-baseline FILE] <experiment>...
 //!
-//! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 cluster faults all
+//! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 concurrency
+//!              cluster faults all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
 //! corpus (50 series, 971 images, 1/1024 scale) — expect a few minutes in a
 //! release build.
+//!
+//! `--json` additionally writes each experiment's result to
+//! `BENCH_<name>.json` in the working directory. `--baseline FILE` compares
+//! the `concurrency` sweep's `streams = 1` rows against recorded times and
+//! exits non-zero on regression (the CI smoke job);
+//! `--record-baseline FILE` writes those rows as a fresh baseline.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use gear_bench::artifact::{self, Baseline, BenchArtifact};
 use gear_bench::experiments::{self, ExperimentContext};
 use gear_corpus::CorpusConfig;
+
+/// Fractional slack the baseline comparison allows before failing.
+const BASELINE_TOLERANCE: f64 = 0.01;
 
 struct Args {
     config: CorpusConfig,
     experiments: Vec<String>,
+    json: bool,
+    baseline: Option<PathBuf>,
+    record_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut config = CorpusConfig::paper();
     let mut experiments = Vec::new();
+    let mut json = false;
+    let mut baseline = None;
+    let mut record_baseline = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -41,10 +60,22 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse().map_err(|_| format!("bad versions {v:?}"))?);
             }
             "--quick" => config = CorpusConfig::quick(),
+            "--json" => json = true,
+            "--baseline" => {
+                let v = argv.next().ok_or("--baseline needs a file")?;
+                baseline = Some(PathBuf::from(v));
+            }
+            "--record-baseline" => {
+                let v = argv.next().ok_or("--record-baseline needs a file")?;
+                record_baseline = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
-                return Err("usage: repro [--scale N] [--seed S] [--versions V] [--quick] \
-                            <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|cluster|faults|all>..."
-                    .to_owned())
+                return Err(
+                    "usage: repro [--scale N] [--seed S] [--versions V] [--quick] [--json] \
+                     [--baseline FILE] [--record-baseline FILE] \
+                     <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults|all>..."
+                        .to_owned(),
+                )
             }
             name if !name.starts_with('-') => experiments.push(name.to_owned()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -53,7 +84,7 @@ fn parse_args() -> Result<Args, String> {
     if experiments.is_empty() {
         experiments.push("all".to_owned());
     }
-    Ok(Args { config, experiments })
+    Ok(Args { config, experiments, json, baseline, record_baseline })
 }
 
 fn main() -> ExitCode {
@@ -67,12 +98,18 @@ fn main() -> ExitCode {
 
     let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         vec![
-            "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "cluster",
-            "faults",
+            "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "concurrency",
+            "cluster", "faults",
         ]
     } else {
         args.experiments.iter().map(String::as_str).collect()
     };
+    if (args.baseline.is_some() || args.record_baseline.is_some())
+        && !wanted.contains(&"concurrency")
+    {
+        eprintln!("--baseline/--record-baseline use the concurrency sweep; add `concurrency`");
+        return ExitCode::FAILURE;
+    }
 
     eprintln!(
         "generating corpus (scale 1/{}, seed {}, {} series)...",
@@ -91,9 +128,9 @@ fn main() -> ExitCode {
     );
 
     // The deployment experiments share one published corpus.
-    let needs_publish = wanted
-        .iter()
-        .any(|e| matches!(*e, "fig8" | "fig9" | "fig10" | "fig11" | "cluster" | "faults"));
+    let needs_publish = wanted.iter().any(|e| {
+        matches!(*e, "fig8" | "fig9" | "fig10" | "fig11" | "concurrency" | "cluster" | "faults")
+    });
     let published = if needs_publish {
         eprintln!("converting and publishing corpus to registries...");
         Some(experiments::fig8::publish_corpus(&ctx))
@@ -101,18 +138,30 @@ fn main() -> ExitCode {
         None
     };
 
-    for name in wanted {
+    let mut concurrency_result = None;
+    for name in &wanted {
         println!("{}", "=".repeat(72));
-        match name {
-            "table2" => println!("{}", experiments::table2::run(&ctx)),
-            "fig2" => println!("{}", experiments::fig2::run(&ctx)),
-            "fig6" => println!("{}", experiments::fig6::run(&ctx)),
-            "fig7" => println!("{}", experiments::fig7::run(&ctx)),
+        let mut metrics = Vec::new();
+        let text = match *name {
+            "table2" => experiments::table2::run(&ctx).to_string(),
+            "fig2" => experiments::fig2::run(&ctx).to_string(),
+            "fig6" => experiments::fig6::run(&ctx).to_string(),
+            "fig7" => experiments::fig7::run(&ctx).to_string(),
             "fig8" => {
-                println!("{}", experiments::fig8::run(&ctx, published.as_ref().expect("published")))
+                experiments::fig8::run(&ctx, published.as_ref().expect("published")).to_string()
             }
             "fig9" => {
-                println!("{}", experiments::fig9::run(&ctx, published.as_ref().expect("published")))
+                let result = experiments::fig9::run(&ctx, published.as_ref().expect("published"));
+                metrics = artifact::fig9_metrics(&result);
+                result.to_string()
+            }
+            "concurrency" => {
+                let result =
+                    experiments::concurrency::run(&ctx, published.as_ref().expect("published"));
+                metrics = artifact::concurrency_metrics(&result);
+                let text = result.to_string();
+                concurrency_result = Some(result);
+                text
             }
             "fig10" => {
                 let series = if ctx.corpus.series_by_name("tomcat").is_some() {
@@ -120,16 +169,14 @@ fn main() -> ExitCode {
                 } else {
                     ctx.corpus.series[0].spec.name
                 };
-                println!(
-                    "{}",
-                    experiments::fig10::run(&ctx, published.as_ref().expect("published"), series)
-                )
+                experiments::fig10::run(&ctx, published.as_ref().expect("published"), series)
+                    .to_string()
             }
             "fig11" => {
-                println!("{}", experiments::fig11::run(&ctx, published.as_ref().expect("published")))
+                experiments::fig11::run(&ctx, published.as_ref().expect("published")).to_string()
             }
             "faults" => {
-                println!("{}", experiments::faults::run(&ctx, published.as_ref().expect("published")))
+                experiments::faults::run(&ctx, published.as_ref().expect("published")).to_string()
             }
             "cluster" => {
                 let series = if ctx.corpus.series_by_name("postgres").is_some() {
@@ -137,21 +184,84 @@ fn main() -> ExitCode {
                 } else {
                     ctx.corpus.series[0].spec.name
                 };
-                println!(
-                    "{}",
-                    experiments::ext_cluster::run(
-                        &ctx,
-                        published.as_ref().expect("published"),
-                        series
-                    )
+                experiments::ext_cluster::run(
+                    &ctx,
+                    published.as_ref().expect("published"),
+                    series,
                 )
+                .to_string()
             }
             other => {
                 eprintln!("unknown experiment {other:?}");
                 return ExitCode::FAILURE;
             }
-        }
+        };
+        println!("{text}");
         println!();
+
+        if args.json {
+            let mut artifact = BenchArtifact::new(
+                name,
+                ctx.corpus.config.scale_denom,
+                ctx.corpus.config.seed,
+                text,
+            );
+            artifact.metrics = metrics;
+            match artifact.write_to(Path::new(".")) {
+                Ok(path) => eprintln!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("writing {}: {e}", artifact.file_name());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &args.record_baseline {
+        let concurrency = concurrency_result.as_ref().expect("checked above");
+        let baseline = Baseline::from_concurrency(
+            concurrency,
+            ctx.corpus.config.scale_denom,
+            ctx.corpus.config.seed,
+        );
+        let json = serde_json::to_string(&baseline).expect("baseline serializes");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("recorded baseline to {}", path.display());
+    }
+
+    if let Some(path) = &args.baseline {
+        let baseline = match Baseline::load(path) {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let concurrency = concurrency_result.as_ref().expect("checked above");
+        if baseline.scale_denom != ctx.corpus.config.scale_denom
+            || baseline.seed != ctx.corpus.config.seed
+        {
+            eprintln!(
+                "baseline recorded at scale 1/{} seed {}, run used scale 1/{} seed {}",
+                baseline.scale_denom,
+                baseline.seed,
+                ctx.corpus.config.scale_denom,
+                ctx.corpus.config.seed,
+            );
+            return ExitCode::FAILURE;
+        }
+        let problems = baseline.regressions(concurrency, BASELINE_TOLERANCE);
+        if problems.is_empty() {
+            eprintln!("baseline check passed ({})", path.display());
+        } else {
+            for problem in &problems {
+                eprintln!("REGRESSION {problem}");
+            }
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -35,7 +35,8 @@ impl PhaseAverage {
         self.pull + self.run
     }
 
-    fn add(&mut self, pull: Duration, run: Duration) {
+    /// Folds one deployment's phase split into the running mean.
+    pub fn add(&mut self, pull: Duration, run: Duration) {
         // Running mean over count.
         let n = self.count as f64;
         self.pull = Duration::from_secs_f64((self.pull.as_secs_f64() * n + pull.as_secs_f64()) / (n + 1.0));

@@ -1,5 +1,6 @@
 //! One submodule per paper artifact, sharing an [`ExperimentContext`].
 
+pub mod concurrency;
 pub mod ext_cluster;
 pub mod faults;
 pub mod fig10;

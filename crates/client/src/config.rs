@@ -46,6 +46,28 @@ impl Default for Costs {
     }
 }
 
+/// Concurrency policy of the fetch engine (see `crate::fetch`).
+///
+/// `streams = 1` (the default) keeps every registry request strictly
+/// sequential — bit-for-bit the historical deployment times. More streams
+/// overlap per-request fixed costs over the shared link while
+/// `max_buffered_bytes` bounds how much undelivered download data the
+/// scheduler may hold at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchConfig {
+    /// Concurrent registry requests kept in flight.
+    pub streams: usize,
+    /// Bound on undelivered downloaded bytes (paper scale). A single file
+    /// larger than the window is still fetched, alone.
+    pub max_buffered_bytes: u64,
+}
+
+impl Default for FetchConfig {
+    fn default() -> Self {
+        FetchConfig { streams: 1, max_buffered_bytes: 256 * 1024 * 1024 }
+    }
+}
+
 /// Configuration of a deployment client.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientConfig {
@@ -55,6 +77,8 @@ pub struct ClientConfig {
     pub disk: DiskModel,
     /// Local operation costs.
     pub costs: Costs,
+    /// Fetch-engine concurrency policy.
+    pub fetch: FetchConfig,
     /// Multiplier mapping the corpus's scaled-down byte counts back to
     /// paper-scale bytes when charging network and disk time. Set it to the
     /// corpus `scale_denom` so simulated deployments take paper-scale time.
@@ -74,6 +98,7 @@ impl Default for ClientConfig {
             link: Link::paper_testbed(),
             disk: DiskModel::hdd(),
             costs: Costs::default(),
+            fetch: FetchConfig::default(),
             byte_scale: 1,
             request_amplification: 1.0,
             cache_policy: EvictionPolicy::Lru,
@@ -99,6 +124,20 @@ impl ClientConfig {
         self
     }
 
+    /// Returns a copy fetching with `streams` concurrent registry requests
+    /// (clamped to at least 1).
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.fetch.streams = streams.max(1);
+        self
+    }
+
+    /// The amplified per-request fixed cost (RTT + overhead, scaled by
+    /// [`ClientConfig::request_amplification`]).
+    pub fn amplified_fixed(&self) -> Duration {
+        (self.link.rtt + self.link.request_overhead)
+            .mul_f64(self.request_amplification.max(0.0))
+    }
+
     /// Scales a simulated byte count up to paper scale.
     pub fn scaled(&self, bytes: u64) -> u64 {
         bytes * self.byte_scale
@@ -107,9 +146,7 @@ impl ClientConfig {
     /// Time for one registry request moving `scaled_bytes`, including the
     /// amplified fixed costs.
     pub fn request_time(&self, scaled_bytes: u64) -> Duration {
-        let fixed = (self.link.rtt + self.link.request_overhead)
-            .mul_f64(self.request_amplification.max(0.0));
-        fixed + self.link.bandwidth.transfer_time(scaled_bytes)
+        self.amplified_fixed() + self.link.bandwidth.transfer_time(scaled_bytes)
     }
 
     /// Time to read a local file of `scaled_bytes`.

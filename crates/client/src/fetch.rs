@@ -1,0 +1,308 @@
+//! The concurrent fetch engine: prices a batch of registry downloads under
+//! the client's stream policy and fault plan.
+//!
+//! Every on-demand or prefetch download funnels through
+//! [`FetchScheduler::run`]. The scheduler decomposes each file's (possibly
+//! faulty) request into what actually occupies the wire versus what only
+//! blocks the caller:
+//!
+//! * successful and *wasted* transfers (corrupted / truncated attempts that
+//!   crossed the wire before failing verification) become payload entries of
+//!   a [`Link::stream_schedule`](gear_simnet::Link::stream_schedule), which
+//!   overlaps their fixed costs up to `streams` deep, shares bandwidth
+//!   fairly, and bounds undelivered bytes by the configured window;
+//! * drop timeouts, over-budget stalls, and retry backoffs are serial
+//!   delays — they gate the retry of *that* request, so they are charged on
+//!   top of the schedule.
+//!
+//! With `streams = 1` the schedule degenerates to exact sequential sums, so
+//! the outcome equals charging each request one by one — deployments with
+//! the default [`FetchConfig`](crate::config::FetchConfig) reproduce
+//! historical numbers bit-for-bit.
+//!
+//! Delivery is reported per file, in submission order, and a file is only
+//! delivered after its request survived the fault plan: when the retry
+//! budget is exhausted mid-batch the scheduler aborts, earlier (complete)
+//! files stay delivered, and the failing file never reaches the cache —
+//! the same abort safety the serial path provides.
+
+use std::time::Duration;
+
+use gear_simnet::{FaultKind, FaultPlan, RetryPolicy, StreamConfig};
+
+use crate::config::ClientConfig;
+use crate::gear::DeployError;
+
+/// Per-client fault-injection state: the plan, the retry budget, and how
+/// many failed attempts have been retried so far.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    pub(crate) policy: RetryPolicy,
+    pub(crate) retries: u64,
+}
+
+/// What one scheduled batch cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FetchOutcome {
+    /// Time the wire was the bottleneck: the stream schedule over all
+    /// transfers (including wasted fault attempts).
+    pub(crate) network: Duration,
+    /// Time spent blocked outside the wire: drop timeouts, over-budget
+    /// stalls, stall extras, and retry backoffs.
+    pub(crate) serial_delay: Duration,
+    /// Most undelivered payload bytes the window held at any instant.
+    pub(crate) peak_buffered_bytes: u64,
+}
+
+/// Drives a batch of downloads through the bounded-memory stream window.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FetchScheduler {
+    streams: usize,
+    max_buffered_bytes: u64,
+}
+
+impl FetchScheduler {
+    /// A scheduler following the client's [`FetchConfig`]
+    /// (`config.fetch`).
+    ///
+    /// [`FetchConfig`]: crate::config::FetchConfig
+    pub(crate) fn from_config(config: &ClientConfig) -> Self {
+        FetchScheduler {
+            streams: config.fetch.streams.max(1),
+            max_buffered_bytes: config.fetch.max_buffered_bytes,
+        }
+    }
+
+    /// A scheduler with an explicit stream count (used by prefetch, whose
+    /// pipeline depth is a call-site parameter), keeping the client's
+    /// buffer window.
+    pub(crate) fn with_streams(config: &ClientConfig, streams: usize) -> Self {
+        FetchScheduler {
+            streams: streams.max(1),
+            max_buffered_bytes: config.fetch.max_buffered_bytes,
+        }
+    }
+
+    /// Prices fetching `payloads` (scaled transfer sizes, in submission
+    /// order). `on_delivered(i)` fires once per payload whose request
+    /// survived the fault plan — the caller commits that file to the cache
+    /// there, so abort semantics stay identical to the serial path.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError::FaultBudgetExhausted`] when a request runs out of
+    /// retry attempts; earlier payloads were already delivered.
+    pub(crate) fn run(
+        &self,
+        config: &ClientConfig,
+        faults: &mut Option<FaultState>,
+        payloads: &[u64],
+        mut on_delivered: impl FnMut(usize),
+    ) -> Result<FetchOutcome, DeployError> {
+        if payloads.is_empty() {
+            return Ok(FetchOutcome {
+                network: Duration::ZERO,
+                serial_delay: Duration::ZERO,
+                peak_buffered_bytes: 0,
+            });
+        }
+
+        // Decompose fault handling per payload, drawing the plan in the
+        // same per-request order as the serial `charged_request` loop.
+        let mut wire: Vec<u64> = Vec::with_capacity(payloads.len());
+        let mut serial_delay = Duration::ZERO;
+        for (index, &payload) in payloads.iter().enumerate() {
+            match faults {
+                None => {
+                    wire.push(payload);
+                    on_delivered(index);
+                }
+                Some(state) => {
+                    let nominal = config.request_time(payload);
+                    let attempts = state.policy.max_attempts.max(1);
+                    let mut delivered = false;
+                    for attempt in 0..attempts {
+                        if attempt > 0 {
+                            serial_delay += state.policy.backoff(attempt);
+                        }
+                        match state.plan.next_fault() {
+                            None => {
+                                wire.push(payload);
+                                delivered = true;
+                                break;
+                            }
+                            Some(FaultKind::Stall(extra))
+                                if nominal + extra <= state.policy.timeout =>
+                            {
+                                serial_delay += extra;
+                                wire.push(payload);
+                                delivered = true;
+                                break;
+                            }
+                            Some(FaultKind::Drop) | Some(FaultKind::Stall(_)) => {
+                                serial_delay += state.policy.timeout;
+                                state.retries += 1;
+                            }
+                            Some(FaultKind::Corrupt) | Some(FaultKind::Truncate) => {
+                                // The bytes crossed the wire before failing
+                                // verification: a wasted transfer.
+                                wire.push(payload);
+                                state.retries += 1;
+                            }
+                        }
+                    }
+                    if !delivered {
+                        return Err(DeployError::FaultBudgetExhausted { attempts });
+                    }
+                    on_delivered(index);
+                }
+            }
+        }
+
+        let schedule = config.link.stream_schedule(
+            config.amplified_fixed(),
+            &wire,
+            StreamConfig { streams: self.streams, max_buffered_bytes: self.max_buffered_bytes },
+        );
+        Ok(FetchOutcome {
+            network: schedule.duration,
+            serial_delay,
+            peak_buffered_bytes: schedule.peak_buffered_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gear_simnet::Link;
+
+    fn config() -> ClientConfig {
+        ClientConfig {
+            link: Link::mbps(100.0),
+            request_amplification: 4.0,
+            ..ClientConfig::default()
+        }
+    }
+
+    /// The keystone identity: a single-stream schedule totals exactly the
+    /// sum of serial `charged_request` prices, fault plan included.
+    #[test]
+    fn single_stream_equals_serial_charging() {
+        use gear_simnet::FaultPlan;
+
+        let config = config();
+        let payloads = [4_000u64, 50_000, 1_200, 0, 9_999];
+        let plan = FaultPlan::new(99)
+            .fail_requests(1, 1, FaultKind::Drop)
+            .fail_requests(3, 3, FaultKind::Corrupt);
+
+        // Serial reference: charge each request one by one.
+        let mut serial_faults = Some(FaultState {
+            plan: plan.clone(),
+            policy: RetryPolicy::standard(5),
+            retries: 0,
+        });
+        let mut serial = Duration::ZERO;
+        for &payload in &payloads {
+            serial += charged_request_reference(&mut serial_faults, &config, payload).unwrap();
+        }
+
+        // Scheduler at streams = 1.
+        let mut faults = Some(FaultState {
+            plan,
+            policy: RetryPolicy::standard(5),
+            retries: 0,
+        });
+        let mut delivered = Vec::new();
+        let outcome = FetchScheduler::with_streams(&config, 1)
+            .run(&config, &mut faults, &payloads, |i| delivered.push(i))
+            .unwrap();
+
+        assert_eq!(outcome.network + outcome.serial_delay, serial, "bit-for-bit");
+        assert_eq!(delivered, vec![0, 1, 2, 3, 4]);
+        assert_eq!(faults.unwrap().retries, serial_faults.unwrap().retries);
+    }
+
+    /// Mirror of `GearClient::charged_request` for the identity test.
+    fn charged_request_reference(
+        faults: &mut Option<FaultState>,
+        config: &ClientConfig,
+        scaled_bytes: u64,
+    ) -> Result<Duration, DeployError> {
+        let nominal = config.request_time(scaled_bytes);
+        let Some(state) = faults else {
+            return Ok(nominal);
+        };
+        let attempts = state.policy.max_attempts.max(1);
+        let mut elapsed = Duration::ZERO;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                elapsed += state.policy.backoff(attempt);
+            }
+            match state.plan.next_fault() {
+                None => return Ok(elapsed + nominal),
+                Some(FaultKind::Stall(extra)) if nominal + extra <= state.policy.timeout => {
+                    return Ok(elapsed + nominal + extra);
+                }
+                Some(FaultKind::Drop) | Some(FaultKind::Stall(_)) => {
+                    elapsed += state.policy.timeout;
+                    state.retries += 1;
+                }
+                Some(FaultKind::Corrupt) | Some(FaultKind::Truncate) => {
+                    elapsed += nominal;
+                    state.retries += 1;
+                }
+            }
+        }
+        Err(DeployError::FaultBudgetExhausted { attempts })
+    }
+
+    #[test]
+    fn more_streams_are_never_slower() {
+        let config = config();
+        let payloads: Vec<u64> = (0..30).map(|i| 5_000 + i * 777).collect();
+        let mut previous = Duration::MAX;
+        for streams in [1usize, 2, 4, 8] {
+            let outcome = FetchScheduler::with_streams(&config, streams)
+                .run(&config, &mut None, &payloads, |_| {})
+                .unwrap();
+            let total = outcome.network + outcome.serial_delay;
+            assert!(total <= previous, "{streams} streams slower: {total:?} > {previous:?}");
+            previous = total;
+        }
+    }
+
+    #[test]
+    fn exhaustion_stops_delivery_at_the_failing_file() {
+        use gear_simnet::FaultPlan;
+
+        let config = config();
+        // Requests 1.. all drop: file 0 delivers, file 1 exhausts.
+        let plan = FaultPlan::new(0).fail_requests(1, u64::MAX, FaultKind::Drop);
+        let mut faults = Some(FaultState {
+            plan,
+            policy: RetryPolicy::standard(1),
+            retries: 0,
+        });
+        let mut delivered = Vec::new();
+        let err = FetchScheduler::with_streams(&config, 4)
+            .run(&config, &mut faults, &[100, 200, 300], |i| delivered.push(i))
+            .unwrap_err();
+        assert!(matches!(err, DeployError::FaultBudgetExhausted { attempts: 4 }));
+        assert_eq!(delivered, vec![0], "only the pre-failure file was delivered");
+    }
+
+    #[test]
+    fn window_bound_is_respected() {
+        let mut config = config();
+        config.fetch.max_buffered_bytes = 10_000;
+        config.fetch.streams = 8;
+        let payloads = [4_000u64; 12];
+        let outcome = FetchScheduler::from_config(&config)
+            .run(&config, &mut None, &payloads, |_| {})
+            .unwrap();
+        assert!(outcome.peak_buffered_bytes <= 10_000);
+    }
+}

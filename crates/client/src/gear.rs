@@ -18,6 +18,7 @@ use gear_simnet::{FaultKind, FaultPlan, NetMetrics, RetryPolicy};
 
 use crate::cache::SharedCache;
 use crate::config::ClientConfig;
+use crate::fetch::{FaultState, FetchScheduler};
 use crate::report::DeploymentReport;
 use crate::timeline::TimelineEvent;
 
@@ -162,15 +163,6 @@ impl Materializer for CacheAndRegistry<'_> {
             }
         }
     }
-}
-
-/// Per-client fault-injection state: the plan, the retry budget, and how
-/// many failed attempts have been retried so far.
-#[derive(Debug)]
-struct FaultState {
-    plan: FaultPlan,
-    policy: RetryPolicy,
-    retries: u64,
 }
 
 /// The Gear deployment client (paper §III-D): pulls tiny index images,
@@ -371,56 +363,156 @@ impl GearClient {
         report.timeline.push(pull, launch, TimelineEvent::Launch);
         run += launch;
 
-        for path in &trace.reads {
-            let session = CacheAndRegistry::new(&mut self.cache, store);
-            let read = mount.read(path, &session);
-            let CacheAndRegistry { events, .. } = session;
-            let events = events.into_inner();
-            read?;
-            for event in events {
-                match event {
-                    FetchEvent::CacheHit { bytes } => {
-                        report.cache_hits += 1;
-                        let took = self.config.costs.hard_link
-                            + self.config.local_read(self.config.scaled(bytes));
-                        report.timeline.push(
-                            pull + run,
-                            took,
-                            TimelineEvent::CacheHit { path: path.clone(), bytes },
-                        );
-                        run += took;
+        if self.config.fetch.streams > 1 {
+            // Concurrent fetch engine: resolve the whole trace through ONE
+            // materializer session — single-flight dedup across reads, so a
+            // fingerprint missed by several reads is downloaded exactly once
+            // — then price all downloads as one bounded-window stream
+            // schedule instead of a serial chain of requests.
+            let mut per_read: Vec<(String, Vec<FetchEvent>)> =
+                Vec::with_capacity(trace.reads.len());
+            {
+                let session = CacheAndRegistry::new(&mut self.cache, store);
+                for path in &trace.reads {
+                    let read = mount.read(path, &session);
+                    let events = session.events.replace(Vec::new());
+                    read?;
+                    per_read.push((path.clone(), events));
+                }
+            }
+            let mut downloads: Vec<(Fingerprint, Bytes, u64, u64, String)> = Vec::new();
+            for (path, events) in per_read {
+                for event in events {
+                    match event {
+                        FetchEvent::CacheHit { bytes } => {
+                            report.cache_hits += 1;
+                            let took = self.config.costs.hard_link
+                                + self.config.local_read(self.config.scaled(bytes));
+                            report.timeline.push(
+                                pull + run,
+                                took,
+                                TimelineEvent::CacheHit { path: path.clone(), bytes },
+                            );
+                            run += took;
+                        }
+                        FetchEvent::Downloaded { fingerprint, content, transfer_bytes } => {
+                            let scaled_transfer = self.config.scaled(transfer_bytes);
+                            let scaled_raw = self.config.scaled(content.len() as u64);
+                            downloads.push((
+                                fingerprint,
+                                content,
+                                scaled_transfer,
+                                scaled_raw,
+                                path.clone(),
+                            ));
+                        }
+                        FetchEvent::Missing => {}
                     }
-                    FetchEvent::Downloaded { fingerprint, content, transfer_bytes } => {
-                        let scaled_transfer = self.config.scaled(transfer_bytes);
-                        let scaled_raw = self.config.scaled(content.len() as u64);
-                        // Charge the (possibly faulty) request first: if the
-                        // retry budget is exhausted the deploy aborts and the
-                        // file never reaches the shared cache.
-                        let request =
-                            Self::charged_request(&mut self.faults, self.config, scaled_transfer)?;
-                        self.cache.insert(fingerprint, content);
-                        report.files_fetched += 1;
-                        report.requests += 1;
-                        report.bytes_pulled += scaled_transfer;
-                        self.metrics.download(scaled_transfer);
-                        let took = request
-                            + self.config.decompress(scaled_transfer)
-                            + self
-                                .config
-                                .disk
-                                .io_time(scaled_raw.min(scaled_transfer.max(scaled_raw)), 1)
-                            + self.config.local_read(scaled_raw);
-                        report.timeline.push(
-                            pull + run,
-                            took,
-                            TimelineEvent::RegistryFetch {
-                                path: path.clone(),
-                                bytes: scaled_transfer,
-                            },
-                        );
-                        run += took;
+                }
+            }
+            if !downloads.is_empty() {
+                let config = self.config;
+                let payloads: Vec<u64> = downloads.iter().map(|d| d.2).collect();
+                // A file reaches the cache only once its request survived
+                // the fault plan; exhaustion aborts with the failing file
+                // (and everything after it) never inserted.
+                let cache = &mut self.cache;
+                let outcome = FetchScheduler::from_config(&config).run(
+                    &config,
+                    &mut self.faults,
+                    &payloads,
+                    |i| {
+                        let (fp, content, ..) = &downloads[i];
+                        cache.insert(*fp, content.clone());
+                    },
+                )?;
+                let batch_bytes: u64 = payloads.iter().sum();
+                let took = outcome.network + outcome.serial_delay;
+                report.timeline.push(
+                    pull + run,
+                    took,
+                    TimelineEvent::ParallelFetch {
+                        files: downloads.len() as u64,
+                        bytes: batch_bytes,
+                    },
+                );
+                run += took;
+                report.peak_buffered_bytes =
+                    report.peak_buffered_bytes.max(outcome.peak_buffered_bytes);
+                for (_, _, scaled_transfer, scaled_raw, path) in &downloads {
+                    report.files_fetched += 1;
+                    report.requests += 1;
+                    report.bytes_pulled += *scaled_transfer;
+                    self.metrics.download(*scaled_transfer);
+                    let took = config.decompress(*scaled_transfer)
+                        + config.disk.io_time(*scaled_raw, 1)
+                        + config.local_read(*scaled_raw);
+                    report.timeline.push(
+                        pull + run,
+                        took,
+                        TimelineEvent::RegistryFetch {
+                            path: path.clone(),
+                            bytes: *scaled_transfer,
+                        },
+                    );
+                    run += took;
+                }
+            }
+        } else {
+            for path in &trace.reads {
+                let session = CacheAndRegistry::new(&mut self.cache, store);
+                let read = mount.read(path, &session);
+                let CacheAndRegistry { events, .. } = session;
+                let events = events.into_inner();
+                read?;
+                for event in events {
+                    match event {
+                        FetchEvent::CacheHit { bytes } => {
+                            report.cache_hits += 1;
+                            let took = self.config.costs.hard_link
+                                + self.config.local_read(self.config.scaled(bytes));
+                            report.timeline.push(
+                                pull + run,
+                                took,
+                                TimelineEvent::CacheHit { path: path.clone(), bytes },
+                            );
+                            run += took;
+                        }
+                        FetchEvent::Downloaded { fingerprint, content, transfer_bytes } => {
+                            let scaled_transfer = self.config.scaled(transfer_bytes);
+                            let scaled_raw = self.config.scaled(content.len() as u64);
+                            // Charge the (possibly faulty) request first: if the
+                            // retry budget is exhausted the deploy aborts and the
+                            // file never reaches the shared cache.
+                            let request = Self::charged_request(
+                                &mut self.faults,
+                                self.config,
+                                scaled_transfer,
+                            )?;
+                            self.cache.insert(fingerprint, content);
+                            report.files_fetched += 1;
+                            report.requests += 1;
+                            report.bytes_pulled += scaled_transfer;
+                            self.metrics.download(scaled_transfer);
+                            let took = request
+                                + self.config.decompress(scaled_transfer)
+                                + self
+                                    .config
+                                    .disk
+                                    .io_time(scaled_raw.min(scaled_transfer.max(scaled_raw)), 1)
+                                + self.config.local_read(scaled_raw);
+                            report.timeline.push(
+                                pull + run,
+                                took,
+                                TimelineEvent::RegistryFetch {
+                                    path: path.clone(),
+                                    bytes: scaled_transfer,
+                                },
+                            );
+                            run += took;
+                        }
+                        FetchEvent::Missing => {}
                     }
-                    FetchEvent::Missing => {}
                 }
             }
         }
@@ -478,38 +570,47 @@ impl GearClient {
             }
         }
 
-        // One pipelined batch over the link. Under fault injection each file
-        // is still one request: retries and timeouts for it are charged on
-        // top of the batch, and a file is committed to the cache only after
+        // One pipelined batch over the link, priced by the stream scheduler
+        // (`pipeline` requests deep, bounded buffer window). Under fault
+        // injection each file is still one request: its drop timeouts and
+        // backoffs gate the batch serially, while wasted (corrupt/truncate)
+        // attempts occupy the *batched* schedule — so fault overhead is
+        // charged against the pipelined cost, not against a hypothetical
+        // un-batched request. A file is committed to the cache only after
         // its request survived the fault plan.
-        let mut batch_bytes = 0u64;
-        let mut fault_overhead = Duration::ZERO;
-        for (fp, _) in &wanted {
-            let content = store.download(*fp).ok_or_else(|| {
-                DeployError::Fs(FsError::Materialize {
-                    path: fp.to_string(),
-                    reason: "not in registry".to_owned(),
-                })
-            })?;
-            let transfer =
-                self.config.scaled(store.transfer_size(*fp).unwrap_or(content.len() as u64));
-            let charged = Self::charged_request(&mut self.faults, self.config, transfer)?;
-            fault_overhead += charged.saturating_sub(self.config.request_time(transfer));
-            batch_bytes += transfer;
-            self.cache.insert(*fp, content);
-            report.files_fetched += 1;
-        }
         if !wanted.is_empty() {
-            let fixed = (self.config.link.rtt + self.config.link.request_overhead)
-                .mul_f64(self.config.request_amplification.max(0.0));
-            let batch_time = fixed
-                * (wanted.len() as u64).div_ceil(pipeline.max(1) as u64) as u32
-                + self.config.link.bandwidth.transfer_time(batch_bytes)
-                + self.config.decompress(batch_bytes)
-                + self.config.disk.io_time(batch_bytes, wanted.len() as u64);
-            report.pull += batch_time + fault_overhead;
+            let mut contents: Vec<(Fingerprint, Bytes)> = Vec::with_capacity(wanted.len());
+            let mut payloads: Vec<u64> = Vec::with_capacity(wanted.len());
+            for (fp, _) in &wanted {
+                let content = store.download(*fp).ok_or_else(|| {
+                    DeployError::Fs(FsError::Materialize {
+                        path: fp.to_string(),
+                        reason: "not in registry".to_owned(),
+                    })
+                })?;
+                payloads.push(
+                    self.config
+                        .scaled(store.transfer_size(*fp).unwrap_or(content.len() as u64)),
+                );
+                contents.push((*fp, content));
+            }
+            let config = self.config;
+            let cache = &mut self.cache;
+            let outcome = FetchScheduler::with_streams(&config, pipeline.max(1) as usize)
+                .run(&config, &mut self.faults, &payloads, |i| {
+                    let (fp, content) = &contents[i];
+                    cache.insert(*fp, content.clone());
+                })?;
+            let batch_bytes: u64 = payloads.iter().sum();
+            report.pull += outcome.network
+                + outcome.serial_delay
+                + config.decompress(batch_bytes)
+                + config.disk.io_time(batch_bytes, wanted.len() as u64);
+            report.files_fetched += wanted.len() as u64;
             report.requests += wanted.len() as u64;
             report.bytes_pulled += batch_bytes;
+            report.peak_buffered_bytes =
+                report.peak_buffered_bytes.max(outcome.peak_buffered_bytes);
             self.metrics.download(batch_bytes);
         }
 
@@ -551,18 +652,32 @@ impl GearClient {
                 let events = events.into_inner();
                 let content = read?;
                 // Every op pays the local read, exactly as Docker does; only
-                // a first-touch download additionally pays the network.
+                // a first-touch download additionally pays the network. All
+                // of one op's misses go through the fetch scheduler as one
+                // batch (identical to serial charging at `streams = 1`).
                 elapsed += config.local_read(config.scaled(content.len() as u64));
-                for event in events {
-                    if let FetchEvent::Downloaded { fingerprint, content, transfer_bytes } = event
-                    {
-                        elapsed += Self::charged_request(
-                            &mut self.faults,
-                            config,
-                            config.scaled(transfer_bytes),
-                        )?;
-                        self.cache.insert(fingerprint, content);
-                    }
+                let downloads: Vec<(Fingerprint, Bytes, u64)> = events
+                    .into_iter()
+                    .filter_map(|event| match event {
+                        FetchEvent::Downloaded { fingerprint, content, transfer_bytes } => {
+                            Some((fingerprint, content, config.scaled(transfer_bytes)))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                if !downloads.is_empty() {
+                    let payloads: Vec<u64> = downloads.iter().map(|d| d.2).collect();
+                    let cache = &mut self.cache;
+                    let outcome = FetchScheduler::from_config(&config).run(
+                        &config,
+                        &mut self.faults,
+                        &payloads,
+                        |i| {
+                            let (fp, content, _) = &downloads[i];
+                            cache.insert(*fp, content.clone());
+                        },
+                    )?;
+                    elapsed += outcome.network + outcome.serial_delay;
                 }
             }
             elapsed += op_compute;
@@ -593,12 +708,32 @@ impl GearClient {
         let CacheAndRegistry { events, .. } = session;
         let events = events.into_inner();
         let content = read?;
-        for event in events {
-            if let FetchEvent::Downloaded { fingerprint, content, transfer_bytes } = event {
-                let scaled = config.scaled(transfer_bytes);
-                Self::charged_request(&mut self.faults, config, scaled)?;
-                self.metrics.download(scaled);
-                self.cache.insert(fingerprint, content);
+        // Chunk misses of one ranged read are coalesced into a single
+        // scheduled batch — a `BigFile` range spanning K chunks issues them
+        // as one pipelined fetch rather than K serial round-trips.
+        let downloads: Vec<(Fingerprint, Bytes, u64)> = events
+            .into_iter()
+            .filter_map(|event| match event {
+                FetchEvent::Downloaded { fingerprint, content, transfer_bytes } => {
+                    Some((fingerprint, content, config.scaled(transfer_bytes)))
+                }
+                _ => None,
+            })
+            .collect();
+        if !downloads.is_empty() {
+            let payloads: Vec<u64> = downloads.iter().map(|d| d.2).collect();
+            let cache = &mut self.cache;
+            FetchScheduler::from_config(&config).run(
+                &config,
+                &mut self.faults,
+                &payloads,
+                |i| {
+                    let (fp, content, _) = &downloads[i];
+                    cache.insert(*fp, content.clone());
+                },
+            )?;
+            for (_, _, scaled) in &downloads {
+                self.metrics.download(*scaled);
             }
         }
         Ok(content)
@@ -872,6 +1007,76 @@ mod tests {
         let (_, again) = prefetching.deploy_prefetch(&r, &t, &docker, &store, 16).unwrap();
         assert_eq!(again.files_fetched, 0);
         assert_eq!(again.cache_hits, 40);
+    }
+
+    #[test]
+    fn concurrent_streams_speed_up_cold_deploys_with_identical_results() {
+        let files: Vec<(String, Vec<u8>)> =
+            (0..30).map(|i| (format!("srv/f{i:02}"), vec![i as u8; 3_000])).collect();
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(p, c)| (p.as_str(), c.as_slice())).collect();
+        let (docker, store, r) = setup(&refs, "svc:1");
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        let t = trace(&paths);
+        let slow = ClientConfig {
+            link: gear_simnet::Link::mbps(20.0).with_rtt(Duration::from_millis(20)),
+            request_amplification: 4.0,
+            ..ClientConfig::default()
+        };
+
+        let mut serial = GearClient::new(slow);
+        let (_, one) = serial.deploy(&r, &t, &docker, &store).unwrap();
+        let mut wide = GearClient::new(slow.with_streams(4));
+        let (_, four) = wide.deploy(&r, &t, &docker, &store).unwrap();
+
+        assert!(
+            four.total() < one.total(),
+            "4 streams {:?} !< serial {:?}",
+            four.total(),
+            one.total()
+        );
+        // Same work moved, same end state — only the schedule differs.
+        assert_eq!(four.files_fetched, one.files_fetched);
+        assert_eq!(four.bytes_pulled, one.bytes_pulled);
+        assert_eq!(four.cache_hits, one.cache_hits);
+        assert_eq!(four.requests, one.requests);
+        assert_eq!(wide.cache_bytes(), serial.cache_bytes());
+        assert!(four.peak_buffered_bytes > 0, "the window saw in-flight bytes");
+        assert!(
+            four.timeline
+                .entries()
+                .iter()
+                .any(|(_, _, e)| matches!(e, TimelineEvent::ParallelFetch { files: 30, .. })),
+            "the batch shows up as one parallel-fetch event"
+        );
+    }
+
+    #[test]
+    fn concurrent_deploy_single_flights_duplicate_reads() {
+        let (docker, store, r) = setup(&[("app/lib", b"shared once")], "svc:1");
+        let mut client = GearClient::new(ClientConfig::default().with_streams(4));
+        let (_, report) = client
+            .deploy(&r, &trace(&["app/lib", "app/lib", "app/lib"]), &docker, &store)
+            .unwrap();
+        assert_eq!(report.files_fetched, 1, "one download despite three reads");
+        // manifest + index + exactly one file request.
+        assert_eq!(client.metrics().requests_down, 3);
+        assert_eq!(client.cache_bytes(), b"shared once".len() as u64, "one cache insert");
+    }
+
+    #[test]
+    fn concurrent_abort_leaves_no_partial_cache_entries() {
+        let (docker, store, r) = setup(&[("a", b"first"), ("b", b"second")], "svc:1");
+        let mut client = GearClient::new(ClientConfig::default().with_streams(4));
+        // Requests 0-1 (manifest, index) clean; 2 (file a) clean; 3+ drop.
+        client.inject_faults(
+            FaultPlan::new(0).fail_requests(3, u64::MAX, FaultKind::Drop),
+            RetryPolicy::standard(5),
+        );
+        let err = client.deploy(&r, &trace(&["a", "b"]), &docker, &store).unwrap_err();
+        assert!(matches!(err, DeployError::FaultBudgetExhausted { attempts: 4 }));
+        // File "a" survived its request and is complete; "b" never landed.
+        assert_eq!(client.cache_bytes(), b"first".len() as u64);
     }
 
     #[test]

@@ -52,13 +52,14 @@
 mod cache;
 mod config;
 mod docker;
+mod fetch;
 mod gear;
 mod report;
 mod slacker;
 mod timeline;
 
 pub use cache::{CacheStats, EvictionPolicy, SharedCache};
-pub use config::{ClientConfig, Costs};
+pub use config::{ClientConfig, Costs, FetchConfig};
 pub use docker::DockerClient;
 pub use gear::{ContainerId, DeployError, GearClient};
 pub use report::DeploymentReport;

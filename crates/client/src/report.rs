@@ -31,6 +31,9 @@ pub struct DeploymentReport {
     /// Failed request attempts that were retried under fault injection
     /// (zero when no fault plan is active).
     pub retries: u64,
+    /// Most undelivered downloaded bytes the fetch scheduler held at any
+    /// instant (zero for strictly sequential fetching).
+    pub peak_buffered_bytes: u64,
     /// Ordered step-by-step record of the deployment (populated by the Gear
     /// engine; coarse or empty for the baselines).
     pub timeline: Timeline,
@@ -48,6 +51,7 @@ impl DeploymentReport {
             files_fetched: 0,
             cache_hits: 0,
             retries: 0,
+            peak_buffered_bytes: 0,
             timeline: Timeline::new(),
         }
     }

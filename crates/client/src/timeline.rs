@@ -37,6 +37,14 @@ pub enum TimelineEvent {
         /// Wire bytes (paper scale).
         bytes: u64,
     },
+    /// A batch of files fetched concurrently through the stream scheduler
+    /// (its duration covers the whole overlapped window).
+    ParallelFetch {
+        /// Files in the batch.
+        files: u64,
+        /// Total wire bytes (paper scale).
+        bytes: u64,
+    },
     /// The deployment task's compute.
     Task,
 }
@@ -51,6 +59,9 @@ impl TimelineEvent {
             TimelineEvent::CacheHit { path, .. } => format!("cache  {path}"),
             TimelineEvent::RegistryFetch { path, bytes } => {
                 format!("fetch  {path} ({bytes} B)")
+            }
+            TimelineEvent::ParallelFetch { files, bytes } => {
+                format!("fetch  {files} files in parallel ({bytes} B)")
             }
             TimelineEvent::Task => "task".to_owned(),
         }

@@ -177,4 +177,118 @@ proptest! {
         prop_assert_eq!(client.cache_bytes(), expected_bytes, "cache bytes must be consistent");
         prop_assert_eq!(stats.evictions, 0, "unbounded cache never evicts");
     }
+
+    /// Single-flight dedup: however many concurrent reads miss on the same
+    /// fingerprint, the deployment issues exactly one registry request for
+    /// it and the cache gains exactly one entry — with or without injected
+    /// faults.
+    #[test]
+    fn concurrent_same_fingerprint_misses_download_once(
+        readers in 2usize..6,
+        streams in 2usize..9,
+        len in 64u16..4096,
+        fault_at in (any::<bool>(), 0u64..6).prop_map(|(on, at)| on.then_some(at)),
+        corrupt in any::<bool>(),
+    ) {
+        use gear_core::{publish, Converter};
+        use gear_corpus::{StartupTrace, TaskKind};
+        use gear_fs::FsTree;
+        use gear_image::{ImageBuilder, ImageRef};
+        use gear_registry::{DockerRegistry, GearFileStore};
+        use gear_simnet::{FaultKind, FaultPlan, RetryPolicy};
+
+        // `readers` distinct paths, one shared content → one fingerprint.
+        let shared = Bytes::from(vec![0x5A; len as usize]);
+        let mut tree = FsTree::new();
+        for i in 0..readers {
+            tree.create_file(&format!("srv/reader{i}"), shared.clone()).unwrap();
+        }
+        let r: ImageRef = "prop:1".parse().unwrap();
+        let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+        let conv = Converter::new().convert(&image).unwrap();
+        let mut docker = DockerRegistry::new();
+        let mut store = GearFileStore::new();
+        publish(&conv, &mut docker, &mut store);
+        let trace = StartupTrace {
+            reads: (0..readers).map(|i| format!("srv/reader{i}")).collect(),
+            task: TaskKind::Echo,
+        };
+
+        let mut client = GearClient::new(ClientConfig::default().with_streams(streams));
+        if let Some(at) = fault_at {
+            // One scripted fault somewhere in the request sequence; the
+            // standard budget (4 attempts) always recovers from it.
+            let kind = if corrupt { FaultKind::Corrupt } else { FaultKind::Drop };
+            client.inject_faults(
+                FaultPlan::new(1).fail_requests(at, at, kind),
+                RetryPolicy::standard(1),
+            );
+        }
+        let (_, report) = client.deploy(&r, &trace, &docker, &store).unwrap();
+
+        prop_assert_eq!(report.files_fetched, 1, "one download for all readers");
+        // manifest + index + exactly one file request.
+        prop_assert_eq!(client.metrics().requests_down, 3);
+        prop_assert!(client.cache_contains(Fingerprint::of(&shared)));
+        prop_assert_eq!(client.cache_bytes(), shared.len() as u64, "one cache insert");
+    }
+
+    /// The fetch scheduler never holds more undelivered bytes than the
+    /// configured window (a single payload larger than the window is
+    /// admitted alone and bounds the peak instead).
+    #[test]
+    fn fetch_window_bounds_undelivered_bytes(
+        sizes in proptest::collection::vec(1u16..8192, 1..24),
+        streams in 2usize..9,
+        window in 1024u64..32_768,
+    ) {
+        use gear_core::{publish, Converter};
+        use gear_corpus::{StartupTrace, TaskKind};
+        use gear_fs::FsTree;
+        use gear_image::{ImageBuilder, ImageRef};
+        use gear_registry::{DockerRegistry, GearFileStore};
+
+        let mut tree = FsTree::new();
+        let mut fingerprints = Vec::new();
+        for (i, len) in sizes.iter().enumerate() {
+            // Distinct first byte so every file is a distinct fingerprint.
+            let mut content = vec![0u8; *len as usize];
+            content[0] = i as u8;
+            fingerprints.push(Fingerprint::of(&content));
+            tree.create_file(&format!("data/f{i}"), Bytes::from(content)).unwrap();
+        }
+        let r: ImageRef = "prop:1".parse().unwrap();
+        let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+        let conv = Converter::new().convert(&image).unwrap();
+        let mut docker = DockerRegistry::new();
+        let mut store = GearFileStore::new();
+        publish(&conv, &mut docker, &mut store);
+        let trace = StartupTrace {
+            reads: (0..sizes.len()).map(|i| format!("data/f{i}")).collect(),
+            task: TaskKind::Echo,
+        };
+
+        let mut config = ClientConfig::default();
+        config.fetch.streams = streams;
+        config.fetch.max_buffered_bytes = window;
+        let mut client = GearClient::new(config);
+        let (_, report) = client.deploy(&r, &trace, &docker, &store).unwrap();
+
+        // The wire carries scaled transfer sizes; the escape hatch admits
+        // one oversized payload alone, so that payload is the only way the
+        // peak may pass the window.
+        let largest = fingerprints
+            .iter()
+            .filter_map(|fp| store.transfer_size(*fp))
+            .map(|bytes| config.scaled(bytes))
+            .max()
+            .unwrap_or(0);
+        let bound = window.max(largest);
+        prop_assert!(
+            report.peak_buffered_bytes <= bound,
+            "peak {} > bound {} (window {window}, largest {largest})",
+            report.peak_buffered_bytes,
+            bound
+        );
+    }
 }

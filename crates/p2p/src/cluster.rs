@@ -1,6 +1,6 @@
 //! The cluster: per-node caches + indexes, peer-first fetch policy.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
@@ -14,7 +14,7 @@ use gear_fs::{FsError, FsTree, UnionFs};
 use gear_hash::Fingerprint;
 use gear_image::ImageRef;
 use gear_registry::{DockerRegistry, GearFileStore};
-use gear_simnet::{FaultKind, FaultPlan, Link, RetryPolicy};
+use gear_simnet::{FaultKind, FaultPlan, Link, RetryPolicy, StreamConfig};
 
 use crate::directory::PeerDirectory;
 
@@ -70,6 +70,10 @@ pub struct ClusterConfig {
     pub registry_link: Link,
     /// Per-node client cost model (disk, local costs, byte scaling).
     pub client: ClientConfig,
+    /// Maximum concurrent transfers a deploying node fans out across
+    /// distinct sources (each peer holder is an independent lane; registry
+    /// transfers share the uplink). `1` fetches holder-by-holder.
+    pub fan_out: usize,
 }
 
 impl ClusterConfig {
@@ -81,6 +85,7 @@ impl ClusterConfig {
             peer_link: Link::mbps(10_000.0).with_rtt(Duration::from_micros(80)),
             registry_link: Link::paper_testbed(),
             client: ClientConfig::default(),
+            fan_out: 1,
         }
     }
 
@@ -92,12 +97,20 @@ impl ClusterConfig {
             peer_link: Link::mbps(1_000.0),
             registry_link: Link::mbps(20.0),
             client: ClientConfig::default(),
+            fan_out: 1,
         }
     }
 
     /// Replaces the per-node client config (e.g. to set the byte scale).
     pub fn with_client(mut self, client: ClientConfig) -> Self {
         self.client = client;
+        self
+    }
+
+    /// Sets how many transfers a deploying node keeps in flight (clamped to
+    /// at least 1).
+    pub fn with_fan_out(mut self, fan_out: usize) -> Self {
+        self.fan_out = fan_out.max(1);
         self
     }
 }
@@ -130,6 +143,37 @@ struct FaultState {
     plan: FaultPlan,
     policy: RetryPolicy,
     retries: u64,
+}
+
+/// Where a fetched file came from — the "lane" its transfer occupies when
+/// deploys fan out.
+#[derive(Debug, Clone, Copy)]
+enum Lane {
+    /// The node's own cache: no transfer.
+    Local,
+    /// A peer holder: its lane is serial per holder, parallel across
+    /// holders.
+    Peer(NodeId),
+    /// The registry uplink, shared by all registry transfers.
+    Registry,
+}
+
+/// One fetch's cost, decomposed so serial and fanned-out deployments can
+/// price the same side effects differently.
+#[derive(Debug, Clone, Copy)]
+struct FetchCharge {
+    lane: Lane,
+    /// Time occupying a peer holder's lane (clean transfer + in-budget
+    /// stall). Zero for registry fetches — their lane is priced from
+    /// `payload` by a stream schedule over the shared uplink.
+    lane_time: Duration,
+    /// Scaled wire bytes of a registry transfer (zero otherwise).
+    payload: u64,
+    /// Time that blocks the deployment regardless of fan-out: wasted
+    /// attempts, timeouts, backoffs, and registry stalls.
+    serial: Duration,
+    /// Local post-transfer work: hard links, decompression, disk writes.
+    post: Duration,
 }
 
 #[derive(Debug)]
@@ -280,6 +324,8 @@ impl Cluster {
             retries: 0,
         };
         let index = Arc::clone(&self.nodes[node].indexes[reference].0);
+        let fan_out = self.config.fan_out.max(1);
+        let mut charges: Vec<FetchCharge> = Vec::new();
         for path in &trace.reads {
             // Resolve the fingerprint through the index, then fetch through
             // the cluster policy; the mount serves metadata/symlinks.
@@ -290,8 +336,18 @@ impl Cluster {
                 continue;
             };
             let (content, charge) = self.fetch(node, fp, size, file_store, &mut report)?;
-            total += charge;
+            if fan_out > 1 {
+                // Transfers overlap (priced below); everything local or
+                // fault-bound still gates the deployment serially.
+                total += charge.serial + charge.post;
+                charges.push(charge);
+            } else {
+                total += self.charge_total(&charge);
+            }
             total += client.local_read(client.scaled(content.len() as u64));
+        }
+        if fan_out > 1 {
+            total += self.fan_out_makespan(&charges, fan_out);
         }
         total += trace.task.compute_time();
         report.total = total;
@@ -362,23 +418,81 @@ impl Cluster {
     /// full retry budget (the registry is the last resort — there is no one
     /// left to degrade to).
     fn charged_registry_transfer(&mut self, nominal: Duration) -> Result<Duration, ClusterError> {
+        Ok(self.charged_registry_serial(nominal)? + nominal)
+    }
+
+    /// The serial part of one registry transfer under the retry budget:
+    /// wasted attempts, backoffs, and in-budget stall extras. The full
+    /// charge is this plus `nominal` (which fanned-out deploys price
+    /// through the uplink stream schedule instead).
+    fn charged_registry_serial(&mut self, nominal: Duration) -> Result<Duration, ClusterError> {
         let attempts = match &self.faults {
-            None => return Ok(nominal),
+            None => return Ok(Duration::ZERO),
             Some(state) => state.policy.max_attempts.max(1),
         };
-        let mut charge = Duration::ZERO;
+        let mut serial = Duration::ZERO;
         for attempt in 0..attempts {
             if attempt > 0 {
                 if let Some(state) = &self.faults {
-                    charge += state.policy.backoff(attempt);
+                    serial += state.policy.backoff(attempt);
                 }
             }
             match Self::attempt(&mut self.faults, nominal) {
-                Ok(extra) => return Ok(charge + nominal + extra),
-                Err(wasted) => charge += wasted,
+                Ok(extra) => return Ok(serial + extra),
+                Err(wasted) => serial += wasted,
             }
         }
         Err(ClusterError::FaultBudgetExhausted { attempts })
+    }
+
+    /// Recomposes a [`FetchCharge`] into the holder-by-holder serial price
+    /// (what `fan_out == 1` deployments pay per file).
+    fn charge_total(&self, charge: &FetchCharge) -> Duration {
+        let lane = match charge.lane {
+            Lane::Registry => self.registry_link_time(charge.payload),
+            Lane::Local | Lane::Peer(_) => charge.lane_time,
+        };
+        charge.serial + lane + charge.post
+    }
+
+    /// Prices the transfer portion of `charges` with up to `fan_out`
+    /// streams in flight: each distinct peer holder is an independent lane
+    /// served serially, all registry transfers share the uplink through a
+    /// `fan_out`-deep stream schedule, and the lanes are packed
+    /// longest-first onto `fan_out` slots — the makespan is what the
+    /// deploying node actually waits for the network.
+    fn fan_out_makespan(&self, charges: &[FetchCharge], fan_out: usize) -> Duration {
+        let mut peer_lanes: BTreeMap<NodeId, Duration> = BTreeMap::new();
+        let mut registry_payloads: Vec<u64> = Vec::new();
+        for charge in charges {
+            match charge.lane {
+                Lane::Peer(holder) => {
+                    *peer_lanes.entry(holder).or_insert(Duration::ZERO) += charge.lane_time;
+                }
+                Lane::Registry => registry_payloads.push(charge.payload),
+                Lane::Local => {}
+            }
+        }
+        let mut lanes: Vec<Duration> = peer_lanes.into_values().collect();
+        if !registry_payloads.is_empty() {
+            let link = self.config.registry_link;
+            let fixed = (link.rtt + link.request_overhead)
+                .mul_f64(self.config.client.request_amplification.max(0.0));
+            lanes.push(
+                link.stream_schedule(fixed, &registry_payloads, StreamConfig::concurrent(fan_out))
+                    .duration,
+            );
+        }
+        // Longest-processing-time first keeps the packing deterministic and
+        // near-optimal.
+        lanes.sort_unstable_by(|a, b| b.cmp(a));
+        let mut slots = vec![Duration::ZERO; fan_out];
+        for lane in lanes {
+            if let Some(slot) = slots.iter_mut().min() {
+                *slot += lane;
+            }
+        }
+        slots.into_iter().max().unwrap_or(Duration::ZERO)
     }
 
     fn fetch(
@@ -388,14 +502,21 @@ impl Cluster {
         size: u64,
         store: &GearFileStore,
         report: &mut NodeDeployment,
-    ) -> Result<(Bytes, Duration), ClusterError> {
+    ) -> Result<(Bytes, FetchCharge), ClusterError> {
         let client = self.config.client;
         // 1. Own cache.
         if let Some(content) = self.nodes[node].cache.get(fingerprint) {
             report.local_files += 1;
-            return Ok((content, client.costs.hard_link));
+            let charge = FetchCharge {
+                lane: Lane::Local,
+                lane_time: Duration::ZERO,
+                payload: 0,
+                serial: Duration::ZERO,
+                post: client.costs.hard_link,
+            };
+            return Ok((content, charge));
         }
-        let mut charge = Duration::ZERO;
+        let mut serial = Duration::ZERO;
         // 2. Peers, in load-spreading order. A faulty transfer gets one
         // attempt per holder — real P2P clients switch peers rather than
         // hammer a bad one — and degrades to the next, then to the registry.
@@ -409,14 +530,20 @@ impl Cluster {
             let nominal = self.peer_link_time(scaled);
             match Self::attempt(&mut self.faults, nominal) {
                 Ok(extra) => {
-                    charge += nominal + extra + client.disk.io_time(scaled, 1);
                     self.peer_traffic += scaled;
                     report.peer_files += 1;
                     report.peer_bytes += scaled;
                     self.admit(node, fingerprint, content.clone());
+                    let charge = FetchCharge {
+                        lane: Lane::Peer(peer),
+                        lane_time: nominal + extra,
+                        payload: 0,
+                        serial,
+                        post: client.disk.io_time(scaled, 1),
+                    };
                     return Ok((content, charge));
                 }
-                Err(wasted) => charge += wasted,
+                Err(wasted) => serial += wasted,
             }
         }
         // 3. The registry.
@@ -428,13 +555,19 @@ impl Cluster {
         })?;
         let transfer = client.scaled(store.transfer_size(fingerprint).unwrap_or(size));
         let nominal = self.registry_link_time(transfer);
-        charge += self.charged_registry_transfer(nominal)?
-            + client.decompress(transfer)
-            + client.disk.io_time(client.scaled(content.len() as u64), 1);
+        serial += self.charged_registry_serial(nominal)?;
         self.registry_egress += transfer;
         report.registry_files += 1;
         report.registry_bytes += transfer;
         self.admit(node, fingerprint, content.clone());
+        let charge = FetchCharge {
+            lane: Lane::Registry,
+            lane_time: Duration::ZERO,
+            payload: transfer,
+            serial,
+            post: client.decompress(transfer)
+                + client.disk.io_time(client.scaled(content.len() as u64), 1),
+        };
         Ok((content, charge))
     }
 
@@ -650,6 +783,136 @@ mod tests {
                 FaultPlan::new(77).with_drop(0.4),
                 RetryPolicy::standard(77),
             );
+            cluster.deploy_on(1, &r, &t, &reg, &store).unwrap()
+        };
+        assert_eq!(deploy_once(), deploy_once(), "same seeds → identical deployment");
+    }
+
+    /// Publishes one image holding `files`, plus one single-file image per
+    /// entry (same content → same fingerprint), so deploying the singles on
+    /// distinct nodes seeds a distinct peer holder for every file.
+    fn published_with_singles(
+        files: &[(&str, &[u8])],
+    ) -> (DockerRegistry, GearFileStore, ImageRef, Vec<ImageRef>) {
+        let mut reg = DockerRegistry::new();
+        let mut store = GearFileStore::new();
+        let converter = Converter::new();
+
+        let mut tree = FsTree::new();
+        for (p, c) in files {
+            tree.create_file(p, Bytes::copy_from_slice(c)).unwrap();
+        }
+        let all: ImageRef = "all:1".parse().unwrap();
+        let image = ImageBuilder::new(all.clone()).layer_from_tree(&tree).build();
+        publish(&converter.convert(&image).unwrap(), &mut reg, &mut store);
+
+        let mut singles = Vec::new();
+        for (i, (p, c)) in files.iter().enumerate() {
+            let mut tree = FsTree::new();
+            tree.create_file(p, Bytes::copy_from_slice(c)).unwrap();
+            let r: ImageRef = format!("single-{i}:1").parse().unwrap();
+            let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+            publish(&converter.convert(&image).unwrap(), &mut reg, &mut store);
+            singles.push(r);
+        }
+        (reg, store, all, singles)
+    }
+
+    #[test]
+    fn fan_out_beats_serial_across_distinct_holders() {
+        let files: Vec<(String, Vec<u8>)> =
+            (0..4).map(|i| (format!("f{i}"), vec![i as u8 + 1; 400_000])).collect();
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(p, c)| (p.as_str(), c.as_slice())).collect();
+        let (reg, store, all, singles) = published_with_singles(&refs);
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        let t = trace(&paths);
+
+        let deploy_with = |fan_out: usize| {
+            let mut cluster = Cluster::new(ClusterConfig::edge(5).with_fan_out(fan_out));
+            for (i, r) in singles.iter().enumerate() {
+                let path = [paths[i]];
+                cluster.deploy_on(i, r, &trace(&path), &reg, &store).unwrap();
+            }
+            cluster.deploy_on(4, &all, &t, &reg, &store).unwrap()
+        };
+
+        let serial = deploy_with(1);
+        let fanned = deploy_with(4);
+        assert_eq!(serial.peer_files, 4, "every file has a peer holder");
+        assert_eq!(fanned.peer_files, 4);
+        assert!(
+            fanned.total < serial.total,
+            "4 holders in parallel must beat holder-by-holder: {:?} !< {:?}",
+            fanned.total,
+            serial.total
+        );
+    }
+
+    #[test]
+    fn fan_out_overlaps_registry_fixed_costs() {
+        // No peers at all: fan-out still helps by pipelining the uplink's
+        // per-request fixed costs, exactly like the client fetch engine.
+        let files: Vec<(String, Vec<u8>)> =
+            (0..6).map(|i| (format!("f{i}"), vec![i as u8 + 1; 50_000])).collect();
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(p, c)| (p.as_str(), c.as_slice())).collect();
+        let (reg, store, r) = published(&refs);
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        let t = trace(&paths);
+
+        let deploy_with = |fan_out: usize| {
+            let mut cluster = Cluster::new(ClusterConfig::edge(1).with_fan_out(fan_out));
+            cluster.deploy_on(0, &r, &t, &reg, &store).unwrap()
+        };
+        let serial = deploy_with(1);
+        let fanned = deploy_with(4);
+        assert_eq!(serial.registry_files, 6);
+        assert_eq!(fanned.registry_files, 6, "the same files move either way");
+        assert_eq!(fanned.registry_bytes, serial.registry_bytes);
+        assert!(
+            fanned.total < serial.total,
+            "pipelined uplink must beat serial requests: {:?} !< {:?}",
+            fanned.total,
+            serial.total
+        );
+    }
+
+    #[test]
+    fn more_fan_out_is_never_slower() {
+        let files: Vec<(String, Vec<u8>)> =
+            (0..3).map(|i| (format!("f{i}"), vec![i as u8 + 1; 120_000])).collect();
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(p, c)| (p.as_str(), c.as_slice())).collect();
+        let (reg, store, all, singles) = published_with_singles(&refs);
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+
+        let mut previous = Duration::MAX;
+        for fan_out in [1usize, 2, 4, 8] {
+            let mut cluster = Cluster::new(ClusterConfig::edge(4).with_fan_out(fan_out));
+            for (i, r) in singles.iter().enumerate() {
+                let path = [paths[i]];
+                cluster.deploy_on(i, r, &trace(&path), &reg, &store).unwrap();
+            }
+            let report = cluster.deploy_on(3, &all, &trace(&paths), &reg, &store).unwrap();
+            assert!(
+                report.total <= previous,
+                "fan_out {fan_out} slower: {:?} > {:?}",
+                report.total,
+                previous
+            );
+            previous = report.total;
+        }
+    }
+
+    #[test]
+    fn fan_out_fault_injection_is_deterministic() {
+        let (reg, store, r) = published(&[("a", &[1u8; 9_000]), ("b", &[2u8; 9_000])]);
+        let t = trace(&["a", "b"]);
+        let deploy_once = || {
+            let mut cluster = Cluster::new(ClusterConfig::edge(2).with_fan_out(4));
+            cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();
+            cluster.inject_faults(FaultPlan::new(77).with_drop(0.4), RetryPolicy::standard(77));
             cluster.deploy_on(1, &r, &t, &reg, &store).unwrap()
         };
         assert_eq!(deploy_once(), deploy_once(), "same seeds → identical deployment");

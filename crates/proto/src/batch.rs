@@ -1,0 +1,198 @@
+//! Framing for the batched registry verbs.
+//!
+//! `QueryMany` and `DownloadMany` move many sub-requests through one
+//! round-trip. The request body is one fingerprint per line; the response
+//! body is a sequence of entries, each a header line followed by raw
+//! payload bytes:
+//!
+//! ```text
+//! <fingerprint> <status> <payload-len>\n
+//! <payload-len raw bytes>
+//! ```
+//!
+//! Statuses: `hit` / `absent` answer a query; `ok` (with payload) / `miss`
+//! answer a download; `fail` marks a sub-request lost in transit (emitted
+//! by [`FaultyTransport`](crate::FaultyTransport), never by the service).
+//! Echoing the fingerprint per entry keeps damage detectable entry by
+//! entry: a client can verify, keep the good entries, and re-request only
+//! the failed subset.
+
+use bytes::Bytes;
+use gear_hash::Fingerprint;
+
+use crate::message::ProtoError;
+
+/// One sub-answer inside a batched response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchEntry {
+    /// Query answer: the file exists.
+    Hit(Fingerprint),
+    /// Query answer: the file is absent.
+    Absent(Fingerprint),
+    /// Download answer: the file content.
+    Found(Fingerprint, Bytes),
+    /// Download answer: no such file.
+    Miss(Fingerprint),
+    /// The sub-request was lost or damaged in transit.
+    Fail(Fingerprint),
+}
+
+impl BatchEntry {
+    /// The fingerprint this entry answers for.
+    pub fn fingerprint(&self) -> Fingerprint {
+        match self {
+            BatchEntry::Hit(fp)
+            | BatchEntry::Absent(fp)
+            | BatchEntry::Found(fp, _)
+            | BatchEntry::Miss(fp)
+            | BatchEntry::Fail(fp) => *fp,
+        }
+    }
+
+    fn status(&self) -> &'static str {
+        match self {
+            BatchEntry::Hit(_) => "hit",
+            BatchEntry::Absent(_) => "absent",
+            BatchEntry::Found(_, _) => "ok",
+            BatchEntry::Miss(_) => "miss",
+            BatchEntry::Fail(_) => "fail",
+        }
+    }
+
+    fn payload(&self) -> &[u8] {
+        match self {
+            BatchEntry::Found(_, body) => body,
+            _ => &[],
+        }
+    }
+}
+
+/// Encodes a request body: one fingerprint per line.
+pub fn encode_fingerprints(fingerprints: &[Fingerprint]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for fp in fingerprints {
+        out.extend_from_slice(fp.to_string().as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Decodes a request body produced by [`encode_fingerprints`].
+///
+/// # Errors
+///
+/// [`ProtoError::Malformed`] on non-UTF-8 bodies or unparsable lines.
+pub fn decode_fingerprints(body: &[u8]) -> Result<Vec<Fingerprint>, ProtoError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ProtoError::Malformed("batch body is not UTF-8".into()))?;
+    text.lines()
+        .map(|line| {
+            line.parse()
+                .map_err(|_| ProtoError::Malformed(format!("bad fingerprint {line:?}")))
+        })
+        .collect()
+}
+
+/// Encodes a batched response body.
+pub fn encode_entries(entries: &[BatchEntry]) -> Bytes {
+    let mut out = Vec::new();
+    for entry in entries {
+        let payload = entry.payload();
+        out.extend_from_slice(
+            format!("{} {} {}\n", entry.fingerprint(), entry.status(), payload.len()).as_bytes(),
+        );
+        out.extend_from_slice(payload);
+    }
+    Bytes::from(out)
+}
+
+/// Decodes a batched response body produced by [`encode_entries`].
+///
+/// # Errors
+///
+/// [`ProtoError::Malformed`] when the framing is damaged beyond entry
+/// boundaries (bad header line, payload running past the buffer).
+pub fn decode_entries(body: &[u8]) -> Result<Vec<BatchEntry>, ProtoError> {
+    let mut entries = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let newline = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| ProtoError::Malformed("batch entry missing header line".into()))?;
+        let header = std::str::from_utf8(&rest[..newline])
+            .map_err(|_| ProtoError::Malformed("batch entry header is not UTF-8".into()))?;
+        let mut parts = header.split(' ');
+        let (fp, status, len) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(fp), Some(status), Some(len), None) => (fp, status, len),
+            _ => return Err(ProtoError::Malformed(format!("bad batch header {header:?}"))),
+        };
+        let fp: Fingerprint = fp
+            .parse()
+            .map_err(|_| ProtoError::Malformed(format!("bad fingerprint {fp:?}")))?;
+        let len: usize = len
+            .parse()
+            .map_err(|_| ProtoError::Malformed(format!("bad payload length {len:?}")))?;
+        rest = &rest[newline + 1..];
+        if rest.len() < len {
+            return Err(ProtoError::Malformed(format!(
+                "batch payload overruns body ({len} > {} left)",
+                rest.len()
+            )));
+        }
+        let payload = &rest[..len];
+        rest = &rest[len..];
+        entries.push(match status {
+            "hit" => BatchEntry::Hit(fp),
+            "absent" => BatchEntry::Absent(fp),
+            "ok" => BatchEntry::Found(fp, Bytes::copy_from_slice(payload)),
+            "miss" => BatchEntry::Miss(fp),
+            "fail" => BatchEntry::Fail(fp),
+            other => {
+                return Err(ProtoError::Malformed(format!("unknown batch status {other:?}")))
+            }
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(tag: &[u8]) -> Fingerprint {
+        Fingerprint::of(tag)
+    }
+
+    #[test]
+    fn fingerprint_lists_roundtrip() {
+        let fps = vec![fp(b"a"), fp(b"b"), fp(b"c")];
+        let body = encode_fingerprints(&fps);
+        assert_eq!(decode_fingerprints(&body).unwrap(), fps);
+        assert!(decode_fingerprints(b"").unwrap().is_empty());
+        assert!(decode_fingerprints(b"not-a-fingerprint\n").is_err());
+    }
+
+    #[test]
+    fn entries_roundtrip() {
+        let entries = vec![
+            BatchEntry::Hit(fp(b"a")),
+            BatchEntry::Absent(fp(b"b")),
+            BatchEntry::Found(fp(b"c"), Bytes::from_static(b"payload\nwith\nnewlines")),
+            BatchEntry::Miss(fp(b"d")),
+            BatchEntry::Fail(fp(b"e")),
+            BatchEntry::Found(fp(b"f"), Bytes::new()),
+        ];
+        let body = encode_entries(&entries);
+        assert_eq!(decode_entries(&body).unwrap(), entries);
+    }
+
+    #[test]
+    fn damaged_framing_is_malformed() {
+        let body = encode_entries(&[BatchEntry::Found(fp(b"x"), Bytes::from_static(b"1234"))]);
+        // Cut into the payload: length overruns.
+        assert!(decode_entries(&body[..body.len() - 2]).is_err());
+        assert!(decode_entries(b"garbage with no newline").is_err());
+        assert!(decode_entries(b"deadbeef nope 0\n").is_err());
+    }
+}

@@ -5,6 +5,7 @@ use gear_hash::{Digest, Fingerprint};
 use gear_image::{ImageRef, Manifest};
 use gear_simnet::{RetryPolicy, VirtualClock};
 
+use crate::batch::BatchEntry;
 use crate::message::{ProtoError, Request, Response, Status};
 use crate::service::RegistryService;
 
@@ -204,6 +205,128 @@ impl<T: Transport> RegistryClient<T> {
         }
     }
 
+    /// `query_many`: tests K fingerprints in one round-trip; results line up
+    /// with `fingerprints`.
+    ///
+    /// Under a retry policy, damaged sub-answers are re-requested as a
+    /// smaller batch (good entries are kept); each pass consumes one
+    /// attempt. Without a policy, the first damaged entry surfaces as an
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on framing failures, unexpected statuses, or an
+    /// exhausted retry budget.
+    pub fn query_many(
+        &mut self,
+        fingerprints: &[Fingerprint],
+    ) -> Result<Vec<bool>, ProtoError> {
+        self.batched(fingerprints, Request::QueryMany, |entry, wanted| match entry {
+            BatchEntry::Hit(fp) if fp == wanted => Some(true),
+            BatchEntry::Absent(fp) if fp == wanted => Some(false),
+            _ => None,
+        })
+    }
+
+    /// `download_many`: fetches K files in one pipelined round-trip; each
+    /// result is `Some(content)` (verified against its fingerprint) or
+    /// `None` for files the registry does not hold.
+    ///
+    /// Retry semantics match [`RegistryClient::query_many`]: only the
+    /// damaged subset is re-requested, so one flaky sub-answer does not
+    /// re-transfer the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on framing failures, unexpected statuses, or an
+    /// exhausted retry budget.
+    pub fn download_many(
+        &mut self,
+        fingerprints: &[Fingerprint],
+    ) -> Result<Vec<Option<Bytes>>, ProtoError> {
+        self.batched(fingerprints, Request::DownloadMany, |entry, wanted| match entry {
+            BatchEntry::Found(fp, body)
+                if fp == wanted && Fingerprint::of(&body) == wanted =>
+            {
+                Some(Some(body))
+            }
+            BatchEntry::Miss(fp) if fp == wanted => Some(None),
+            _ => None,
+        })
+    }
+
+    /// Shared batched-verb driver: issues `make(pending)`, accepts entries
+    /// `accept` validates, and re-requests the rejected subset until the
+    /// retry budget runs out.
+    fn batched<R: Clone>(
+        &mut self,
+        fingerprints: &[Fingerprint],
+        make: impl Fn(Vec<Fingerprint>) -> Request,
+        accept: impl Fn(BatchEntry, Fingerprint) -> Option<R>,
+    ) -> Result<Vec<R>, ProtoError> {
+        if fingerprints.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut results: Vec<Option<R>> = vec![None; fingerprints.len()];
+        let mut pending: Vec<usize> = (0..fingerprints.len()).collect();
+        let attempts = match &self.retry {
+            Some((policy, _)) => policy.max_attempts.max(1),
+            None => 1,
+        };
+        let mut last = ProtoError::Malformed("no attempt made".to_owned());
+        for attempt in 0..attempts {
+            // Whole-frame failures (unparseable response, timeout) are
+            // already retried inside `call`; this loop spends attempts on
+            // per-entry damage only.
+            let wanted: Vec<Fingerprint> =
+                pending.iter().map(|&i| fingerprints[i]).collect();
+            let response = self.call(&make(wanted.clone()))?;
+            if response.status != Status::Ok {
+                return Err(ProtoError::Unexpected(response.status));
+            }
+            let entries = crate::batch::decode_entries(&response.body)?;
+            let mut still = Vec::new();
+            if entries.len() == wanted.len() {
+                for (slot, entry) in pending.iter().zip(entries) {
+                    let wanted_fp = fingerprints[*slot];
+                    match accept(entry, wanted_fp) {
+                        Some(value) => results[*slot] = Some(value),
+                        None => {
+                            still.push(*slot);
+                            last = ProtoError::Corrupted(format!(
+                                "gear file {wanted_fp}: batched sub-answer failed verification"
+                            ));
+                        }
+                    }
+                }
+            } else {
+                still = pending.clone();
+                last = ProtoError::Malformed(format!(
+                    "batch answered {} entries for {} sub-requests",
+                    entries.len(),
+                    wanted.len()
+                ));
+            }
+            if !still.is_empty() {
+                self.retries += still.len() as u64;
+                if let Some((policy, clock)) = &self.retry {
+                    if attempt + 1 < attempts {
+                        clock.advance(policy.backoff(attempt + 1));
+                    }
+                }
+            }
+            pending = still;
+            if pending.is_empty() {
+                let done: Option<Vec<R>> = results.into_iter().collect();
+                return Ok(done.expect("all slots filled"));
+            }
+        }
+        if attempts == 1 && self.retry.is_none() {
+            return Err(last);
+        }
+        Err(ProtoError::Exhausted { attempts, last: Box::new(last) })
+    }
+
     /// Fetches and parses a manifest.
     ///
     /// # Errors
@@ -266,6 +389,78 @@ mod tests {
         assert!(!c.upload(fp, body.clone()).unwrap(), "second upload dedups");
         assert!(c.query(fp).unwrap());
         assert_eq!(c.download(fp).unwrap(), body);
+    }
+
+    #[test]
+    fn batched_verbs_roundtrip() {
+        let mut c = client();
+        let a = Bytes::from_static(b"file a");
+        let b = Bytes::from_static(b"file b");
+        let (fa, fb) = (Fingerprint::of(&a), Fingerprint::of(&b));
+        let ghost = Fingerprint::of(b"ghost");
+        c.upload(fa, a.clone()).unwrap();
+        c.upload(fb, b.clone()).unwrap();
+
+        assert_eq!(c.query_many(&[fa, ghost, fb]).unwrap(), vec![true, false, true]);
+        assert_eq!(
+            c.download_many(&[ghost, fa, fb]).unwrap(),
+            vec![None, Some(a), Some(b)]
+        );
+        assert!(c.query_many(&[]).unwrap().is_empty());
+        assert_eq!(c.retries(), 0);
+    }
+
+    #[test]
+    fn batched_sub_faults_retry_only_the_damaged_subset() {
+        use gear_simnet::{FaultKind, FaultPlan, FaultyLink, Link, RetryPolicy, VirtualClock};
+
+        let mut loopback = Loopback::default();
+        let bodies: Vec<Bytes> = (0..4u8)
+            .map(|i| Bytes::from(vec![i + 1; 64]))
+            .collect();
+        let fps: Vec<Fingerprint> = bodies.iter().map(|b| Fingerprint::of(b)).collect();
+        for (fp, body) in fps.iter().zip(&bodies) {
+            loopback.service_mut().files_mut().upload(*fp, body.clone()).unwrap();
+        }
+
+        // Sub-requests 1 and 2 of the first batch are damaged; the retry
+        // batch (2 sub-requests, fault indexes 4..) is clean.
+        let plan = FaultPlan::new(0)
+            .fail_requests(1, 1, FaultKind::Drop)
+            .fail_requests(2, 2, FaultKind::Corrupt);
+        let clock = VirtualClock::new();
+        let transport = crate::FaultyTransport::new(
+            loopback,
+            FaultyLink::new(Link::mbps(100.0), plan),
+            clock.clone(),
+        );
+        let mut client =
+            RegistryClient::with_retry(transport, RetryPolicy::standard(5), clock);
+        let got = client.download_many(&fps).unwrap();
+        assert_eq!(got, bodies.iter().cloned().map(Some).collect::<Vec<_>>());
+        assert_eq!(client.retries(), 2, "one retry per damaged sub-answer");
+    }
+
+    #[test]
+    fn batched_faults_without_policy_surface_typed_errors() {
+        use gear_simnet::{FaultKind, FaultPlan, FaultyLink, Link, VirtualClock};
+
+        let mut loopback = Loopback::default();
+        let body = Bytes::from_static(b"present");
+        let fp = Fingerprint::of(&body);
+        loopback.service_mut().files_mut().upload(fp, body).unwrap();
+
+        let plan = FaultPlan::new(0).fail_requests(0, 0, FaultKind::Drop);
+        let transport = crate::FaultyTransport::new(
+            loopback,
+            FaultyLink::new(Link::mbps(100.0), plan),
+            VirtualClock::new(),
+        );
+        let mut client = RegistryClient::new(transport);
+        assert!(matches!(
+            client.download_many(&[fp]).unwrap_err(),
+            ProtoError::Corrupted(_)
+        ));
     }
 
     #[test]

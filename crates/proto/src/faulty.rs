@@ -22,9 +22,14 @@
 //!
 //! [`RegistryClient::download`]: crate::RegistryClient::download
 
+use std::time::Duration;
+
+use bytes::Bytes;
 use gear_simnet::{FaultKind, FaultyLink, VirtualClock};
 
+use crate::batch::{decode_entries, encode_entries, BatchEntry};
 use crate::client::Transport;
+use crate::message::{Request, Response, Status};
 
 /// A [`Transport`] that injects deterministic faults from a
 /// [`FaultyLink`]'s plan and charges all time to a [`VirtualClock`].
@@ -71,10 +76,72 @@ impl<T: Transport> FaultyTransport<T> {
     pub fn into_inner(self) -> T {
         self.inner
     }
+
+    /// Batched verbs draw one fault **per sub-request** and damage entries
+    /// individually, so one bad draw costs one sub-answer, not the whole
+    /// pipelined response:
+    ///
+    /// * Drop — the entry becomes `fail` (its slot in the stream is lost);
+    /// * Stall — the entry arrives intact but its extra delay is charged;
+    /// * Corrupt — a payload byte flips (entries without a payload become
+    ///   `fail`: their single status token is what got damaged);
+    /// * Truncate — the payload is cut in half with the framing re-lengthed,
+    ///   so the frame parses but fingerprint verification fails.
+    fn batched_round_trip(&mut self, wire: &[u8]) -> Vec<u8> {
+        let raw = self.inner.round_trip(wire);
+        let mut stall_extra = Duration::ZERO;
+        let damaged = match Response::parse(&raw) {
+            Ok(response) if response.status == Status::Ok => {
+                match decode_entries(&response.body) {
+                    Ok(mut entries) => {
+                        for entry in &mut entries {
+                            match self.link.next_fault() {
+                                None => {}
+                                Some(FaultKind::Drop) => {
+                                    *entry = BatchEntry::Fail(entry.fingerprint());
+                                }
+                                Some(FaultKind::Stall(extra)) => stall_extra += extra,
+                                Some(FaultKind::Corrupt) => match entry {
+                                    BatchEntry::Found(_, body) if !body.is_empty() => {
+                                        let mut bytes = body.to_vec();
+                                        let last = bytes.len() - 1;
+                                        bytes[last] ^= 0x01;
+                                        *body = Bytes::from(bytes);
+                                    }
+                                    _ => *entry = BatchEntry::Fail(entry.fingerprint()),
+                                },
+                                Some(FaultKind::Truncate) => match entry {
+                                    BatchEntry::Found(fp, body) if !body.is_empty() => {
+                                        *entry = BatchEntry::Found(
+                                            *fp,
+                                            body.slice(..body.len() / 2),
+                                        );
+                                    }
+                                    _ => *entry = BatchEntry::Fail(entry.fingerprint()),
+                                },
+                            }
+                        }
+                        Response::ok(encode_entries(&entries)).to_wire()
+                    }
+                    Err(_) => raw,
+                }
+            }
+            _ => raw,
+        };
+        let payload = (wire.len() + damaged.len()) as u64;
+        self.clock.advance(self.link.transfer(payload) + stall_extra);
+        damaged
+    }
 }
 
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn round_trip(&mut self, wire: &[u8]) -> Vec<u8> {
+        if matches!(
+            Request::parse(wire),
+            Ok(Request::QueryMany(_) | Request::DownloadMany(_))
+        ) {
+            return self.batched_round_trip(wire);
+        }
         match self.link.next_fault() {
             Some(FaultKind::Drop) => {
                 // The request is lost before reaching the service; the

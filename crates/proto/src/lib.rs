@@ -16,6 +16,11 @@
 //! * [`RegistryClient`] — the client helper, generic over a [`Transport`]
 //!   (a loopback transport is included), with optional retry/timeout/backoff
 //!   via [`RegistryClient::with_retry`];
+//! * batched verbs — [`Request::QueryMany`] tests K fingerprints in one
+//!   round-trip and [`Request::DownloadMany`] pipelines K file downloads
+//!   through one framed response ([`BatchEntry`] is the per-sub-answer
+//!   codec); [`RegistryClient::query_many`] / `download_many` verify each
+//!   sub-answer and re-request only the damaged subset under retries;
 //! * [`FaultyTransport`] — a transport wrapper injecting deterministic
 //!   wire-level faults from a [`gear_simnet::FaultPlan`], for chaos testing
 //!   the whole stack under simulated time.
@@ -43,12 +48,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod client;
 mod faulty;
 mod message;
 mod service;
 mod wire;
 
+pub use batch::{decode_entries, decode_fingerprints, encode_entries, encode_fingerprints};
+pub use batch::BatchEntry;
 pub use client::{Loopback, RegistryClient, Transport};
 pub use faulty::FaultyTransport;
 pub use message::{ProtoError, Request, Response, Status};

@@ -19,6 +19,12 @@ pub enum Request {
     /// Gear Registry: fetch a file by fingerprint.
     /// (`GET /gear/files/<fp>`)
     Download(Fingerprint),
+    /// Gear Registry: test K fingerprints in one round-trip.
+    /// (`POST /gear/files/query`)
+    QueryMany(Vec<Fingerprint>),
+    /// Gear Registry: fetch K files in one pipelined round-trip.
+    /// (`POST /gear/files/batch`)
+    DownloadMany(Vec<Fingerprint>),
     /// Docker Registry: fetch a manifest by reference.
     /// (`GET /v2/<repo>/manifests/<tag>`)
     GetManifest(ImageRef),

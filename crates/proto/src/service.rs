@@ -4,6 +4,7 @@ use bytes::Bytes;
 
 use gear_registry::{DockerRegistry, GearFileStore};
 
+use crate::batch::{encode_entries, BatchEntry};
 use crate::message::{Request, Response, Status};
 
 /// A registry node serving both the Gear file verbs and the Docker
@@ -59,6 +60,29 @@ impl RegistryService {
                 Some(content) => Response::ok(content),
                 None => Response::status_only(Status::NotFound),
             },
+            Request::QueryMany(fps) => {
+                let entries: Vec<BatchEntry> = fps
+                    .into_iter()
+                    .map(|fp| {
+                        if self.files.query(fp) {
+                            BatchEntry::Hit(fp)
+                        } else {
+                            BatchEntry::Absent(fp)
+                        }
+                    })
+                    .collect();
+                Response::ok(encode_entries(&entries))
+            }
+            Request::DownloadMany(fps) => {
+                let entries: Vec<BatchEntry> = fps
+                    .into_iter()
+                    .map(|fp| match self.files.download(fp) {
+                        Some(content) => BatchEntry::Found(fp, content),
+                        None => BatchEntry::Miss(fp),
+                    })
+                    .collect();
+                Response::ok(encode_entries(&entries))
+            }
             Request::GetManifest(reference) => match self.docker.manifest(&reference) {
                 Some(manifest) => Response::ok(Bytes::from(manifest.to_json())),
                 None => Response::status_only(Status::NotFound),
@@ -116,6 +140,31 @@ mod tests {
         let response = service.handle(Request::Download(fp));
         assert_eq!(response.status, Status::Ok);
         assert_eq!(response.body, body);
+    }
+
+    #[test]
+    fn batched_verbs_answer_per_entry() {
+        use crate::batch::{decode_entries, BatchEntry};
+
+        let mut service = RegistryService::default();
+        let present = Bytes::from_static(b"present content");
+        let fp_present = Fingerprint::of(&present);
+        let fp_absent = Fingerprint::of(b"never uploaded");
+        service.files_mut().upload(fp_present, present.clone()).unwrap();
+
+        let response = service.handle(Request::QueryMany(vec![fp_present, fp_absent]));
+        assert_eq!(response.status, Status::Ok);
+        assert_eq!(
+            decode_entries(&response.body).unwrap(),
+            vec![BatchEntry::Hit(fp_present), BatchEntry::Absent(fp_absent)]
+        );
+
+        let response = service.handle(Request::DownloadMany(vec![fp_absent, fp_present]));
+        assert_eq!(response.status, Status::Ok);
+        assert_eq!(
+            decode_entries(&response.body).unwrap(),
+            vec![BatchEntry::Miss(fp_absent), BatchEntry::Found(fp_present, present)]
+        );
     }
 
     #[test]

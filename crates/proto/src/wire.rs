@@ -30,6 +30,8 @@ impl Request {
             Request::Query(fp) => ("HEAD", format!("/gear/files/{fp}")),
             Request::Upload(fp, _) => ("PUT", format!("/gear/files/{fp}")),
             Request::Download(fp) => ("GET", format!("/gear/files/{fp}")),
+            Request::QueryMany(_) => ("POST", "/gear/files/query".to_owned()),
+            Request::DownloadMany(_) => ("POST", "/gear/files/batch".to_owned()),
             Request::GetManifest(r) => {
                 ("GET", format!("/v2/{}/manifests/{}", r.repository(), r.tag()))
             }
@@ -39,13 +41,16 @@ impl Request {
 
     /// Serializes to wire bytes.
     pub fn to_wire(&self) -> Vec<u8> {
-        let body: &[u8] = match self {
-            Request::Upload(_, body) => body,
-            _ => &[],
+        let body: Vec<u8> = match self {
+            Request::Upload(_, body) => body.to_vec(),
+            Request::QueryMany(fps) | Request::DownloadMany(fps) => {
+                crate::batch::encode_fingerprints(fps)
+            }
+            _ => Vec::new(),
         };
         let (verb, path) = self.route();
         let mut out = head(verb, &path, body.len()).into_bytes();
-        out.extend_from_slice(body);
+        out.extend_from_slice(&body);
         out
     }
 
@@ -73,6 +78,12 @@ impl Request {
                 Ok(Request::Upload(parse_fp(fp)?, Bytes::copy_from_slice(body)))
             }
             ("GET", ["gear", "files", fp]) => Ok(Request::Download(parse_fp(fp)?)),
+            ("POST", ["gear", "files", "query"]) => {
+                Ok(Request::QueryMany(crate::batch::decode_fingerprints(body)?))
+            }
+            ("POST", ["gear", "files", "batch"]) => {
+                Ok(Request::DownloadMany(crate::batch::decode_fingerprints(body)?))
+            }
             ("GET", ["v2", "blobs", digest]) => Ok(Request::GetBlob(parse_digest(digest)?)),
             ("GET", [..]) if path.contains("/manifests/") => {
                 // /v2/<repo possibly with slashes>/manifests/<tag>
@@ -198,6 +209,9 @@ mod tests {
             Request::Download(fp()),
             Request::GetManifest("library/nginx:1.17".parse().unwrap()),
             Request::GetBlob(Digest::of(b"blob")),
+            Request::QueryMany(vec![fp(), Fingerprint::of(b"other")]),
+            Request::DownloadMany(vec![Fingerprint::of(b"a"), Fingerprint::of(b"b")]),
+            Request::QueryMany(Vec::new()),
         ];
         for request in requests {
             let wire = request.to_wire();

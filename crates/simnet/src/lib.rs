@@ -37,9 +37,11 @@ mod disk;
 mod fault;
 mod link;
 mod metrics;
+mod stream;
 
 pub use clock::VirtualClock;
 pub use disk::DiskModel;
 pub use fault::{FaultKind, FaultPlan, FaultyLink, LinkOutcome, RetryPolicy};
 pub use link::{Bandwidth, Link};
 pub use metrics::NetMetrics;
+pub use stream::{StreamConfig, StreamSchedule};

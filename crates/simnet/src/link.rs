@@ -49,6 +49,15 @@ pub struct Link {
     pub rtt: Duration,
     /// Fixed server/client processing overhead per request.
     pub request_overhead: Duration,
+    /// Concurrent transfers the link endpoint keeps in flight (`1` =
+    /// strictly sequential requests). Streams share `bandwidth` fairly but
+    /// overlap their fixed costs; see [`Link::stream_schedule`].
+    #[serde(default = "default_streams")]
+    pub streams: usize,
+}
+
+fn default_streams() -> usize {
+    1
 }
 
 impl Link {
@@ -59,6 +68,7 @@ impl Link {
             bandwidth: Bandwidth::mbps(mbps),
             rtt: Duration::from_micros(200),
             request_overhead: Duration::from_micros(500),
+            streams: 1,
         }
     }
 
@@ -88,6 +98,13 @@ impl Link {
     /// Returns a copy with a different per-request overhead.
     pub fn with_request_overhead(mut self, overhead: Duration) -> Self {
         self.request_overhead = overhead;
+        self
+    }
+
+    /// Returns a copy keeping `streams` transfers in flight (clamped to
+    /// at least 1).
+    pub fn with_streams(mut self, streams: usize) -> Self {
+        self.streams = streams.max(1);
         self
     }
 
