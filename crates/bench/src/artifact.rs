@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::experiments::concurrency::Concurrency;
 use crate::experiments::fig9::Fig9;
+use crate::experiments::hotpath::Hotpath;
 
 /// One named scalar measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -99,6 +100,35 @@ pub fn concurrency_metrics(concurrency: &Concurrency) -> Vec<Metric> {
     metrics
 }
 
+/// Flattens a hot-path benchmark into metrics.
+pub fn hotpath_metrics(hotpath: &Hotpath) -> Vec<Metric> {
+    let mut metrics = Vec::new();
+    for point in &hotpath.convert {
+        let prefix = format!("convert/threads{}", point.threads);
+        metrics.push(Metric::new(format!("{prefix}/modeled_secs"), point.modeled.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/modeled_speedup"), point.modeled_speedup));
+        metrics.push(Metric::new(format!("{prefix}/wall_secs"), point.wall.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/throughput_mb_s"), point.throughput_mb_s));
+        metrics.push(Metric::new(
+            format!("{prefix}/bit_identical"),
+            if point.bit_identical { 1.0 } else { 0.0 },
+        ));
+    }
+    for point in &hotpath.cache {
+        metrics.push(Metric::new(
+            format!("cache/entries{}/ops_per_sec", point.entries),
+            point.ops_per_sec,
+        ));
+    }
+    metrics.push(Metric::new("cache/flatness", hotpath.cache_flatness()));
+    metrics.push(Metric::new("union/cold_lookups_per_sec", hotpath.union.cold_lookups_per_sec));
+    metrics.push(Metric::new("union/warm_lookups_per_sec", hotpath.union.warm_lookups_per_sec));
+    metrics.push(Metric::new("union/warm_over_cold", hotpath.union.warm_over_cold));
+    metrics
+        .push(Metric::new("union/resolve_cache_hits", hotpath.union.resolve_cache_hits as f64));
+    metrics
+}
+
 /// Recorded `streams = 1` deployment times the CI smoke job compares
 /// against.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -109,6 +139,34 @@ pub struct Baseline {
     pub seed: u64,
     /// One row per bandwidth preset.
     pub rows: Vec<BaselineRow>,
+    /// Hot-path floors (empty when the baseline was recorded without the
+    /// `hotpath` experiment). Absolute wall-clock rates vary by machine, so
+    /// only deterministic and scale-free ratio metrics are gated.
+    pub hotpath: Vec<HotpathFloor>,
+}
+
+/// A lower bound on one hot-path metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathFloor {
+    /// Metric key as emitted by [`hotpath_metrics`].
+    pub key: String,
+    /// Minimum acceptable value.
+    pub min: f64,
+}
+
+/// The hot-path floors a recorded baseline enforces: the modeled 8-worker
+/// conversion speedup, bit-identical parallel output, flat cache ops/s
+/// across a 16x size range, and warm union lookups beating cold. The
+/// ratio floors are deliberately loose — they catch a return to linear
+/// eviction scans (flatness ~0.06) or a dead resolve cache (warm/cold
+/// ~1.0) without flaking on noisy CI machines.
+pub fn hotpath_floors() -> Vec<HotpathFloor> {
+    vec![
+        HotpathFloor { key: "convert/threads8/modeled_speedup".to_owned(), min: 4.0 },
+        HotpathFloor { key: "convert/threads8/bit_identical".to_owned(), min: 1.0 },
+        HotpathFloor { key: "cache/flatness".to_owned(), min: 0.2 },
+        HotpathFloor { key: "union/warm_over_cold".to_owned(), min: 1.5 },
+    ]
 }
 
 /// One bandwidth preset's recorded serial times.
@@ -137,7 +195,14 @@ impl Baseline {
                 }
             })
             .collect();
-        Baseline { scale_denom, seed, rows }
+        Baseline { scale_denom, seed, rows, hotpath: Vec::new() }
+    }
+
+    /// Adds the standard hot-path floors to this baseline (recorded when
+    /// the `hotpath` experiment ran alongside `concurrency`).
+    pub fn with_hotpath_floors(mut self) -> Self {
+        self.hotpath = hotpath_floors();
+        self
     }
 
     /// Loads a baseline from a JSON file.
@@ -175,6 +240,25 @@ impl Baseline {
                         tolerance * 100.0,
                     ));
                 }
+            }
+        }
+        problems
+    }
+
+    /// Checks a fresh hot-path run's metrics against the recorded floors.
+    /// Returns one message per metric below its floor or missing from the
+    /// run. No-op (always passes) when the baseline has no floors.
+    pub fn hotpath_regressions(&self, metrics: &[Metric]) -> Vec<String> {
+        let mut problems = Vec::new();
+        for floor in &self.hotpath {
+            match metrics.iter().find(|m| m.key == floor.key) {
+                Some(metric) if metric.value >= floor.min => {}
+                Some(metric) => problems.push(format!(
+                    "hotpath/{}: {:.4} below recorded floor {:.4}",
+                    floor.key, metric.value, floor.min
+                )),
+                None => problems
+                    .push(format!("hotpath floor {} missing from the run", floor.key)),
             }
         }
         problems
@@ -227,5 +311,30 @@ mod tests {
 
         let missing = Concurrency { sweeps: vec![] };
         assert_eq!(baseline.regressions(&missing, 0.01).len(), 1);
+    }
+
+    #[test]
+    fn hotpath_floors_flag_shortfalls_and_gaps() {
+        let recorded = Concurrency { sweeps: vec![sweep("20Mbps", 1_000)] };
+        let baseline = Baseline::from_concurrency(&recorded, 64, 7).with_hotpath_floors();
+        assert_eq!(baseline.hotpath.len(), hotpath_floors().len());
+
+        let good = vec![
+            Metric::new("convert/threads8/modeled_speedup", 5.5),
+            Metric::new("convert/threads8/bit_identical", 1.0),
+            Metric::new("cache/flatness", 0.9),
+            Metric::new("union/warm_over_cold", 8.0),
+        ];
+        assert!(baseline.hotpath_regressions(&good).is_empty());
+
+        let mut bad = good;
+        bad[2].value = 0.05; // linear-eviction-scan territory
+        bad.pop(); // warm_over_cold missing entirely
+        let problems = baseline.hotpath_regressions(&bad);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+
+        // A baseline recorded without the hotpath experiment gates nothing.
+        let plain = Baseline::from_concurrency(&recorded, 64, 7);
+        assert!(plain.hotpath_regressions(&[]).is_empty());
     }
 }

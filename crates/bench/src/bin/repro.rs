@@ -6,7 +6,7 @@
 //!       [--baseline FILE] [--record-baseline FILE] <experiment>...
 //!
 //! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 concurrency
-//!              cluster faults all
+//!              cluster faults hotpath all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
@@ -15,9 +15,11 @@
 //!
 //! `--json` additionally writes each experiment's result to
 //! `BENCH_<name>.json` in the working directory. `--baseline FILE` compares
-//! the `concurrency` sweep's `streams = 1` rows against recorded times and
-//! exits non-zero on regression (the CI smoke job);
-//! `--record-baseline FILE` writes those rows as a fresh baseline.
+//! the `concurrency` sweep's `streams = 1` rows against recorded times —
+//! and, when the baseline carries hot-path floors, the `hotpath` metrics
+//! against those floors — exiting non-zero on regression (the CI smoke
+//! job); `--record-baseline FILE` writes a fresh baseline (with hot-path
+//! floors when `hotpath` is in the run).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -33,6 +35,7 @@ struct Args {
     config: CorpusConfig,
     experiments: Vec<String>,
     json: bool,
+    quick: bool,
     baseline: Option<PathBuf>,
     record_baseline: Option<PathBuf>,
 }
@@ -41,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut config = CorpusConfig::paper();
     let mut experiments = Vec::new();
     let mut json = false;
+    let mut quick = false;
     let mut baseline = None;
     let mut record_baseline = None;
     let mut argv = std::env::args().skip(1);
@@ -59,7 +63,10 @@ fn parse_args() -> Result<Args, String> {
                 config.max_versions =
                     Some(v.parse().map_err(|_| format!("bad versions {v:?}"))?);
             }
-            "--quick" => config = CorpusConfig::quick(),
+            "--quick" => {
+                config = CorpusConfig::quick();
+                quick = true;
+            }
             "--json" => json = true,
             "--baseline" => {
                 let v = argv.next().ok_or("--baseline needs a file")?;
@@ -73,7 +80,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: repro [--scale N] [--seed S] [--versions V] [--quick] [--json] \
                      [--baseline FILE] [--record-baseline FILE] \
-                     <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults|all>..."
+                     <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults\
+                     |hotpath|all>..."
                         .to_owned(),
                 )
             }
@@ -84,7 +92,7 @@ fn parse_args() -> Result<Args, String> {
     if experiments.is_empty() {
         experiments.push("all".to_owned());
     }
-    Ok(Args { config, experiments, json, baseline, record_baseline })
+    Ok(Args { config, experiments, json, quick, baseline, record_baseline })
 }
 
 fn main() -> ExitCode {
@@ -99,7 +107,7 @@ fn main() -> ExitCode {
     let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         vec![
             "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "concurrency",
-            "cluster", "faults",
+            "cluster", "faults", "hotpath",
         ]
     } else {
         args.experiments.iter().map(String::as_str).collect()
@@ -139,6 +147,7 @@ fn main() -> ExitCode {
     };
 
     let mut concurrency_result = None;
+    let mut hotpath_metrics = None;
     for name in &wanted {
         println!("{}", "=".repeat(72));
         let mut metrics = Vec::new();
@@ -162,6 +171,12 @@ fn main() -> ExitCode {
                 let text = result.to_string();
                 concurrency_result = Some(result);
                 text
+            }
+            "hotpath" => {
+                let result = experiments::hotpath::run(&ctx, args.quick);
+                metrics = artifact::hotpath_metrics(&result);
+                hotpath_metrics = Some(metrics.clone());
+                result.to_string()
             }
             "fig10" => {
                 let series = if ctx.corpus.series_by_name("tomcat").is_some() {
@@ -219,11 +234,14 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.record_baseline {
         let concurrency = concurrency_result.as_ref().expect("checked above");
-        let baseline = Baseline::from_concurrency(
+        let mut baseline = Baseline::from_concurrency(
             concurrency,
             ctx.corpus.config.scale_denom,
             ctx.corpus.config.seed,
         );
+        if hotpath_metrics.is_some() {
+            baseline = baseline.with_hotpath_floors();
+        }
         let json = serde_json::to_string(&baseline).expect("baseline serializes");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("writing {}: {e}", path.display());
@@ -253,7 +271,15 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        let problems = baseline.regressions(concurrency, BASELINE_TOLERANCE);
+        let mut problems = baseline.regressions(concurrency, BASELINE_TOLERANCE);
+        if !baseline.hotpath.is_empty() {
+            match &hotpath_metrics {
+                Some(metrics) => problems.extend(baseline.hotpath_regressions(metrics)),
+                None => problems.push(
+                    "baseline records hot-path floors; add `hotpath` to the run".to_owned(),
+                ),
+            }
+        }
         if problems.is_empty() {
             eprintln!("baseline check passed ({})", path.display());
         } else {

@@ -1,0 +1,379 @@
+//! `repro hotpath`: wall-clock microbenchmarks for the three hot paths
+//! touched by the performance overhaul.
+//!
+//! Three suites, one per hot path:
+//!
+//! * **convert** — Docker→Gear conversion of the first image of every
+//!   series, swept over worker counts. Reports the modeled duration (the
+//!   deterministic cost model, where hashing and per-file recompression
+//!   scale with workers), the measured wall-clock of the actual in-memory
+//!   conversion, paper-scale throughput, and a bit-identical check of the
+//!   parallel output against the serial run. The NVMe disk model is used so
+//!   the CPU-bound phases dominate, as they do on the machines where
+//!   parallel conversion matters.
+//! * **cache** — [`SharedCache`] insert/get churn at full capacity across a
+//!   16× range of cache sizes. Every insert evicts, so this measures the
+//!   eviction path directly; with the ordered index the per-op cost is
+//!   O(log n) and ops/s stays flat as the cache grows (the scan-based
+//!   eviction it replaced degrades linearly).
+//! * **union** — [`UnionFs`] path resolution, cold (first lookup walks the
+//!   layers) versus warm (repeated lookups served by the interned resolve
+//!   cache).
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use gear_client::{EvictionPolicy, SharedCache};
+use gear_core::{Converter, ConverterOptions};
+use gear_fs::{FsTree, UnionFs};
+use gear_hash::Fingerprint;
+use gear_simnet::DiskModel;
+
+use super::{secs, ExperimentContext};
+
+/// Worker counts the convert sweep covers.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Cache body size for the churn benchmark (bytes per entry).
+const CACHE_ENTRY_BYTES: u64 = 1024;
+
+/// One worker count's conversion measurements.
+#[derive(Debug, Clone)]
+pub struct ConvertPoint {
+    /// Worker count.
+    pub threads: usize,
+    /// Summed modeled conversion time across the sampled images.
+    pub modeled: Duration,
+    /// Modeled speedup over the serial run.
+    pub modeled_speedup: f64,
+    /// Measured wall-clock of the conversions themselves.
+    pub wall: Duration,
+    /// Paper-scale scanned bytes over modeled seconds, in MB/s.
+    pub throughput_mb_s: f64,
+    /// Whether every index and file pool matched the serial run exactly.
+    pub bit_identical: bool,
+}
+
+/// One cache size's churn measurements.
+#[derive(Debug, Clone)]
+pub struct CachePoint {
+    /// Resident capacity in entries.
+    pub entries: usize,
+    /// Operations performed (alternating evicting inserts and gets).
+    pub ops: u64,
+    /// Wall-clock for the whole churn loop.
+    pub wall: Duration,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// Union-mount lookup measurements.
+#[derive(Debug, Clone)]
+pub struct UnionBench {
+    /// Distinct paths resolved (files plus symlink aliases).
+    pub paths: usize,
+    /// First-lookup rate: every resolution walks the layers.
+    pub cold_lookups_per_sec: f64,
+    /// Repeated-lookup rate: resolutions served by the cache.
+    pub warm_lookups_per_sec: f64,
+    /// Warm over cold rate ratio.
+    pub warm_over_cold: f64,
+    /// Resolve-cache hits recorded by the mount during the warm passes.
+    pub resolve_cache_hits: u64,
+}
+
+/// The full hot-path benchmark result.
+#[derive(Debug, Clone)]
+pub struct Hotpath {
+    /// Convert sweep, one row per worker count (serial first).
+    pub convert: Vec<ConvertPoint>,
+    /// Cache churn, one row per cache size (ascending).
+    pub cache: Vec<CachePoint>,
+    /// Union lookup rates.
+    pub union: UnionBench,
+}
+
+impl Hotpath {
+    /// Modeled convert speedup at a worker count, if that count was swept.
+    pub fn convert_speedup(&self, threads: usize) -> Option<f64> {
+        self.convert.iter().find(|p| p.threads == threads).map(|p| p.modeled_speedup)
+    }
+
+    /// Ops/s at the largest cache size over ops/s at the smallest: ~1.0 for
+    /// O(log n) eviction, ~`smallest/largest` for a linear scan.
+    pub fn cache_flatness(&self) -> f64 {
+        match (self.cache.first(), self.cache.last()) {
+            (Some(small), Some(large)) if small.ops_per_sec > 0.0 => {
+                large.ops_per_sec / small.ops_per_sec
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Runs all three suites. `quick` shrinks the op counts for CI smoke runs
+/// and tests.
+pub fn run(ctx: &ExperimentContext, quick: bool) -> Hotpath {
+    Hotpath {
+        convert: run_convert(ctx),
+        cache: run_cache(quick),
+        union: run_union(quick),
+    }
+}
+
+fn run_convert(ctx: &ExperimentContext) -> Vec<ConvertPoint> {
+    let scale = ctx.corpus.config.scale_denom;
+    // First image of each series: no cross-version redundancy, so the
+    // recompression phase (the parallel term that matters) is exercised on
+    // close-to-unique content.
+    let images: Vec<_> = ctx.corpus.series.iter().filter_map(|s| s.images.first()).collect();
+
+    let mut serial_outputs: Vec<(Vec<u8>, Vec<Fingerprint>)> = Vec::new();
+    let mut points = Vec::new();
+    for threads in THREAD_SWEEP {
+        let mut modeled = Duration::ZERO;
+        let mut scanned_paper_bytes = 0u64;
+        let mut identical = true;
+        let start = Instant::now();
+        for (i, image) in images.iter().enumerate() {
+            let converter = Converter::with_options(ConverterOptions {
+                disk: DiskModel::nvme(),
+                byte_scale: scale,
+                count_scale: 1.0,
+                threads,
+                ..Default::default()
+            });
+            let conv = converter.convert(image).expect("corpus images convert");
+            modeled += conv.report.duration;
+            scanned_paper_bytes += conv.report.scanned_bytes * scale;
+            let index_json = conv.gear_image.index().to_json();
+            let pool: Vec<Fingerprint> = conv.files.iter().map(|f| f.fingerprint).collect();
+            if threads == 1 {
+                serial_outputs.push((index_json, pool));
+            } else {
+                let (ref serial_json, ref serial_pool) = serial_outputs[i];
+                identical &= index_json == *serial_json && pool == *serial_pool;
+            }
+        }
+        let wall = start.elapsed();
+        let serial_modeled =
+            points.first().map_or(modeled, |p: &ConvertPoint| p.modeled);
+        points.push(ConvertPoint {
+            threads,
+            modeled,
+            modeled_speedup: serial_modeled.as_secs_f64() / modeled.as_secs_f64().max(1e-12),
+            wall,
+            throughput_mb_s: scanned_paper_bytes as f64 / 1.0e6
+                / modeled.as_secs_f64().max(1e-12),
+            bit_identical: identical,
+        });
+    }
+    points
+}
+
+fn run_cache(quick: bool) -> Vec<CachePoint> {
+    let sizes: [usize; 3] = [256, 1024, 4096];
+    let ops: u64 = if quick { 30_000 } else { 200_000 };
+    let body = Bytes::from(vec![0u8; CACHE_ENTRY_BYTES as usize]);
+
+    // Pre-compute fingerprints so the loop times the cache, not MD5.
+    let max_keys = sizes[sizes.len() - 1] as u64 + ops;
+    let keys: Vec<Fingerprint> =
+        (0..max_keys).map(|i| Fingerprint::of(&i.to_le_bytes())).collect();
+
+    let mut points = Vec::new();
+    for entries in sizes {
+        let capacity = entries as u64 * CACHE_ENTRY_BYTES;
+        let mut cache = SharedCache::with_policy(EvictionPolicy::Lru, Some(capacity));
+        for key in &keys[..entries] {
+            cache.insert(*key, body.clone());
+        }
+        debug_assert_eq!(cache.len(), entries);
+
+        let start = Instant::now();
+        let mut next = entries as u64;
+        let mut performed = 0u64;
+        while performed < ops {
+            // One evicting insert...
+            cache.insert(keys[next as usize], body.clone());
+            next += 1;
+            performed += 1;
+            // ...and one get of a resident key, to mix recency traffic in.
+            let resident = next - 1 - (performed * 7 % entries as u64);
+            cache.get(keys[resident as usize]);
+            performed += 1;
+        }
+        let wall = start.elapsed();
+        points.push(CachePoint {
+            entries,
+            ops: performed,
+            wall,
+            ops_per_sec: performed as f64 / wall.as_secs_f64().max(1e-9),
+        });
+    }
+    points
+}
+
+fn run_union(quick: bool) -> UnionBench {
+    let files: usize = if quick { 512 } else { 4096 };
+    let warm_passes: usize = if quick { 8 } else { 16 };
+
+    let mut lower = FsTree::new();
+    let mut paths = Vec::with_capacity(files + files / 8);
+    for i in 0..files {
+        let path = format!("d{}/s{}/f{i}", i % 16, (i / 16) % 16);
+        lower.create_file(&path, Bytes::from(vec![i as u8; 16])).expect("distinct paths");
+        paths.push(path);
+    }
+    let mut union = UnionFs::new(vec![Arc::new(lower)]);
+    // Symlink aliases exercise the multi-hop resolution the cache
+    // short-circuits.
+    for i in (0..files).step_by(8) {
+        let alias = format!("alias{i}");
+        union.symlink(&alias, paths[i].clone()).expect("fresh alias");
+        paths.push(alias);
+    }
+
+    let before = union.stats();
+    let start = Instant::now();
+    for path in &paths {
+        union.metadata(path).expect("path exists");
+    }
+    let cold_wall = start.elapsed();
+
+    let start = Instant::now();
+    for _ in 0..warm_passes {
+        for path in &paths {
+            union.metadata(path).expect("path exists");
+        }
+    }
+    let warm_wall = start.elapsed();
+    let hits = union.stats().resolve_cache_hits - before.resolve_cache_hits;
+
+    let cold_rate = paths.len() as f64 / cold_wall.as_secs_f64().max(1e-9);
+    let warm_rate =
+        (paths.len() * warm_passes) as f64 / warm_wall.as_secs_f64().max(1e-9);
+    UnionBench {
+        paths: paths.len(),
+        cold_lookups_per_sec: cold_rate,
+        warm_lookups_per_sec: warm_rate,
+        warm_over_cold: warm_rate / cold_rate.max(1e-9),
+        resolve_cache_hits: hits,
+    }
+}
+
+/// Formats a rate with a thousands-friendly unit.
+fn rate(per_sec: f64) -> String {
+    if per_sec >= 1.0e6 {
+        format!("{:.1}M/s", per_sec / 1.0e6)
+    } else if per_sec >= 1.0e3 {
+        format!("{:.1}k/s", per_sec / 1.0e3)
+    } else {
+        format!("{per_sec:.0}/s")
+    }
+}
+
+impl fmt::Display for Hotpath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Hot-path microbenchmarks")?;
+        writeln!(f, "convert: first image of each series, NVMe disk model")?;
+        writeln!(
+            f,
+            "{:<9}{:>11}{:>10}{:>11}{:>12}{:>11}",
+            "threads", "modeled", "speedup", "wall", "MB/s", "identical"
+        )?;
+        for p in &self.convert {
+            writeln!(
+                f,
+                "{:<9}{:>11}{:>9.2}x{:>11}{:>12.1}{:>11}",
+                p.threads,
+                secs(p.modeled),
+                p.modeled_speedup,
+                format!("{:.3}s", p.wall.as_secs_f64()),
+                p.throughput_mb_s,
+                if p.bit_identical { "yes" } else { "NO" }
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "cache: LRU churn at capacity, {CACHE_ENTRY_BYTES} B entries")?;
+        writeln!(f, "{:<9}{:>9}{:>11}{:>12}", "entries", "ops", "wall", "ops/s")?;
+        for p in &self.cache {
+            writeln!(
+                f,
+                "{:<9}{:>9}{:>11}{:>12}",
+                p.entries,
+                p.ops,
+                format!("{:.3}s", p.wall.as_secs_f64()),
+                rate(p.ops_per_sec)
+            )?;
+        }
+        writeln!(
+            f,
+            "flatness (ops/s at {} / at {}): {:.2}",
+            self.cache.last().map_or(0, |p| p.entries),
+            self.cache.first().map_or(0, |p| p.entries),
+            self.cache_flatness()
+        )?;
+        writeln!(f)?;
+        writeln!(f, "union: {} paths (files + symlink aliases)", self.union.paths)?;
+        writeln!(f, "cold lookups: {}", rate(self.union.cold_lookups_per_sec))?;
+        write!(
+            f,
+            "warm lookups: {} ({:.1}x cold, {} resolve-cache hits)",
+            rate(self.union.warm_lookups_per_sec),
+            self.union.warm_over_cold,
+            self.union.resolve_cache_hits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convert_sweep_hits_the_speedup_target_and_stays_identical() {
+        let ctx = ExperimentContext::quick();
+        let hp = run(&ctx, true);
+        assert_eq!(hp.convert.len(), THREAD_SWEEP.len());
+        for p in &hp.convert {
+            assert!(p.bit_identical, "threads={} diverged from serial", p.threads);
+            assert!(p.modeled > Duration::ZERO);
+        }
+        let speedup = hp.convert_speedup(8).expect("8-thread row");
+        assert!(speedup >= 4.0, "modeled speedup at 8 workers: {speedup:.2}");
+        // Speedups grow monotonically with workers.
+        for w in hp.convert.windows(2) {
+            assert!(w[1].modeled_speedup > w[0].modeled_speedup);
+        }
+    }
+
+    #[test]
+    fn cache_churn_stays_flat_across_sizes() {
+        let hp = Hotpath { convert: Vec::new(), cache: run_cache(true), union: run_union(true) };
+        assert_eq!(hp.cache.len(), 3);
+        for p in &hp.cache {
+            assert!(p.ops_per_sec > 0.0);
+            assert!(p.ops >= 30_000);
+        }
+        // 16x more entries must not cost anywhere near 16x per op. A linear
+        // eviction scan lands around 1/16 ≈ 0.06; the ordered index stays
+        // well above the 0.2 CI floor even on noisy machines.
+        assert!(hp.cache_flatness() > 0.2, "flatness {:.3}", hp.cache_flatness());
+    }
+
+    #[test]
+    fn union_warm_lookups_beat_cold() {
+        let union = run_union(true);
+        assert!(union.paths > 512);
+        // Every warm lookup resolves from the cache: passes x paths hits.
+        assert_eq!(union.resolve_cache_hits as usize, union.paths * 8);
+        assert!(
+            union.warm_over_cold > 1.5,
+            "warm/cold {:.2}",
+            union.warm_over_cold
+        );
+    }
+}

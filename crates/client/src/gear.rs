@@ -779,8 +779,9 @@ impl GearClient {
         let reads = container
             .mount
             .touched_paths()
-            .into_iter()
+            .iter()
             .filter(|p| index.file_at(p).is_some())
+            .cloned()
             .collect();
         Some(StartupTrace { reads, task })
     }

@@ -58,7 +58,7 @@ mod report;
 mod slacker;
 mod timeline;
 
-pub use cache::{CacheStats, EvictionPolicy, SharedCache};
+pub use cache::{CacheStats, EvictionPolicy, SharedCache, ShardedCache};
 pub use config::{ClientConfig, Costs, FetchConfig};
 pub use docker::DockerClient;
 pub use gear::{ContainerId, DeployError, GearClient};

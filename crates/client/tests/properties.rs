@@ -30,7 +30,151 @@ fn body(k: u8, len: u16) -> Bytes {
     Bytes::from(vec![k; len as usize])
 }
 
+/// The pre-index eviction semantics, restated as an executable model: a
+/// full scan picking `min_by_key` over unpinned entries. The production
+/// cache replaced this scan with an ordered index; this model is the oracle
+/// proving the index is a pure speedup (same hits, same victims, same
+/// residency) and not a policy change.
+struct ScanModelCache {
+    entries: std::collections::HashMap<u8, ModelEntry>,
+    policy: EvictionPolicy,
+    capacity: u64,
+    bytes: u64,
+    tick: u64,
+    hits: u64,
+    evictions: u64,
+}
+
+struct ModelEntry {
+    len: u64,
+    pins: u32,
+    inserted: u64,
+    used: u64,
+}
+
+impl ScanModelCache {
+    fn new(policy: EvictionPolicy, capacity: u64) -> Self {
+        ScanModelCache {
+            entries: Default::default(),
+            policy,
+            capacity,
+            bytes: 0,
+            tick: 0,
+            hits: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, k: u8) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&k) {
+            e.used = self.tick; // bumped even while pinned (documented policy)
+            self.hits += 1;
+        }
+    }
+
+    fn insert(&mut self, k: u8, len: u64) {
+        if self.entries.contains_key(&k) {
+            return;
+        }
+        if len > self.capacity {
+            return;
+        }
+        while self.bytes + len > self.capacity {
+            if !self.evict_one() {
+                return;
+            }
+        }
+        self.tick += 1;
+        self.bytes += len;
+        self.entries.insert(k, ModelEntry { len, pins: 0, inserted: self.tick, used: self.tick });
+    }
+
+    fn evict_one(&mut self) -> bool {
+        let policy = self.policy;
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pins == 0)
+            .min_by_key(|(_, e)| match policy {
+                EvictionPolicy::Fifo => e.inserted,
+                EvictionPolicy::Lru => e.used,
+            })
+            .map(|(k, _)| *k);
+        match victim {
+            Some(k) => {
+                let e = self.entries.remove(&k).unwrap();
+                self.bytes -= e.len;
+                self.evictions += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pin(&mut self, k: u8) {
+        if let Some(e) = self.entries.get_mut(&k) {
+            e.pins += 1;
+        }
+    }
+
+    fn unpin(&mut self, k: u8) {
+        if let Some(e) = self.entries.get_mut(&k) {
+            e.pins = e.pins.saturating_sub(1);
+        }
+    }
+}
+
 proptest! {
+    /// The O(log n) eviction index chooses exactly the victims the original
+    /// scan-based policy would have chosen: after every operation the
+    /// residency set, byte total, hit count, and eviction count all match
+    /// the executable scan model, under both policies.
+    #[test]
+    fn eviction_index_agrees_with_scan_model(
+        ops in proptest::collection::vec(any_op(), 0..300),
+        capacity in 48u64..512,
+        lru in any::<bool>(),
+    ) {
+        let policy = if lru { EvictionPolicy::Lru } else { EvictionPolicy::Fifo };
+        let mut cache = SharedCache::with_policy(policy, Some(capacity));
+        let mut model = ScanModelCache::new(policy, capacity);
+        for op in ops {
+            match op {
+                // Narrow key space (16 keys) so capacity pressure and
+                // pin interleavings actually collide.
+                Op::Insert(k, len) => {
+                    let k = k % 16;
+                    let len = 8 + u64::from(len) % 64;
+                    cache.insert(fp(k), Bytes::from(vec![k; len as usize]));
+                    model.insert(k, len);
+                }
+                Op::Get(k) => {
+                    cache.get(fp(k % 16));
+                    model.get(k % 16);
+                }
+                Op::Pin(k) => {
+                    cache.pin(fp(k % 16));
+                    model.pin(k % 16);
+                }
+                Op::Unpin(k) => {
+                    cache.unpin(fp(k % 16));
+                    model.unpin(k % 16);
+                }
+            }
+            for k in 0u8..16 {
+                prop_assert_eq!(
+                    cache.contains(fp(k)),
+                    model.entries.contains_key(&k),
+                    "residency diverged on key {} (policy {:?})", k, policy
+                );
+            }
+            prop_assert_eq!(cache.bytes(), model.bytes);
+            prop_assert_eq!(cache.stats().hits, model.hits);
+            prop_assert_eq!(cache.stats().evictions, model.evictions);
+        }
+    }
+
     /// A bounded cache never exceeds its capacity, regardless of operation
     /// order or policy.
     #[test]

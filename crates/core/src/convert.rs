@@ -315,6 +315,10 @@ impl Converter {
 
     /// Fingerprints every inline regular file, fanning out across
     /// `options.threads` worker threads for large trees.
+    ///
+    /// Delegates the fan-out to [`gear_par::Pool`]: the split is a pure
+    /// function of `(len, threads)`, so the map is bit-identical to the
+    /// serial loop for any thread count.
     fn prehash(&self, rootfs: &FsTree) -> HashMap<String, Fingerprint> {
         let work: Vec<(String, Bytes)> = rootfs
             .walk()
@@ -326,31 +330,13 @@ impl Converter {
                 _ => None,
             })
             .collect();
-        let threads = self.options.threads.max(1);
-        if threads == 1 || work.len() < 64 {
-            return work
-                .into_iter()
-                .map(|(path, content)| (path, Fingerprint::of(&content)))
-                .collect();
-        }
-        let chunk = work.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .chunks(chunk)
-                .map(|slice| {
-                    scope.spawn(move || {
-                        slice
-                            .iter()
-                            .map(|(path, content)| (path.clone(), Fingerprint::of(content)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("hash worker panicked"))
-                .collect()
-        })
+        let pool = gear_par::Pool::new(self.options.threads);
+        let bodies: Vec<&Bytes> = work.iter().map(|(_, content)| content).collect();
+        let fingerprints = gear_hash::fingerprint_all(&bodies, &pool);
+        work.into_iter()
+            .map(|(path, _)| path)
+            .zip(fingerprints)
+            .collect()
     }
 
     /// Models conversion time: decompress + write the layers, traverse the
@@ -363,12 +349,15 @@ impl Converter {
         let files = |n: u64| (n as f64 * self.options.count_scale).round() as u64;
         let unpack = disk.io_time(bytes(report.scanned_bytes), files(report.scanned_files));
         let traverse = disk.traverse_time(files(report.scanned_files));
+        let threads = self.options.threads.max(1) as f64;
         let hash = Duration::from_secs_f64(
-            bytes(report.scanned_bytes) as f64
-                / (self.options.hash_bytes_per_sec * self.options.threads.max(1) as f64),
+            bytes(report.scanned_bytes) as f64 / (self.options.hash_bytes_per_sec * threads),
         );
+        // Recompression parallelizes per-file (pigz-style): each unique Gear
+        // file is an independent gzip stream, so extra workers get full
+        // credit, exactly like hashing.
         let recompress = Duration::from_secs_f64(
-            bytes(report.unique_bytes) as f64 / self.options.compress_bytes_per_sec,
+            bytes(report.unique_bytes) as f64 / (self.options.compress_bytes_per_sec * threads),
         );
         let write_files = disk.io_time(bytes(report.unique_bytes), files(report.unique_files));
         let build_index = disk.io_time(bytes(report.index_bytes), 1);

@@ -180,7 +180,7 @@ mod tests {
     #[test]
     fn docker_endpoints() {
         let (mut service, r) = service_with_image();
-        let response = service.handle(Request::GetManifest(r.clone()));
+        let response = service.handle(Request::GetManifest(r));
         assert_eq!(response.status, Status::Ok);
         let manifest = Manifest::from_json(&response.body).unwrap();
         let blob = service.handle(Request::GetBlob(manifest.layers[0].digest));

@@ -73,6 +73,10 @@ pub struct GearFileStore {
     files: HashMap<Fingerprint, StoredFile>,
     compression: Option<Level>,
     dedup_hits: u64,
+    /// Running totals, maintained on upload and GC so [`GearFileStore::stats`]
+    /// is O(1) instead of a full-store sweep.
+    stored_bytes: u64,
+    logical_bytes: u64,
 }
 
 impl GearFileStore {
@@ -121,6 +125,8 @@ impl GearFileStore {
             Some(level) => compress(&content, level).len() as u64,
             None => content.len() as u64,
         };
+        self.stored_bytes += stored_len;
+        self.logical_bytes += content.len() as u64;
         self.files.insert(fingerprint, StoredFile { raw: content, stored_len });
         Ok(UploadOutcome { stored: true, stored_bytes: stored_len })
     }
@@ -141,12 +147,13 @@ impl GearFileStore {
         self.files.len()
     }
 
-    /// Storage accounting.
+    /// Storage accounting. O(1): totals are maintained incrementally by
+    /// [`GearFileStore::upload`] and [`GearFileStore::retain_only`].
     pub fn stats(&self) -> FileStoreStats {
         FileStoreStats {
             objects: self.files.len(),
-            stored_bytes: self.files.values().map(|f| f.stored_len).sum(),
-            logical_bytes: self.files.values().map(|f| f.raw.len() as u64).sum(),
+            stored_bytes: self.stored_bytes,
+            logical_bytes: self.logical_bytes,
             dedup_hits: self.dedup_hits,
         }
     }
@@ -158,28 +165,55 @@ impl GearFileStore {
     }
 
     /// Integrity scan: re-hashes every object and returns the fingerprints
-    /// whose content no longer matches (empty = clean store).
+    /// whose content no longer matches (empty = clean store), sorted.
+    ///
+    /// Objects are verified against the *raw* stored body — the store keeps
+    /// content uncompressed and only accounts compressed wire sizes, so a
+    /// scan never decompresses anything, and re-hashing is the entire cost.
     pub fn verify(&self) -> Vec<Fingerprint> {
-        self.files
-            .iter()
-            .filter(|(fp, f)| Fingerprint::of(&f.raw) != **fp)
-            .map(|(fp, _)| *fp)
-            .collect()
+        self.verify_with(&gear_par::Pool::serial())
+    }
+
+    /// [`GearFileStore::verify`] fanned out across `pool`. Output is sorted,
+    /// so it is identical for any worker count (and to the serial scan).
+    pub fn verify_with(&self, pool: &gear_par::Pool) -> Vec<Fingerprint> {
+        let entries: Vec<(Fingerprint, &Bytes)> = self.iter().collect();
+        let mut bad: Vec<Fingerprint> = pool
+            .map(&entries, |(fp, raw)| (Fingerprint::of(raw) != *fp).then_some(*fp))
+            .into_iter()
+            .flatten()
+            .collect();
+        bad.sort();
+        bad
     }
 
     /// Removes objects not in `live`, returning bytes freed. Models cache
-    /// replacement / garbage collection on the registry side.
+    /// replacement / garbage collection on the registry side. Running totals
+    /// are kept in step, so [`GearFileStore::stats`] stays exact after GC.
     pub fn retain_only(&mut self, live: &std::collections::HashSet<Fingerprint>) -> u64 {
         let mut freed = 0;
+        let mut logical_freed = 0;
         self.files.retain(|fp, f| {
             if live.contains(fp) {
                 true
             } else {
                 freed += f.stored_len;
+                logical_freed += f.raw.len() as u64;
                 false
             }
         });
+        self.stored_bytes -= freed;
+        self.logical_bytes -= logical_freed;
         freed
+    }
+
+    /// Test hook: overwrites the stored body of `fingerprint` without
+    /// touching its key, simulating on-disk corruption for integrity tests.
+    #[cfg(test)]
+    fn corrupt_for_test(&mut self, fingerprint: Fingerprint, bad: Bytes) {
+        let file = self.files.get_mut(&fingerprint).expect("object exists");
+        self.logical_bytes = self.logical_bytes - file.raw.len() as u64 + bad.len() as u64;
+        file.raw = bad;
     }
 }
 
@@ -234,6 +268,64 @@ mod tests {
         // Transfer size follows stored size; download returns raw content.
         assert!(packed.transfer_size(fp).unwrap() < body.len() as u64);
         assert_eq!(packed.download(fp).unwrap(), body);
+    }
+
+    #[test]
+    fn verify_flags_corruption_and_matches_parallel() {
+        let mut store = GearFileStore::new();
+        let bodies: Vec<Bytes> = (0u8..40).map(|i| Bytes::from(vec![i; 50])).collect();
+        for body in &bodies {
+            store.upload(Fingerprint::of(body), body.clone()).unwrap();
+        }
+        assert!(store.verify().is_empty(), "fresh store is clean");
+        // Corrupt two objects in place; both scans must flag exactly those,
+        // in the same (sorted) order regardless of worker count.
+        let bad_a = Fingerprint::of(&bodies[3]);
+        let bad_b = Fingerprint::of(&bodies[17]);
+        store.corrupt_for_test(bad_a, Bytes::from_static(b"bit rot"));
+        store.corrupt_for_test(bad_b, Bytes::from_static(b"more rot"));
+        let serial = store.verify();
+        let mut expected = vec![bad_a, bad_b];
+        expected.sort();
+        assert_eq!(serial, expected);
+        for workers in [2, 4, 8] {
+            assert_eq!(store.verify_with(&gear_par::Pool::new(workers)), serial);
+        }
+    }
+
+    #[test]
+    fn retain_only_keeps_stats_consistent() {
+        let mut store = GearFileStore::with_compression();
+        let bodies: Vec<Bytes> = (0u8..12)
+            .map(|i| Bytes::from(vec![i; 64 + i as usize * 16]))
+            .collect();
+        let fps: Vec<Fingerprint> = bodies.iter().map(|b| Fingerprint::of(b)).collect();
+        for (fp, body) in fps.iter().zip(&bodies) {
+            store.upload(*fp, body.clone()).unwrap();
+        }
+        // Duplicate upload so dedup accounting is in play too.
+        store.upload(fps[0], bodies[0].clone()).unwrap();
+        let live: std::collections::HashSet<Fingerprint> =
+            fps.iter().copied().step_by(2).collect();
+        let freed = store.retain_only(&live);
+        assert!(freed > 0);
+        // The incremental totals must equal a from-scratch recount.
+        let stats = store.stats();
+        assert_eq!(stats.objects, live.len());
+        let recount_logical: u64 = store.iter().map(|(_, raw)| raw.len() as u64).sum();
+        let recount_stored: u64 =
+            fps.iter().filter_map(|fp| store.transfer_size(*fp)).sum();
+        assert_eq!(stats.logical_bytes, recount_logical);
+        assert_eq!(stats.stored_bytes, recount_stored);
+        assert_eq!(stats.dedup_hits, 1, "GC must not erase dedup history");
+        // Re-uploading a collected object stores it again and accounting
+        // keeps following.
+        store.upload(fps[1], bodies[1].clone()).unwrap();
+        assert_eq!(store.stats().objects, live.len() + 1);
+        assert_eq!(
+            store.stats().logical_bytes,
+            recount_logical + bodies[1].len() as u64
+        );
     }
 
     #[test]

@@ -31,6 +31,13 @@ impl DiskModel {
         DiskModel { bytes_per_sec: 500.0e6, per_file: Duration::from_micros(80) }
     }
 
+    /// A PCIe NVMe drive: ~3 GB/s sequential, ~10 µs per file. On this
+    /// class of storage conversion is CPU-bound (hashing + recompression),
+    /// which is what the hot-path benchmarks want to expose.
+    pub fn nvme() -> Self {
+        DiskModel { bytes_per_sec: 3.0e9, per_file: Duration::from_micros(10) }
+    }
+
     /// Time to read or write `bytes` spread over `files` files.
     pub fn io_time(&self, bytes: u64, files: u64) -> Duration {
         self.per_file * (files as u32)
@@ -58,6 +65,13 @@ mod tests {
         let ssd = DiskModel::ssd().io_time(bytes, files);
         let speedup = hdd.as_secs_f64() / ssd.as_secs_f64();
         assert!(speedup > 2.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn nvme_is_fastest() {
+        let bytes = 100_000_000;
+        let files = 10_000;
+        assert!(DiskModel::nvme().io_time(bytes, files) < DiskModel::ssd().io_time(bytes, files));
     }
 
     #[test]

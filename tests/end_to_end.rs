@@ -197,7 +197,7 @@ fn docker_rootfs_matches_original_image() {
         // Re-deploy to get a fresh mount handle (mounts aren't exposed by
         // DockerClient; use a second deployment).
         let (_, _) = docker.deploy(image.reference(), trace, &docker_reg).unwrap();
-        gear_fs::UnionFs::new(vec![std::sync::Arc::new(expected.clone())])
+        gear_fs::UnionFs::new(vec![std::sync::Arc::new(expected)])
     };
     for path in &trace.reads {
         let direct = remount.read(path, &NoFetch).unwrap();

@@ -63,9 +63,8 @@ fn corrupted_layer_blob_detected_on_pull() {
     let mut reg = DockerRegistry::new();
     reg.push_image(&image);
     let manifest = reg.manifest(&r).unwrap().clone();
-    let blob = reg.blob(manifest.layers[0].digest).unwrap().to_vec();
     // Flip a payload byte: decompression must fail its checksum.
-    let mut bad = blob.clone();
+    let mut bad = reg.blob(manifest.layers[0].digest).unwrap().to_vec();
     let n = bad.len() - 1;
     bad[n] ^= 0xff;
     let err = decompress(&bad).unwrap_err();
