@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! repro [--scale N] [--seed S] [--versions V] [--quick] [--json]
-//!       [--baseline FILE] [--record-baseline FILE] <experiment>...
+//!       [--baseline FILE] [--record-baseline FILE] [--trace DIR]
+//!       <experiment>...
 //!
 //! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 concurrency
-//!              cluster faults hotpath all
+//!              cluster faults hotpath profile all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
@@ -20,6 +21,11 @@
 //! against those floors — exiting non-zero on regression (the CI smoke
 //! job); `--record-baseline FILE` writes a fresh baseline (with hot-path
 //! floors when `hotpath` is in the run).
+//!
+//! `profile` (not part of `all`) runs the instrumented deployment-path
+//! profile; `--trace DIR` additionally writes its Perfetto `trace.json` and
+//! `metrics.json` into `DIR` and validates them against
+//! `ci/trace-schema.json`, exiting non-zero on any violation.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -31,6 +37,30 @@ use gear_corpus::CorpusConfig;
 /// Fractional slack the baseline comparison allows before failing.
 const BASELINE_TOLERANCE: f64 = 0.01;
 
+/// Writes the profile's telemetry exports into `dir` and validates them
+/// against the checked-in trace schema.
+fn export_trace(dir: &Path, result: &experiments::profile::Profile) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+    std::fs::write(&trace, &result.trace_json)
+        .map_err(|e| format!("writing {}: {e}", trace.display()))?;
+    std::fs::write(&metrics, &result.metrics_json)
+        .map_err(|e| format!("writing {}: {e}", metrics.display()))?;
+    eprintln!("wrote {} and {}", trace.display(), metrics.display());
+    let problems = gear_bench::schema::validate_dir(dir)?;
+    if problems.is_empty() {
+        eprintln!("trace schema check passed ({})", gear_bench::schema::schema_path().display());
+        Ok(())
+    } else {
+        Err(problems
+            .iter()
+            .map(|p| format!("TRACE VIOLATION {p}"))
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+}
+
 struct Args {
     config: CorpusConfig,
     experiments: Vec<String>,
@@ -38,6 +68,7 @@ struct Args {
     quick: bool,
     baseline: Option<PathBuf>,
     record_baseline: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
     let mut quick = false;
     let mut baseline = None;
     let mut record_baseline = None;
+    let mut trace = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -76,12 +108,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--record-baseline needs a file")?;
                 record_baseline = Some(PathBuf::from(v));
             }
+            "--trace" => {
+                let v = argv.next().ok_or("--trace needs a directory")?;
+                trace = Some(PathBuf::from(v));
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: repro [--scale N] [--seed S] [--versions V] [--quick] [--json] \
-                     [--baseline FILE] [--record-baseline FILE] \
+                     [--baseline FILE] [--record-baseline FILE] [--trace DIR] \
                      <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults\
-                     |hotpath|all>..."
+                     |hotpath|profile|all>..."
                         .to_owned(),
                 )
             }
@@ -92,7 +128,7 @@ fn parse_args() -> Result<Args, String> {
     if experiments.is_empty() {
         experiments.push("all".to_owned());
     }
-    Ok(Args { config, experiments, json, quick, baseline, record_baseline })
+    Ok(Args { config, experiments, json, quick, baseline, record_baseline, trace })
 }
 
 fn main() -> ExitCode {
@@ -116,6 +152,10 @@ fn main() -> ExitCode {
         && !wanted.contains(&"concurrency")
     {
         eprintln!("--baseline/--record-baseline use the concurrency sweep; add `concurrency`");
+        return ExitCode::FAILURE;
+    }
+    if args.trace.is_some() && !wanted.contains(&"profile") {
+        eprintln!("--trace exports the profile experiment's telemetry; add `profile`");
         return ExitCode::FAILURE;
     }
 
@@ -171,6 +211,16 @@ fn main() -> ExitCode {
                 let text = result.to_string();
                 concurrency_result = Some(result);
                 text
+            }
+            "profile" => {
+                let result = experiments::profile::run(&ctx);
+                if let Some(dir) = &args.trace {
+                    if let Err(msg) = export_trace(dir, &result) {
+                        eprintln!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                result.to_string()
             }
             "hotpath" => {
                 let result = experiments::hotpath::run(&ctx, args.quick);

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod hotpath;
+pub mod profile;
 pub mod table2;
 
 use gear_client::ClientConfig;

@@ -21,5 +21,6 @@
 
 pub mod artifact;
 pub mod experiments;
+pub mod schema;
 
 pub use experiments::ExperimentContext;

@@ -29,6 +29,7 @@
 use std::time::Duration;
 
 use gear_simnet::{FaultKind, FaultPlan, RetryPolicy, StreamConfig};
+use gear_telemetry::Telemetry;
 
 use crate::config::ClientConfig;
 use crate::gear::DeployError;
@@ -56,10 +57,11 @@ pub(crate) struct FetchOutcome {
 }
 
 /// Drives a batch of downloads through the bounded-memory stream window.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct FetchScheduler {
     streams: usize,
     max_buffered_bytes: u64,
+    telemetry: Telemetry,
 }
 
 impl FetchScheduler {
@@ -71,7 +73,16 @@ impl FetchScheduler {
         FetchScheduler {
             streams: config.fetch.streams.max(1),
             max_buffered_bytes: config.fetch.max_buffered_bytes,
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder: the batch's stream schedule is
+    /// recorded as one `simnet` transfer span at the recorder's cursor.
+    #[must_use]
+    pub(crate) fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// A scheduler with an explicit stream count (used by prefetch, whose
@@ -81,6 +92,7 @@ impl FetchScheduler {
         FetchScheduler {
             streams: streams.max(1),
             max_buffered_bytes: config.fetch.max_buffered_bytes,
+            telemetry: Telemetry::noop(),
         }
     }
 
@@ -165,6 +177,7 @@ impl FetchScheduler {
             &wire,
             StreamConfig { streams: self.streams, max_buffered_bytes: self.max_buffered_bytes },
         );
+        schedule.record(&self.telemetry, &wire);
         Ok(FetchOutcome {
             network: schedule.duration,
             serial_delay,

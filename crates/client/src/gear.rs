@@ -15,6 +15,7 @@ use gear_image::ImageRef;
 use gear_corpus::StartupTrace;
 use gear_registry::{DockerRegistry, GearFileStore};
 use gear_simnet::{FaultKind, FaultPlan, NetMetrics, RetryPolicy};
+use gear_telemetry::Telemetry;
 
 use crate::cache::SharedCache;
 use crate::config::ClientConfig;
@@ -180,6 +181,7 @@ pub struct GearClient {
     next_id: u64,
     /// Active fault injection, if any (see [`GearClient::inject_faults`]).
     faults: Option<FaultState>,
+    telemetry: Telemetry,
 }
 
 impl GearClient {
@@ -194,7 +196,26 @@ impl GearClient {
             metrics: NetMetrics::new(),
             next_id: 0,
             faults: None,
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder: every deployment is replayed into it
+    /// as a span tree (deploy / pull / run phases with per-step child
+    /// spans), counters and histograms accumulate under `client.*` /
+    /// `cache.*` / `net.*` keys, and the container mount, fetch scheduler,
+    /// and fault plan report through the same recorder.
+    pub fn set_recorder(&mut self, telemetry: Telemetry) {
+        if let Some(state) = &mut self.faults {
+            state.plan.set_recorder(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The client's telemetry handle (disabled unless
+    /// [`GearClient::set_recorder`] was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Activates fault injection: every registry request this client makes
@@ -203,7 +224,8 @@ impl GearClient {
     /// Exhausting the budget aborts the deployment with
     /// [`DeployError::FaultBudgetExhausted`] and leaves no partial entries
     /// in the shared cache.
-    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+    pub fn inject_faults(&mut self, mut plan: FaultPlan, policy: RetryPolicy) {
+        plan.set_recorder(self.telemetry.clone());
         self.faults = Some(FaultState { plan, policy, retries: 0 });
     }
 
@@ -314,6 +336,13 @@ impl GearClient {
     ) -> Result<(ContainerId, DeploymentReport), DeployError> {
         let mut report = DeploymentReport::new(reference.clone());
         let retries_before = self.fault_retries();
+        let base = self.telemetry.now();
+        let metrics_before = self.metrics;
+        let cache_before = if self.telemetry.enabled() {
+            self.cache.stats()
+        } else {
+            crate::cache::CacheStats::default()
+        };
 
         // ---- pull phase: fetch the (tiny) index image ----------------------
         let mut pull = Duration::ZERO;
@@ -358,6 +387,7 @@ impl GearClient {
         let installed = self.indexes.get(reference).expect("installed above");
         let tree = Arc::clone(&installed.tree);
         let mut mount = UnionFs::new(vec![tree]);
+        mount.set_recorder(self.telemetry.clone());
         let mut run = Duration::ZERO;
         let launch = self.config.costs.container_start + self.config.costs.mount_setup;
         report.timeline.push(pull, launch, TimelineEvent::Launch);
@@ -417,15 +447,20 @@ impl GearClient {
                 // the fault plan; exhaustion aborts with the failing file
                 // (and everything after it) never inserted.
                 let cache = &mut self.cache;
-                let outcome = FetchScheduler::from_config(&config).run(
-                    &config,
-                    &mut self.faults,
-                    &payloads,
-                    |i| {
-                        let (fp, content, ..) = &downloads[i];
-                        cache.insert(*fp, content.clone());
-                    },
-                )?;
+                // Park the cursor at the batch's start so the scheduler's
+                // transfer span lands inside the ParallelFetch window.
+                self.telemetry.set_now(base + pull + run);
+                let outcome = FetchScheduler::from_config(&config)
+                    .with_recorder(self.telemetry.clone())
+                    .run(
+                        &config,
+                        &mut self.faults,
+                        &payloads,
+                        |i| {
+                            let (fp, content, ..) = &downloads[i];
+                            cache.insert(*fp, content.clone());
+                        },
+                    )?;
                 let batch_bytes: u64 = payloads.iter().sum();
                 let took = outcome.network + outcome.serial_delay;
                 report.timeline.push(
@@ -521,11 +556,72 @@ impl GearClient {
         run += task;
         report.run = run;
         report.retries = self.fault_retries() - retries_before;
+        report.resolve_cache_hits = mount.stats().resolve_cache_hits;
+        report.pinned_bytes = self.cache.stats().pinned_bytes;
 
         let id = ContainerId::from_raw(self.next_id);
         self.next_id += 1;
         self.containers.insert(id, Container { image: reference.clone(), mount });
+        if self.telemetry.enabled() {
+            self.record_deploy(&report, base, metrics_before, cache_before);
+        }
         Ok((id, report))
+    }
+
+    /// Replays a finished deployment into the telemetry recorder: phase and
+    /// per-step spans at their exact simulated offsets (recorded after the
+    /// fact, so instrumentation can never perturb the priced timeline),
+    /// plus counter/gauge/histogram updates for this deployment's deltas.
+    fn record_deploy(
+        &self,
+        report: &DeploymentReport,
+        base: Duration,
+        metrics_before: NetMetrics,
+        cache_before: crate::cache::CacheStats,
+    ) {
+        let t = &self.telemetry;
+        let deploy =
+            t.span_at("client", &format!("deploy {}", report.reference), base, report.total());
+        t.span_arg(deploy, "bytes_pulled", report.bytes_pulled);
+        t.span_arg(deploy, "files_fetched", report.files_fetched);
+        t.span_arg(deploy, "cache_hits", report.cache_hits);
+        if !report.pull.is_zero() {
+            t.span_at("client", "pull", base, report.pull);
+        }
+        t.span_at("client", "run", base + report.pull, report.run);
+        report.timeline.record_spans(t, base, None);
+
+        t.count("client.deploys", 1);
+        t.count("client.bytes_pulled", report.bytes_pulled);
+        t.count("client.requests", report.requests);
+        t.count("client.files_fetched", report.files_fetched);
+        t.count("client.cache_hits", report.cache_hits);
+        t.count("client.retries", report.retries);
+        t.gauge_max("client.peak_buffered_bytes", report.peak_buffered_bytes);
+        for (_, _, event) in report.timeline.entries() {
+            if let TimelineEvent::RegistryFetch { bytes, .. } = event {
+                t.observe("client.fetch_bytes", *bytes);
+            }
+        }
+
+        let cache_now = self.cache.stats();
+        t.count("cache.hits", cache_now.hits - cache_before.hits);
+        t.count("cache.misses", cache_now.misses - cache_before.misses);
+        t.count("cache.evictions", cache_now.evictions - cache_before.evictions);
+        t.count("cache.evicted_bytes", cache_now.evicted_bytes - cache_before.evicted_bytes);
+        t.gauge_set("cache.pinned_bytes", cache_now.pinned_bytes);
+        t.gauge_max("cache.bytes", self.cache.bytes());
+
+        t.count("net.bytes_down", self.metrics.bytes_down - metrics_before.bytes_down);
+        t.count("net.bytes_up", self.metrics.bytes_up - metrics_before.bytes_up);
+        t.count(
+            "net.requests_down",
+            self.metrics.requests_down - metrics_before.requests_down,
+        );
+        t.count("net.requests_up", self.metrics.requests_up - metrics_before.requests_up);
+
+        // Leave the cursor at the deployment's end for whatever runs next.
+        t.set_now(base + report.total());
     }
 
     /// Prefetch deployment: like [`GearClient::deploy`], but all files the
@@ -597,15 +693,18 @@ impl GearClient {
             let config = self.config;
             let cache = &mut self.cache;
             let outcome = FetchScheduler::with_streams(&config, pipeline.max(1) as usize)
+                .with_recorder(self.telemetry.clone())
                 .run(&config, &mut self.faults, &payloads, |i| {
                     let (fp, content) = &contents[i];
                     cache.insert(*fp, content.clone());
                 })?;
             let batch_bytes: u64 = payloads.iter().sum();
-            report.pull += outcome.network
+            let batch_cost = outcome.network
                 + outcome.serial_delay
                 + config.decompress(batch_bytes)
                 + config.disk.io_time(batch_bytes, wanted.len() as u64);
+            report.pull += batch_cost;
+            self.telemetry.advance(batch_cost);
             report.files_fetched += wanted.len() as u64;
             report.requests += wanted.len() as u64;
             report.bytes_pulled += batch_bytes;
@@ -668,15 +767,17 @@ impl GearClient {
                 if !downloads.is_empty() {
                     let payloads: Vec<u64> = downloads.iter().map(|d| d.2).collect();
                     let cache = &mut self.cache;
-                    let outcome = FetchScheduler::from_config(&config).run(
-                        &config,
-                        &mut self.faults,
-                        &payloads,
-                        |i| {
-                            let (fp, content, _) = &downloads[i];
-                            cache.insert(*fp, content.clone());
-                        },
-                    )?;
+                    let outcome = FetchScheduler::from_config(&config)
+                        .with_recorder(self.telemetry.clone())
+                        .run(
+                            &config,
+                            &mut self.faults,
+                            &payloads,
+                            |i| {
+                                let (fp, content, _) = &downloads[i];
+                                cache.insert(*fp, content.clone());
+                            },
+                        )?;
                     elapsed += outcome.network + outcome.serial_delay;
                 }
             }
@@ -723,15 +824,17 @@ impl GearClient {
         if !downloads.is_empty() {
             let payloads: Vec<u64> = downloads.iter().map(|d| d.2).collect();
             let cache = &mut self.cache;
-            FetchScheduler::from_config(&config).run(
-                &config,
-                &mut self.faults,
-                &payloads,
-                |i| {
-                    let (fp, content, _) = &downloads[i];
-                    cache.insert(*fp, content.clone());
-                },
-            )?;
+            FetchScheduler::from_config(&config)
+                .with_recorder(self.telemetry.clone())
+                .run(
+                    &config,
+                    &mut self.faults,
+                    &payloads,
+                    |i| {
+                        let (fp, content, _) = &downloads[i];
+                        cache.insert(*fp, content.clone());
+                    },
+                )?;
             for (_, _, scaled) in &downloads {
                 self.metrics.download(*scaled);
             }

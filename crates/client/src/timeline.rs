@@ -8,6 +8,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use gear_telemetry::Telemetry;
+
 /// One step of a deployment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TimelineEvent {
@@ -30,6 +32,16 @@ pub enum TimelineEvent {
         /// Logical bytes.
         bytes: u64,
     },
+    /// A file fetched from a cluster peer's cache instead of the registry
+    /// (the P2P degradation-free path).
+    PeerFetch {
+        /// Path read.
+        path: String,
+        /// Wire bytes (paper scale).
+        bytes: u64,
+        /// Index of the serving peer node.
+        peer: u64,
+    },
     /// A file fetched from the Gear registry.
     RegistryFetch {
         /// Path read.
@@ -50,6 +62,33 @@ pub enum TimelineEvent {
 }
 
 impl TimelineEvent {
+    /// Trace category, span name, and numeric args for
+    /// [`Timeline::record_spans`].
+    fn trace_info(&self) -> (&'static str, String, Vec<(&'static str, u64)>) {
+        match self {
+            TimelineEvent::Manifest { bytes } => {
+                ("client", "manifest".to_owned(), vec![("bytes", *bytes)])
+            }
+            TimelineEvent::Index { bytes } => {
+                ("client", "index".to_owned(), vec![("bytes", *bytes)])
+            }
+            TimelineEvent::Launch => ("client", "launch".to_owned(), Vec::new()),
+            TimelineEvent::CacheHit { path, bytes } => {
+                ("cache", format!("hit {path}"), vec![("bytes", *bytes)])
+            }
+            TimelineEvent::PeerFetch { path, bytes, peer } => {
+                ("p2p", format!("peer {path}"), vec![("bytes", *bytes), ("peer", *peer)])
+            }
+            TimelineEvent::RegistryFetch { path, bytes } => {
+                ("client", format!("fetch {path}"), vec![("bytes", *bytes)])
+            }
+            TimelineEvent::ParallelFetch { files, bytes } => {
+                ("client", "parallel_fetch".to_owned(), vec![("files", *files), ("bytes", *bytes)])
+            }
+            TimelineEvent::Task => ("client", "task".to_owned(), Vec::new()),
+        }
+    }
+
     /// Short label for rendering.
     fn label(&self) -> String {
         match self {
@@ -57,6 +96,9 @@ impl TimelineEvent {
             TimelineEvent::Index { bytes } => format!("index ({bytes} B)"),
             TimelineEvent::Launch => "launch".to_owned(),
             TimelineEvent::CacheHit { path, .. } => format!("cache  {path}"),
+            TimelineEvent::PeerFetch { path, peer, .. } => {
+                format!("peer   {path} (from node {peer})")
+            }
             TimelineEvent::RegistryFetch { path, bytes } => {
                 format!("fetch  {path} ({bytes} B)")
             }
@@ -99,6 +141,24 @@ impl Timeline {
     /// Whether the timeline is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Replays every entry into `telemetry` as a complete span, offset by
+    /// `base` (where this timeline's zero sits on the recorder's sim-time
+    /// axis). Events carry their own category (`client` / `cache` / `p2p`)
+    /// unless `cat` forces one. Entries are sequential by construction, so
+    /// the replayed spans nest cleanly under the surrounding phase spans.
+    pub fn record_spans(&self, telemetry: &Telemetry, base: Duration, cat: Option<&'static str>) {
+        if !telemetry.enabled() {
+            return;
+        }
+        for (at, took, event) in &self.entries {
+            let (own_cat, name, args) = event.trace_info();
+            let span = telemetry.span_at(cat.unwrap_or(own_cat), &name, base + *at, *took);
+            for (key, value) in args {
+                telemetry.span_arg(span, key, value);
+            }
+        }
     }
 
     /// Total time spent in events matching `pred`.

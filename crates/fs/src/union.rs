@@ -25,6 +25,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use gear_archive::{Archive, ArchivePath, Entry, Metadata};
 use gear_hash::Fingerprint;
+use gear_telemetry::Telemetry;
 
 use crate::error::FsError;
 use crate::node::{FileData, Node};
@@ -103,6 +104,7 @@ pub struct UnionFs {
     /// Lazily rebuilt sorted view of `touched`; `None` after a new touch.
     touched_snapshot: RefCell<Option<Arc<[String]>>>,
     stats: MountStats,
+    telemetry: Telemetry,
 }
 
 impl UnionFs {
@@ -120,7 +122,15 @@ impl UnionFs {
             touched: HashSet::new(),
             touched_snapshot: RefCell::new(None),
             stats: MountStats::default(),
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder: lookups, reads, copy-ups, and
+    /// materializations feed `fs.*` counters, and each materializer fetch
+    /// shows up as an instant event.
+    pub fn set_recorder(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Mount statistics so far.
@@ -224,6 +234,10 @@ impl UnionFs {
         let content = self.load(&resolved, &data, mat)?;
         self.stats.reads += 1;
         self.stats.bytes_read += content.len() as u64;
+        if self.telemetry.enabled() {
+            self.telemetry.count("fs.reads", 1);
+            self.telemetry.count("fs.bytes_read", content.len() as u64);
+        }
         Ok(content)
     }
 
@@ -283,6 +297,10 @@ impl UnionFs {
         };
         self.stats.reads += 1;
         self.stats.bytes_read += content.len() as u64;
+        if self.telemetry.enabled() {
+            self.telemetry.count("fs.reads", 1);
+            self.telemetry.count("fs.bytes_read", content.len() as u64);
+        }
         Ok(content)
     }
 
@@ -617,6 +635,7 @@ impl UnionFs {
                 None => Metadata::dir_default(),
             };
             self.upper.insert(&prefix, Node::empty_dir(meta))?;
+            self.telemetry.count("fs.copy_up_dirs", 1);
         }
         Ok(())
     }
@@ -685,6 +704,11 @@ impl UnionFs {
             .map_err(|reason| FsError::Materialize { path: path.to_owned(), reason })?;
         self.stats.materializations += 1;
         self.stats.materialized_bytes += bytes.len() as u64;
+        if self.telemetry.enabled() {
+            self.telemetry.count("fs.materializations", 1);
+            self.telemetry.count("fs.materialized_bytes", bytes.len() as u64);
+            self.telemetry.instant("fs", "materialize");
+        }
         self.resolved.insert(fingerprint, bytes.clone());
         Ok(bytes)
     }
@@ -794,11 +818,13 @@ impl UnionFs {
     /// `String` allocation. Mutators clear the cache via
     /// [`UnionFs::invalidate_lookups`].
     fn resolve(&mut self, path: &str, follow_final: bool) -> Result<Arc<str>, FsError> {
+        self.telemetry.count("fs.lookups", 1);
         let cache =
             if follow_final { &self.resolve_follow } else { &self.resolve_nofollow };
         if let Some(hit) = cache.get(path) {
             let hit = Arc::clone(hit);
             self.stats.resolve_cache_hits += 1;
+            self.telemetry.count("fs.resolve_cache_hits", 1);
             return Ok(hit);
         }
         let resolved = self.resolve_uncached(path, follow_final)?;

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use gear_client::{ClientConfig, SharedCache};
+use gear_client::{ClientConfig, SharedCache, Timeline, TimelineEvent};
 use gear_core::{GearImage, GearIndex};
 use gear_corpus::StartupTrace;
 use gear_fs::{FsError, FsTree, UnionFs};
@@ -15,6 +15,7 @@ use gear_hash::Fingerprint;
 use gear_image::ImageRef;
 use gear_registry::{DockerRegistry, GearFileStore};
 use gear_simnet::{FaultKind, FaultPlan, Link, RetryPolicy, StreamConfig};
+use gear_telemetry::Telemetry;
 
 use crate::directory::PeerDirectory;
 
@@ -135,6 +136,9 @@ pub struct NodeDeployment {
     /// Failed transfer attempts retried or degraded under fault injection
     /// (zero when no fault plan is active).
     pub retries: u64,
+    /// Ordered record of the deployment's steps, including
+    /// [`TimelineEvent::PeerFetch`] entries for files served by peers.
+    pub timeline: Timeline,
 }
 
 /// Cluster-wide fault-injection state (see [`Cluster::inject_faults`]).
@@ -163,6 +167,9 @@ enum Lane {
 #[derive(Debug, Clone, Copy)]
 struct FetchCharge {
     lane: Lane,
+    /// Bytes this fetch reports in its timeline event: logical size for a
+    /// local hit, scaled wire bytes for peer and registry transfers.
+    bytes: u64,
     /// Time occupying a peer holder's lane (clean transfer + in-budget
     /// stall). Zero for registry fetches — their lane is priced from
     /// `payload` by a stream schedule over the shared uplink.
@@ -196,6 +203,7 @@ pub struct Cluster {
     registry_egress: u64,
     peer_traffic: u64,
     faults: Option<FaultState>,
+    telemetry: Telemetry,
 }
 
 impl Cluster {
@@ -217,7 +225,18 @@ impl Cluster {
             registry_egress: 0,
             peer_traffic: 0,
             faults: None,
+            telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Attaches a telemetry recorder: each node deployment is replayed as a
+    /// `p2p` span tree, fetch sources feed `p2p.*` counters, and peer
+    /// degradations under fault injection emit instant events.
+    pub fn set_recorder(&mut self, telemetry: Telemetry) {
+        if let Some(state) = &mut self.faults {
+            state.plan.set_recorder(telemetry.clone());
+        }
+        self.telemetry = telemetry;
     }
 
     /// Activates fault injection: every network transfer in the cluster
@@ -226,7 +245,8 @@ impl Cluster {
     /// transfers are retried under `policy`, and only exhausting that last
     /// resort aborts the deployment with
     /// [`ClusterError::FaultBudgetExhausted`].
-    pub fn inject_faults(&mut self, plan: FaultPlan, policy: RetryPolicy) {
+    pub fn inject_faults(&mut self, mut plan: FaultPlan, policy: RetryPolicy) {
+        plan.set_recorder(self.telemetry.clone());
         self.faults = Some(FaultState { plan, policy, retries: 0 });
     }
 
@@ -287,7 +307,19 @@ impl Cluster {
         }
         let client = self.config.client;
         let retries_before = self.fault_retries();
+        let base = self.telemetry.now();
         let mut total = Duration::ZERO;
+        let mut report = NodeDeployment {
+            node,
+            total: Duration::ZERO,
+            local_files: 0,
+            peer_files: 0,
+            registry_files: 0,
+            peer_bytes: 0,
+            registry_bytes: 0,
+            retries: 0,
+            timeline: Timeline::new(),
+        };
 
         // --- pull: install the index if missing -----------------------------
         if !self.nodes[node].indexes.contains_key(reference) {
@@ -299,7 +331,9 @@ impl Cluster {
             let index = gear.into_index();
             let index_bytes = index.serialized_len();
             let nominal = self.registry_link_time(index_bytes);
-            total += self.charged_registry_transfer(nominal)?;
+            let took = self.charged_registry_transfer(nominal)?;
+            report.timeline.push(total, took, TimelineEvent::Index { bytes: index_bytes });
+            total += took;
             self.registry_egress += index_bytes;
             for (fp, _) in index.referenced_files() {
                 self.nodes[node].cache.pin(fp);
@@ -311,18 +345,11 @@ impl Cluster {
         // --- run: replay the trace ------------------------------------------
         let tree = Arc::clone(&self.nodes[node].indexes[reference].1);
         let mut mount = UnionFs::new(vec![tree]);
-        total += client.costs.container_start + client.costs.mount_setup;
+        mount.set_recorder(self.telemetry.clone());
+        let launch = client.costs.container_start + client.costs.mount_setup;
+        report.timeline.push(total, launch, TimelineEvent::Launch);
+        total += launch;
 
-        let mut report = NodeDeployment {
-            node,
-            total: Duration::ZERO,
-            local_files: 0,
-            peer_files: 0,
-            registry_files: 0,
-            peer_bytes: 0,
-            registry_bytes: 0,
-            retries: 0,
-        };
         let index = Arc::clone(&self.nodes[node].indexes[reference].0);
         let fan_out = self.config.fan_out.max(1);
         let mut charges: Vec<FetchCharge> = Vec::new();
@@ -336,23 +363,86 @@ impl Cluster {
                 continue;
             };
             let (content, charge) = self.fetch(node, fp, size, file_store, &mut report)?;
+            let at = total;
+            let mut took = client.local_read(client.scaled(content.len() as u64));
             if fan_out > 1 {
                 // Transfers overlap (priced below); everything local or
                 // fault-bound still gates the deployment serially.
-                total += charge.serial + charge.post;
+                took += charge.serial + charge.post;
                 charges.push(charge);
             } else {
-                total += self.charge_total(&charge);
+                took += self.charge_total(&charge);
             }
-            total += client.local_read(client.scaled(content.len() as u64));
+            report.timeline.push(at, took, Self::fetch_event(path, &charge));
+            total += took;
         }
         if fan_out > 1 {
-            total += self.fan_out_makespan(&charges, fan_out);
+            let makespan = self.fan_out_makespan(&charges, fan_out);
+            if !makespan.is_zero() {
+                report.timeline.push(
+                    total,
+                    makespan,
+                    TimelineEvent::ParallelFetch {
+                        files: charges.len() as u64,
+                        bytes: charges.iter().map(|c| c.payload).sum(),
+                    },
+                );
+            }
+            total += makespan;
         }
-        total += trace.task.compute_time();
+        let task = trace.task.compute_time();
+        report.timeline.push(total, task, TimelineEvent::Task);
+        total += task;
         report.total = total;
         report.retries = self.fault_retries() - retries_before;
+        if self.telemetry.enabled() {
+            self.record_deployment(&report, reference, base);
+        }
         Ok(report)
+    }
+
+    /// The timeline event describing where one fetch was served from.
+    fn fetch_event(path: &str, charge: &FetchCharge) -> TimelineEvent {
+        match charge.lane {
+            Lane::Local => {
+                TimelineEvent::CacheHit { path: path.to_owned(), bytes: charge.bytes }
+            }
+            Lane::Peer(peer) => TimelineEvent::PeerFetch {
+                path: path.to_owned(),
+                bytes: charge.bytes,
+                peer: peer as u64,
+            },
+            Lane::Registry => {
+                TimelineEvent::RegistryFetch { path: path.to_owned(), bytes: charge.bytes }
+            }
+        }
+    }
+
+    /// Replays a finished node deployment into the telemetry recorder (same
+    /// after-the-fact strategy as the client: pricing is never perturbed).
+    fn record_deployment(&self, report: &NodeDeployment, reference: &ImageRef, base: Duration) {
+        let t = &self.telemetry;
+        let span = t.span_at(
+            "p2p",
+            &format!("deploy node{} {}", report.node, reference),
+            base,
+            report.total,
+        );
+        t.span_arg(span, "peer_files", report.peer_files);
+        t.span_arg(span, "registry_files", report.registry_files);
+        report.timeline.record_spans(t, base, Some("p2p"));
+
+        t.count("p2p.deploys", 1);
+        t.count("p2p.local_files", report.local_files);
+        t.count("p2p.peer_files", report.peer_files);
+        t.count("p2p.peer_bytes", report.peer_bytes);
+        t.count("p2p.registry_files", report.registry_files);
+        t.count("p2p.registry_bytes", report.registry_bytes);
+        t.count("p2p.retries", report.retries);
+        t.gauge_set("p2p.registry_egress", self.registry_egress);
+        t.gauge_set("p2p.peer_traffic", self.peer_traffic);
+
+        t.set_now(base + report.total);
     }
 
     /// Empties one node's cache (e.g. node failure / re-image), withdrawing
@@ -509,6 +599,7 @@ impl Cluster {
             report.local_files += 1;
             let charge = FetchCharge {
                 lane: Lane::Local,
+                bytes: content.len() as u64,
                 lane_time: Duration::ZERO,
                 payload: 0,
                 serial: Duration::ZERO,
@@ -536,6 +627,7 @@ impl Cluster {
                     self.admit(node, fingerprint, content.clone());
                     let charge = FetchCharge {
                         lane: Lane::Peer(peer),
+                        bytes: scaled,
                         lane_time: nominal + extra,
                         payload: 0,
                         serial,
@@ -543,7 +635,15 @@ impl Cluster {
                     };
                     return Ok((content, charge));
                 }
-                Err(wasted) => serial += wasted,
+                Err(wasted) => {
+                    serial += wasted;
+                    // A failed peer attempt degrades to the next holder (and
+                    // eventually the registry) — worth a mark on the trace.
+                    if self.telemetry.enabled() {
+                        self.telemetry.count("p2p.degradations", 1);
+                        self.telemetry.instant("p2p", "degrade");
+                    }
+                }
             }
         }
         // 3. The registry.
@@ -562,6 +662,7 @@ impl Cluster {
         self.admit(node, fingerprint, content.clone());
         let charge = FetchCharge {
             lane: Lane::Registry,
+            bytes: transfer,
             lane_time: Duration::ZERO,
             payload: transfer,
             serial,

@@ -4,6 +4,7 @@ use bytes::Bytes;
 use gear_hash::{Digest, Fingerprint};
 use gear_image::{ImageRef, Manifest};
 use gear_simnet::{RetryPolicy, VirtualClock};
+use gear_telemetry::Telemetry;
 
 use crate::batch::BatchEntry;
 use crate::message::{ProtoError, Request, Response, Status};
@@ -78,12 +79,13 @@ pub struct RegistryClient<T> {
     transport: T,
     retry: Option<(RetryPolicy, VirtualClock)>,
     retries: u64,
+    telemetry: Telemetry,
 }
 
 impl<T: Transport> RegistryClient<T> {
     /// Wraps a transport; no retries, errors surface immediately.
     pub fn new(transport: T) -> Self {
-        RegistryClient { transport, retry: None, retries: 0 }
+        RegistryClient { transport, retry: None, retries: 0, telemetry: Telemetry::noop() }
     }
 
     /// Wraps a transport with a retry policy. Attempt durations and backoff
@@ -91,7 +93,26 @@ impl<T: Transport> RegistryClient<T> {
     /// transport (e.g. [`FaultyTransport`](crate::FaultyTransport)) so
     /// per-attempt timeouts observe the simulated cost of each attempt.
     pub fn with_retry(transport: T, policy: RetryPolicy, clock: VirtualClock) -> Self {
-        RegistryClient { transport, retry: Some((policy, clock)), retries: 0 }
+        RegistryClient {
+            transport,
+            retry: Some((policy, clock)),
+            retries: 0,
+            telemetry: Telemetry::noop(),
+        }
+    }
+
+    /// Attaches a telemetry recorder: every request becomes a `proto` span
+    /// (timed on the retry clock when one is present), and retries/backoff
+    /// show up as counters and instant events.
+    pub fn set_recorder(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Builder form of [`RegistryClient::set_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.set_recorder(telemetry);
+        self
     }
 
     /// The underlying transport (for traffic accounting).
@@ -122,17 +143,24 @@ impl<T: Transport> RegistryClient<T> {
         check: impl Fn(&Response) -> Result<(), ProtoError>,
     ) -> Result<Response, ProtoError> {
         let wire = request.to_wire();
+        self.telemetry.count("proto.requests", 1);
         let Some((policy, clock)) = self.retry.clone() else {
             let response = Response::parse(&self.transport.round_trip(&wire))?;
             check(&response)?;
             return Ok(response);
         };
         let attempts = policy.max_attempts.max(1);
+        let started = clock.elapsed();
         let mut last = ProtoError::Malformed("no attempt made".to_owned());
+        let mut answer = None;
+        let mut used = 0u64;
         for attempt in 0..attempts {
             if attempt > 0 {
-                clock.advance(policy.backoff(attempt));
+                let wait = policy.backoff(attempt);
+                clock.advance(wait);
+                self.telemetry.count("proto.backoff_nanos", wait.as_nanos() as u64);
             }
+            used += 1;
             let before = clock.elapsed();
             let raw = self.transport.round_trip(&wire);
             let took = clock.elapsed().saturating_sub(before);
@@ -145,14 +173,30 @@ impl<T: Transport> RegistryClient<T> {
                 })
             };
             match outcome {
-                Ok(response) => return Ok(response),
+                Ok(response) => {
+                    answer = Some(response);
+                    break;
+                }
                 Err(error) => {
                     self.retries += 1;
+                    self.telemetry.count("proto.retries", 1);
+                    self.telemetry.instant("proto", "retry");
                     last = error;
                 }
             }
         }
-        Err(ProtoError::Exhausted { attempts, last: Box::new(last) })
+        if self.telemetry.enabled() {
+            // The whole logical request (attempts + backoff waits) becomes
+            // one span, priced by the virtual clock it was charged to.
+            let took = clock.elapsed().saturating_sub(started);
+            let span = self.telemetry.span_at("proto", request.verb(), self.telemetry.now(), took);
+            self.telemetry.span_arg(span, "attempts", used);
+            self.telemetry.advance(took);
+        }
+        match answer {
+            Some(response) => Ok(response),
+            None => Err(ProtoError::Exhausted { attempts, last: Box::new(last) }),
+        }
     }
 
     /// `query`: whether the Gear file exists.
@@ -309,9 +353,13 @@ impl<T: Transport> RegistryClient<T> {
             }
             if !still.is_empty() {
                 self.retries += still.len() as u64;
+                self.telemetry.count("proto.retries", still.len() as u64);
+                self.telemetry.instant("proto", "retry");
                 if let Some((policy, clock)) = &self.retry {
                     if attempt + 1 < attempts {
-                        clock.advance(policy.backoff(attempt + 1));
+                        let wait = policy.backoff(attempt + 1);
+                        clock.advance(wait);
+                        self.telemetry.count("proto.backoff_nanos", wait.as_nanos() as u64);
                     }
                 }
             }

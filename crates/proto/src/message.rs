@@ -33,6 +33,21 @@ pub enum Request {
     GetBlob(Digest),
 }
 
+impl Request {
+    /// The verb name used for telemetry spans and logging.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Query(_) => "query",
+            Request::Upload(..) => "upload",
+            Request::Download(_) => "download",
+            Request::QueryMany(_) => "query_many",
+            Request::DownloadMany(_) => "download_many",
+            Request::GetManifest(_) => "get_manifest",
+            Request::GetBlob(_) => "get_blob",
+        }
+    }
+}
+
 /// Response status (a deliberately small HTTP subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {

@@ -13,6 +13,7 @@ use std::fmt;
 use bytes::Bytes;
 use gear_compress::{compress, Level};
 use gear_hash::Fingerprint;
+use gear_telemetry::Telemetry;
 
 /// Outcome of an upload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,7 @@ pub struct GearFileStore {
     /// is O(1) instead of a full-store sweep.
     stored_bytes: u64,
     logical_bytes: u64,
+    telemetry: Telemetry,
 }
 
 impl GearFileStore {
@@ -97,8 +99,15 @@ impl GearFileStore {
         GearFileStore { compression: Some(level), ..Self::default() }
     }
 
+    /// Attaches a telemetry recorder: each verb feeds `registry.*` counters
+    /// and uploaded object sizes feed a byte-sized histogram.
+    pub fn set_recorder(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
     /// `query` verb: whether a Gear file with this fingerprint exists.
     pub fn query(&self, fingerprint: Fingerprint) -> bool {
+        self.telemetry.count("registry.queries", 1);
         self.files.contains_key(&fingerprint)
     }
 
@@ -117,8 +126,10 @@ impl GearFileStore {
         if actual != fingerprint {
             return Err(UploadError::FingerprintMismatch { claimed: fingerprint, actual });
         }
+        self.telemetry.count("registry.uploads", 1);
         if self.files.contains_key(&fingerprint) {
             self.dedup_hits += 1;
+            self.telemetry.count("registry.dedup_hits", 1);
             return Ok(UploadOutcome { stored: false, stored_bytes: 0 });
         }
         let stored_len = match self.compression {
@@ -127,13 +138,25 @@ impl GearFileStore {
         };
         self.stored_bytes += stored_len;
         self.logical_bytes += content.len() as u64;
+        if self.telemetry.enabled() {
+            self.telemetry.count("registry.upload_bytes", content.len() as u64);
+            self.telemetry.observe("registry.object_bytes", content.len() as u64);
+            self.telemetry.instant("registry", "store");
+        }
         self.files.insert(fingerprint, StoredFile { raw: content, stored_len });
         Ok(UploadOutcome { stored: true, stored_bytes: stored_len })
     }
 
     /// `download` verb: retrieves the content for `fingerprint`.
     pub fn download(&self, fingerprint: Fingerprint) -> Option<Bytes> {
-        self.files.get(&fingerprint).map(|f| f.raw.clone())
+        let found = self.files.get(&fingerprint).map(|f| f.raw.clone());
+        if self.telemetry.enabled() {
+            self.telemetry.count("registry.downloads", 1);
+            if let Some(body) = &found {
+                self.telemetry.count("registry.download_bytes", body.len() as u64);
+            }
+        }
+        found
     }
 
     /// Bytes that cross the wire when downloading `fingerprint` (compressed

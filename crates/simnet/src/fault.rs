@@ -11,6 +11,8 @@
 
 use std::time::Duration;
 
+use gear_telemetry::Telemetry;
+
 use crate::link::Link;
 
 /// How one request misbehaves.
@@ -24,6 +26,19 @@ pub enum FaultKind {
     Corrupt,
     /// The response arrives on time but cut short.
     Truncate,
+}
+
+impl FaultKind {
+    /// Short lowercase label (`"drop"`, `"stall"`, ...), used as the metric
+    /// key suffix and trace event name for injected faults.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Stall(_) => "stall",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Truncate => "truncate",
+        }
+    }
 }
 
 /// A scripted fault: every request whose index falls in `from..=to` fails
@@ -42,7 +57,7 @@ struct Scripted {
 /// on how many requests preceded it in real time — replaying the same
 /// request sequence replays the same faults. Scripted schedules
 /// ([`FaultPlan::fail_requests`]) override the random draw.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     seed: u64,
     drop_p: f64,
@@ -53,6 +68,26 @@ pub struct FaultPlan {
     scripted: Vec<Scripted>,
     requests: u64,
     injected: u64,
+    /// Where injected faults are reported (disabled by default; recording
+    /// never changes fault decisions, so plans with and without a recorder
+    /// behave identically).
+    telemetry: Telemetry,
+}
+
+/// Telemetry is an observation channel, not plan state: two plans are equal
+/// when they inject the same faults, recorder or not.
+impl PartialEq for FaultPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed
+            && self.drop_p == other.drop_p
+            && self.corrupt_p == other.corrupt_p
+            && self.truncate_p == other.truncate_p
+            && self.stall_p == other.stall_p
+            && self.stall == other.stall
+            && self.scripted == other.scripted
+            && self.requests == other.requests
+            && self.injected == other.injected
+    }
 }
 
 impl FaultPlan {
@@ -100,13 +135,37 @@ impl FaultPlan {
         self
     }
 
+    /// Reports every injected fault to `telemetry` (an instant event plus
+    /// `simnet.faults` / `simnet.faults.<kind>` counters), stamped at the
+    /// recorder's sim-time cursor.
+    pub fn set_recorder(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// Builder form of [`FaultPlan::set_recorder`].
+    pub fn with_recorder(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Decides the fate of the next request, advancing the request counter.
     pub fn next_fault(&mut self) -> Option<FaultKind> {
         let index = self.requests;
         self.requests += 1;
         let fault = self.fault_at(index);
-        if fault.is_some() {
+        if let Some(kind) = fault {
             self.injected += 1;
+            if self.telemetry.enabled() {
+                let (key, event) = match kind {
+                    FaultKind::Drop => ("simnet.faults.drop", "fault.drop"),
+                    FaultKind::Stall(_) => ("simnet.faults.stall", "fault.stall"),
+                    FaultKind::Corrupt => ("simnet.faults.corrupt", "fault.corrupt"),
+                    FaultKind::Truncate => ("simnet.faults.truncate", "fault.truncate"),
+                };
+                self.telemetry.count("simnet.faults", 1);
+                self.telemetry.count(key, 1);
+                self.telemetry.instant("simnet", event);
+            }
         }
         fault
     }

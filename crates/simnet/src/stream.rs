@@ -84,6 +84,30 @@ impl StreamSchedule {
             window_stalls: 0,
         }
     }
+
+    /// Reports this schedule to `telemetry`: a complete `simnet/transfer`
+    /// span starting at the recorder's sim-time cursor and lasting the batch
+    /// duration, plus wire-level counters (`simnet.wire_bytes`,
+    /// `simnet.transfers`, `simnet.window_stalls`), the
+    /// `simnet.peak_buffered_bytes` high-water gauge, and one
+    /// `simnet.transfer_bytes` histogram observation per payload. The cursor
+    /// is not advanced — the caller owns pricing.
+    pub fn record(&self, telemetry: &gear_telemetry::Telemetry, payloads: &[u64]) {
+        if !telemetry.enabled() || payloads.is_empty() {
+            return;
+        }
+        let wire_bytes: u64 = payloads.iter().sum();
+        let span = telemetry.span_at("simnet", "transfer", telemetry.now(), self.duration);
+        telemetry.span_arg(span, "bytes", wire_bytes);
+        telemetry.span_arg(span, "transfers", payloads.len() as u64);
+        telemetry.count("simnet.wire_bytes", wire_bytes);
+        telemetry.count("simnet.transfers", payloads.len() as u64);
+        telemetry.count("simnet.window_stalls", self.window_stalls);
+        telemetry.gauge_max("simnet.peak_buffered_bytes", self.peak_buffered_bytes);
+        for &payload in payloads {
+            telemetry.observe("simnet.transfer_bytes", payload);
+        }
+    }
 }
 
 /// One in-flight request inside the event loop.

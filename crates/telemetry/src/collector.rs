@@ -1,0 +1,314 @@
+//! The recording [`Recorder`]: sim-time spans, instants, and metrics behind
+//! one mutex.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::metrics::MetricsRegistry;
+use crate::recorder::{Recorder, SpanId};
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanData {
+    /// Category (the emitting subsystem, e.g. `"simnet"`).
+    pub cat: &'static str,
+    /// Span name (e.g. `"transfer"`).
+    pub name: String,
+    /// Start, in simulated time.
+    pub start: Duration,
+    /// End, once closed.
+    pub end: Option<Duration>,
+    /// The span open when this one was opened, if any.
+    pub parent: Option<u32>,
+    /// Numeric arguments (`bytes`, `files`, ...), in attach order.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// One recorded instant event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantData {
+    /// Category.
+    pub cat: &'static str,
+    /// Event name (e.g. `"fault.drop"`).
+    pub name: String,
+    /// When, in simulated time.
+    pub at: Duration,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    now: Duration,
+    spans: Vec<SpanData>,
+    /// Indices of currently open spans, innermost last.
+    stack: Vec<u32>,
+    instants: Vec<InstantData>,
+    metrics: MetricsRegistry,
+}
+
+/// Records spans, instants, and metrics stamped in simulated time.
+///
+/// The collector holds a **sim-time cursor**: instrumented code moves it
+/// forward ([`Recorder::advance`] / [`Recorder::set_now`], which clamps —
+/// the cursor never goes backward) as it charges simulated durations, and
+/// everything stamped at "now" reads it. Since every stamp derives from the
+/// deterministic cost models, two runs with the same seed produce identical
+/// recordings and therefore byte-identical exports.
+///
+/// One `std::sync::Mutex` guards the whole recording; parallel sections
+/// (e.g. `gear-par` workers) should compute first and record complete spans
+/// afterward in submission order via [`Recorder::span_at`], which is what
+/// keeps traces independent of worker count.
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+}
+
+impl Collector {
+    /// An empty collector with the cursor at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Snapshot of all recorded spans, in recording order.
+    pub fn spans(&self) -> Vec<SpanData> {
+        self.lock().spans.clone()
+    }
+
+    /// Snapshot of all recorded instants, in recording order.
+    pub fn instants(&self) -> Vec<InstantData> {
+        self.lock().instants.clone()
+    }
+
+    /// Snapshot of the metrics registry.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.lock().metrics.clone()
+    }
+
+    /// Structural validation of the recording:
+    ///
+    /// * every span is closed and ends no earlier than it starts;
+    /// * spans form a well-nested forest under interval containment — for
+    ///   any two spans, their intervals are disjoint or one contains the
+    ///   other;
+    /// * a child opened inside a parent lies within the parent's interval.
+    ///
+    /// Returns human-readable problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let inner = self.lock();
+        let mut problems = Vec::new();
+        for (i, span) in inner.spans.iter().enumerate() {
+            let Some(end) = span.end else {
+                problems.push(format!("span #{i} {}/{} never closed", span.cat, span.name));
+                continue;
+            };
+            if end < span.start {
+                problems.push(format!(
+                    "span #{i} {}/{} ends before it starts ({:?} < {:?})",
+                    span.cat, span.name, end, span.start
+                ));
+            }
+            if let Some(parent) = span.parent {
+                let p = &inner.spans[parent as usize];
+                let p_end = p.end.unwrap_or(Duration::MAX);
+                if span.start < p.start || end > p_end {
+                    problems.push(format!(
+                        "span #{i} {}/{} escapes its parent {}/{}",
+                        span.cat, span.name, p.cat, p.name
+                    ));
+                }
+            }
+        }
+        // Interval well-nestedness sweep: sort by (start, longest-first) and
+        // keep a stack of enclosing end times.
+        let mut order: Vec<usize> = (0..inner.spans.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (&inner.spans[a], &inner.spans[b]);
+            sa.start.cmp(&sb.start).then(sb.end.cmp(&sa.end)).then(a.cmp(&b))
+        });
+        let mut open: Vec<Duration> = Vec::new();
+        for index in order {
+            let span = &inner.spans[index];
+            let Some(end) = span.end else { continue };
+            while open.last().is_some_and(|&e| e <= span.start) {
+                open.pop();
+            }
+            if let Some(&enclosing) = open.last() {
+                if end > enclosing {
+                    problems.push(format!(
+                        "span {}/{} [{:?}..{:?}] straddles an enclosing span ending at {:?}",
+                        span.cat, span.name, span.start, end, enclosing
+                    ));
+                }
+            }
+            open.push(end);
+        }
+        problems
+    }
+}
+
+impl Recorder for Collector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn now(&self) -> Duration {
+        self.lock().now
+    }
+
+    fn set_now(&self, now: Duration) {
+        let mut inner = self.lock();
+        inner.now = inner.now.max(now);
+    }
+
+    fn advance(&self, delta: Duration) {
+        self.lock().now += delta;
+    }
+
+    fn span_start(&self, cat: &'static str, name: &str) -> SpanId {
+        let mut inner = self.lock();
+        let id = inner.spans.len() as u32;
+        let parent = inner.stack.last().copied();
+        let start = inner.now;
+        inner.spans.push(SpanData {
+            cat,
+            name: name.to_owned(),
+            start,
+            end: None,
+            parent,
+            args: Vec::new(),
+        });
+        inner.stack.push(id);
+        SpanId(id)
+    }
+
+    fn span_end(&self, span: SpanId) {
+        if !span.is_some() {
+            return;
+        }
+        let mut inner = self.lock();
+        let now = inner.now;
+        if let Some(data) = inner.spans.get_mut(span.0 as usize) {
+            if data.end.is_none() {
+                data.end = Some(now.max(data.start));
+            }
+        }
+        if let Some(pos) = inner.stack.iter().rposition(|&id| id == span.0) {
+            inner.stack.truncate(pos);
+        }
+    }
+
+    fn span_at(&self, cat: &'static str, name: &str, start: Duration, dur: Duration) -> SpanId {
+        let mut inner = self.lock();
+        let id = inner.spans.len() as u32;
+        let parent = inner.stack.last().copied();
+        inner.spans.push(SpanData {
+            cat,
+            name: name.to_owned(),
+            start,
+            end: Some(start + dur),
+            parent,
+            args: Vec::new(),
+        });
+        SpanId(id)
+    }
+
+    fn span_arg(&self, span: SpanId, key: &'static str, value: u64) {
+        if !span.is_some() {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(data) = inner.spans.get_mut(span.0 as usize) {
+            data.args.push((key, value));
+        }
+    }
+
+    fn instant(&self, cat: &'static str, name: &str) {
+        let mut inner = self.lock();
+        let at = inner.now;
+        inner.instants.push(InstantData { cat, name: name.to_owned(), at });
+    }
+
+    fn count(&self, key: &str, delta: u64) {
+        self.lock().metrics.add(key, delta);
+    }
+
+    fn gauge_set(&self, key: &str, value: u64) {
+        self.lock().metrics.gauge_set(key, value);
+    }
+
+    fn gauge_max(&self, key: &str, value: u64) {
+        self.lock().metrics.gauge_max(key, value);
+    }
+
+    fn observe(&self, key: &str, value: u64) {
+        self.lock().metrics.observe(key, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn spans_nest_on_the_cursor() {
+        let c = Collector::new();
+        let outer = c.span_start("client", "deploy");
+        c.advance(ms(1));
+        let inner = c.span_start("client", "pull");
+        c.advance(ms(2));
+        c.span_end(inner);
+        c.advance(ms(3));
+        c.span_end(outer);
+
+        let spans = c.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, ms(0));
+        assert_eq!(spans[0].end, Some(ms(6)));
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[1].start, ms(1));
+        assert_eq!(spans[1].end, Some(ms(3)));
+        assert!(c.validate().is_empty(), "{:?}", c.validate());
+    }
+
+    #[test]
+    fn set_now_never_rewinds() {
+        let c = Collector::new();
+        c.set_now(ms(10));
+        c.set_now(ms(4));
+        assert_eq!(c.now(), ms(10));
+    }
+
+    #[test]
+    fn validate_catches_unclosed_and_straddling_spans() {
+        let c = Collector::new();
+        c.span_start("a", "open_forever");
+        let problems = c.validate();
+        assert!(problems.iter().any(|p| p.contains("never closed")));
+
+        let c = Collector::new();
+        c.span_at("a", "first", ms(0), ms(10));
+        c.span_at("a", "straddler", ms(5), ms(10));
+        let problems = c.validate();
+        assert!(problems.iter().any(|p| p.contains("straddles")), "{problems:?}");
+    }
+
+    #[test]
+    fn complete_spans_under_open_parent_are_contained() {
+        let c = Collector::new();
+        let parent = c.span_start("client", "window");
+        c.span_at("simnet", "transfer", ms(0), ms(4));
+        c.span_at("simnet", "transfer", ms(0), ms(7));
+        c.set_now(ms(9));
+        c.span_end(parent);
+        assert!(c.validate().is_empty(), "{:?}", c.validate());
+        assert_eq!(c.spans()[1].parent, Some(0));
+    }
+}

@@ -1,0 +1,236 @@
+//! Exporters: Chrome/Perfetto `trace.json` and a flat `metrics.json`.
+//!
+//! Both writers are hand-rolled (this crate has no dependencies) and fully
+//! deterministic: spans and instants are emitted in recording order,
+//! metrics in key order, and timestamps as exact decimal microseconds
+//! (`nanos / 1000` with a fixed three-digit fraction) — so a deterministic
+//! recording serializes to byte-identical files.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::collector::Collector;
+use crate::metrics::MetricsRegistry;
+
+/// Escapes a string for a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats a simulated duration as Chrome-trace microseconds with a fixed
+/// three-digit nanosecond fraction (`"12.345"`).
+fn micros(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+impl Collector {
+    /// Serializes the recording in the Chrome trace-event format: one
+    /// complete (`"ph":"X"`) event per span and one instant (`"ph":"i"`)
+    /// event per instant, all on `pid` 1 / `tid` 1 — the whole deployment
+    /// path shares one simulated timeline, and Perfetto nests same-track
+    /// spans by interval containment.
+    pub fn trace_json(&self) -> String {
+        let spans = self.spans();
+        let instants = self.instants();
+        let mut out = String::with_capacity(128 + 160 * (spans.len() + instants.len()));
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for span in &spans {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"cat\":\"");
+            escape_json(span.cat, &mut out);
+            out.push_str("\",\"name\":\"");
+            escape_json(&span.name, &mut out);
+            let end = span.end.unwrap_or(span.start);
+            let _ = write!(
+                out,
+                "\",\"ts\":{},\"dur\":{}",
+                micros(span.start),
+                micros(end.saturating_sub(span.start))
+            );
+            if !span.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (key, value)) in span.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_json(key, &mut out);
+                    let _ = write!(out, "\":{value}");
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        for instant in &instants {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str("{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"t\",\"cat\":\"");
+            escape_json(instant.cat, &mut out);
+            out.push_str("\",\"name\":\"");
+            escape_json(&instant.name, &mut out);
+            let _ = write!(out, "\",\"ts\":{}", micros(instant.at));
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Serializes the metrics registry as flat, key-sorted JSON (see
+    /// [`metrics_json`]).
+    pub fn metrics_json(&self) -> String {
+        metrics_json(&self.metrics())
+    }
+
+    /// Writes `trace.json` and `metrics.json` into `dir`, creating it if
+    /// missing. Returns the two paths.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory or writing the files.
+    pub fn write_files(&self, dir: &Path) -> io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let trace = dir.join("trace.json");
+        let metrics = dir.join("metrics.json");
+        std::fs::write(&trace, self.trace_json())?;
+        std::fs::write(&metrics, self.metrics_json())?;
+        Ok((trace, metrics))
+    }
+}
+
+/// Serializes a registry as `{"counters":{...},"gauges":{...},
+/// "histograms":{...}}` with keys in sorted order. Histograms carry
+/// `count`/`sum`/`min`/`max` and explicit buckets; the overflow bucket's
+/// bound serializes as the string `"+Inf"`.
+pub fn metrics_json(metrics: &MetricsRegistry) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (key, value)) in metrics.counters().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(key, &mut out);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (key, value)) in metrics.gauges().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(key, &mut out);
+        let _ = write!(out, "\":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (key, histogram)) in metrics.histograms().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(key, &mut out);
+        let _ = write!(
+            out,
+            "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            histogram.count(),
+            histogram.sum(),
+            histogram.min().unwrap_or(0),
+            histogram.max().unwrap_or(0),
+        );
+        for (j, (bound, count)) in histogram.buckets().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            match bound {
+                Some(le) => {
+                    let _ = write!(out, "{{\"le\":{le},\"count\":{count}}}");
+                }
+                None => {
+                    let _ = write!(out, "{{\"le\":\"+Inf\",\"count\":{count}}}");
+                }
+            }
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn trace_json_shape() {
+        let c = Collector::new();
+        let span = c.span_start("client", "deploy");
+        c.span_arg(span, "bytes", 42);
+        c.advance(Duration::from_micros(1500));
+        c.instant("simnet", "fault.drop");
+        c.span_end(span);
+        let json = c.trace_json();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains(
+            "{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"cat\":\"client\",\"name\":\"deploy\",\
+             \"ts\":0.000,\"dur\":1500.000,\"args\":{\"bytes\":42}}"
+        ));
+        assert!(json.contains(
+            "{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"t\",\"cat\":\"simnet\",\
+             \"name\":\"fault.drop\",\"ts\":1500.000}"
+        ));
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let c = Collector::new();
+        c.count("b.two", 2);
+        c.count("a.one", 1);
+        c.gauge_set("g", 7);
+        c.observe("h", 2048);
+        let json = c.metrics_json();
+        // Counters in sorted key order.
+        assert!(json.contains("\"counters\":{\"a.one\":1,\"b.two\":2}"));
+        assert!(json.contains("\"gauges\":{\"g\":7}"));
+        assert!(json.contains("\"h\":{\"count\":1,\"sum\":2048,\"min\":2048,\"max\":2048"));
+        assert!(json.contains("{\"le\":\"+Inf\",\"count\":0}"));
+    }
+
+    #[test]
+    fn escaping_controls_and_quotes() {
+        let mut s = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let build = || {
+            let c = Collector::new();
+            let s = c.span_start("x", "outer");
+            c.advance(Duration::from_nanos(1_234_567));
+            c.count("k", 3);
+            c.observe("h", 99);
+            c.span_end(s);
+            (c.trace_json(), c.metrics_json())
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic observability for the Gear deployment path.
+//!
+//! Every latency in this repository is *simulated*: links, disks, and retry
+//! backoffs are priced by cost models, never by the wall clock. This crate
+//! makes that timeline observable without breaking it. A [`Collector`]
+//! records hierarchical spans and instant events stamped in **simulated
+//! time** (a cursor the instrumented code advances as it charges durations)
+//! plus a typed [`MetricsRegistry`] of counters, gauges, and fixed-bucket
+//! histograms with exact merge semantics. Because every stamp derives from
+//! the deterministic cost models, the exported trace is a pure function of
+//! the experiment seed — same seed, byte-identical `trace.json`.
+//!
+//! Instrumented crates talk to the [`Recorder`] trait through a cheap
+//! [`Telemetry`] handle. The default handle is a no-op whose `enabled` flag
+//! is cached inline, so hot paths (union-mount lookups, cache probes) pay
+//! one predictable branch when telemetry is off — no dynamic dispatch, no
+//! allocation, no lock.
+//!
+//! Exports follow the Chrome/Perfetto trace-event format
+//! ([`Collector::trace_json`]) and a flat, sorted `metrics.json`
+//! ([`Collector::metrics_json`]); both are hand-rolled writers, keeping this
+//! crate dependency-free.
+
+mod collector;
+mod export;
+mod metrics;
+mod recorder;
+
+pub use collector::{Collector, InstantData, SpanData};
+pub use metrics::{Histogram, HistogramMergeError, MetricsRegistry};
+pub use recorder::{NoopRecorder, Recorder, SpanId, Telemetry};

@@ -1,0 +1,331 @@
+//! The unified metrics registry: counters, gauges, and fixed-bucket
+//! histograms with exact merge semantics.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Bucket upper bounds used when a histogram is first observed through the
+/// registry without explicit bounds: byte sizes from 1 KiB to 256 MiB in
+/// powers of four (plus the implicit overflow bucket).
+pub const DEFAULT_BYTE_BOUNDS: [u64; 10] = [
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 26,
+    1 << 28,
+];
+
+/// Two histograms with different bucket bounds cannot be merged losslessly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramMergeError {
+    /// Bounds of the receiving histogram.
+    pub ours: Vec<u64>,
+    /// Bounds of the histogram being merged in.
+    pub theirs: Vec<u64>,
+}
+
+impl fmt::Display for HistogramMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram bounds differ: {:?} vs {:?} — merge would lose counts",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl Error for HistogramMergeError {}
+
+/// A fixed-bucket histogram of `u64` observations.
+///
+/// `bounds` are inclusive upper bounds, strictly increasing; an observation
+/// lands in the first bucket whose bound is `>= value`, or in the implicit
+/// overflow bucket. Merging two histograms with identical bounds adds bucket
+/// counts elementwise and combines `count`/`sum`/`min`/`max` exactly, so
+/// merge is associative, commutative, and lossless — the property the
+/// per-worker → global aggregation path relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// One count per bound plus the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    /// `u64::MAX` while empty (identity for `min`).
+    min: u64,
+    /// `0` while empty (identity for `max`).
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram; `bounds` are sorted and deduplicated.
+    pub fn new(bounds: impl Into<Vec<u64>>) -> Self {
+        let mut bounds = bounds.into();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = bounds.len() + 1;
+        Histogram { bounds, counts: vec![0; buckets], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// An empty histogram with [`DEFAULT_BYTE_BOUNDS`].
+    pub fn byte_sized() -> Self {
+        Self::new(DEFAULT_BYTE_BOUNDS)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let slot = self.bounds.partition_point(|&b| b < value);
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges `other` into `self` exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`HistogramMergeError`] when the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), HistogramMergeError> {
+        if self.bounds != other.bounds {
+            return Err(HistogramMergeError {
+                ours: self.bounds.clone(),
+                theirs: other.bounds.clone(),
+            });
+        }
+        for (ours, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *ours += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        Ok(())
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, `None` while empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, `None` while empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Buckets as `(upper_bound, count)`; the final bucket's bound is `None`
+    /// (overflow / +Inf).
+    pub fn buckets(&self) -> impl Iterator<Item = (Option<u64>, u64)> + '_ {
+        self.bounds
+            .iter()
+            .map(|&b| Some(b))
+            .chain(std::iter::once(None))
+            .zip(self.counts.iter().copied())
+    }
+}
+
+/// Counters, gauges, and histograms keyed by dotted names
+/// (e.g. `cache.hits`). Keys live in `BTreeMap`s so iteration — and
+/// therefore every export — has one deterministic order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `key` (created at zero).
+    pub fn add(&mut self, key: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(key) {
+            *v += delta;
+        } else {
+            self.counters.insert(key.to_owned(), delta);
+        }
+    }
+
+    /// Sets gauge `key` to `value`.
+    pub fn gauge_set(&mut self, key: &str, value: u64) {
+        self.gauges.insert(key.to_owned(), value);
+    }
+
+    /// Raises gauge `key` to `value` if larger (high-water mark).
+    pub fn gauge_max(&mut self, key: &str, value: u64) {
+        let slot = self.gauges.entry(key.to_owned()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Records `value` into histogram `key`, created with
+    /// [`DEFAULT_BYTE_BOUNDS`] on first observation.
+    pub fn observe(&mut self, key: &str, value: u64) {
+        if let Some(h) = self.histograms.get_mut(key) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::byte_sized();
+            h.observe(value);
+            self.histograms.insert(key.to_owned(), h);
+        }
+    }
+
+    /// Current value of counter `key` (zero if absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `key`, if set.
+    pub fn gauge(&self, key: &str) -> Option<u64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Histogram `key`, if any observation was recorded.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges `other` in: counters add, gauges keep the max (the only
+    /// commutative choice for a high-water aggregation), histograms merge
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`HistogramMergeError`] when a shared histogram key has different
+    /// bounds; `self` keeps everything merged before the mismatch.
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), HistogramMergeError> {
+        for (key, &delta) in &other.counters {
+            self.add(key, delta);
+        }
+        for (key, &value) in &other.gauges {
+            self.gauge_max(key, value);
+        }
+        for (key, theirs) in &other.histograms {
+            if let Some(ours) = self.histograms.get_mut(key) {
+                ours.merge(theirs)?;
+            } else {
+                self.histograms.insert(key.clone(), theirs.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new([10u64, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![(Some(10), 2), (Some(100), 2), (Some(1000), 0), (None, 1)]
+        );
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5126);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(5000));
+    }
+
+    #[test]
+    fn histogram_merge_is_exact() {
+        let mut a = Histogram::new([8u64, 64]);
+        let mut b = Histogram::new([8u64, 64]);
+        a.observe(4);
+        a.observe(100);
+        b.observe(64);
+        let mut merged = a.clone();
+        merged.merge(&b).unwrap();
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.sum(), 168);
+        assert_eq!(merged.min(), Some(4));
+        assert_eq!(merged.max(), Some(100));
+        // Commutative.
+        let mut other_way = b.clone();
+        other_way.merge(&a).unwrap();
+        assert_eq!(merged, other_way);
+    }
+
+    #[test]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = Histogram::new([1u64, 2]);
+        let b = Histogram::new([1u64, 3]);
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.add("cache.hits", 2);
+        r.add("cache.hits", 3);
+        r.gauge_set("cache.bytes", 10);
+        r.gauge_max("cache.bytes", 4);
+        r.gauge_max("cache.bytes", 40);
+        r.observe("fetch.bytes", 2048);
+        assert_eq!(r.counter("cache.hits"), 5);
+        assert_eq!(r.gauge("cache.bytes"), Some(40));
+        assert_eq!(r.histogram("fetch.bytes").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.add("n", 1);
+        a.gauge_set("g", 7);
+        a.observe("h", 10);
+        let mut b = MetricsRegistry::new();
+        b.add("n", 2);
+        b.add("only_b", 9);
+        b.gauge_set("g", 3);
+        b.observe("h", 20);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.counter("only_b"), 9);
+        assert_eq!(a.gauge("g"), Some(7), "gauge merge keeps the max");
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+}

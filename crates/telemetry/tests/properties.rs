@@ -1,0 +1,141 @@
+//! Property tests for the telemetry core: exact histogram merges,
+//! worker-count-independent span recording, and bit-identical exports for a
+//! fixed seed.
+
+use std::time::Duration;
+
+use gear_par::Pool;
+use gear_telemetry::{Histogram, Telemetry};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random stream (splitmix64) for the fixed-seed
+/// recording script.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn histogram_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::byte_sized();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+proptest! {
+    /// Merging is commutative: `a ∪ b` and `b ∪ a` are the same histogram.
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in prop::collection::vec(0u64..1 << 30, 0..64),
+        b in prop::collection::vec(0u64..1 << 30, 0..64),
+    ) {
+        let mut ab = histogram_of(&a);
+        ab.merge(&histogram_of(&b)).unwrap();
+        let mut ba = histogram_of(&b);
+        ba.merge(&histogram_of(&a)).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging is associative: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in prop::collection::vec(0u64..1 << 30, 0..48),
+        b in prop::collection::vec(0u64..1 << 30, 0..48),
+        c in prop::collection::vec(0u64..1 << 30, 0..48),
+    ) {
+        let mut left = histogram_of(&a);
+        left.merge(&histogram_of(&b)).unwrap();
+        left.merge(&histogram_of(&c)).unwrap();
+        let mut bc = histogram_of(&b);
+        bc.merge(&histogram_of(&c)).unwrap();
+        let mut right = histogram_of(&a);
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merging loses nothing: the merged histogram equals observing the
+    /// concatenated stream directly — same count, sum, min/max, buckets.
+    #[test]
+    fn histogram_merge_is_lossless(
+        a in prop::collection::vec(0u64..1 << 30, 0..64),
+        b in prop::collection::vec(0u64..1 << 30, 0..64),
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b)).unwrap();
+        let mut all = a;
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, histogram_of(&all));
+    }
+
+    /// Parallel sections record complete spans in submission order, so the
+    /// span tree is well-nested and identical at every worker count.
+    #[test]
+    fn span_tree_is_worker_count_independent(
+        durs in prop::collection::vec(1u64..10_000, 1..24),
+        workers in 1usize..8,
+    ) {
+        let record = |pool: &Pool| {
+            let (telemetry, collector) = Telemetry::collector();
+            let parent = telemetry.span_start("test", "batch");
+            // Compute in parallel (any worker count, any interleaving)...
+            let spans: Vec<(Duration, Duration)> = {
+                let mut start = telemetry.now();
+                let offsets: Vec<(Duration, Duration)> = durs
+                    .iter()
+                    .map(|&d| {
+                        let s = start;
+                        start += Duration::from_nanos(d);
+                        (s, Duration::from_nanos(d))
+                    })
+                    .collect();
+                pool.map(&offsets, |&(s, d)| (s, d))
+            };
+            // ...then record complete spans afterward in submission order.
+            let mut end = telemetry.now();
+            for (i, &(start, dur)) in spans.iter().enumerate() {
+                let span = telemetry.span_at("test", &format!("task{i}"), start, dur);
+                telemetry.span_arg(span, "nanos", dur.as_nanos() as u64);
+                end = end.max(start + dur);
+            }
+            telemetry.set_now(end);
+            telemetry.span_end(parent);
+            (collector.validate(), collector.trace_json())
+        };
+
+        let (problems, serial) = record(&Pool::serial());
+        prop_assert!(problems.is_empty(), "{problems:?}");
+        let (problems, parallel) = record(&Pool::new(workers));
+        prop_assert!(problems.is_empty(), "{problems:?}");
+        prop_assert_eq!(serial, parallel, "trace depends on worker count");
+    }
+
+    /// The same seed drives byte-identical trace and metrics exports.
+    #[test]
+    fn fixed_seed_exports_are_bit_identical(seed in any::<u64>()) {
+        let record = |seed: u64| {
+            let (telemetry, collector) = Telemetry::collector();
+            let mut rng = Rng(seed);
+            for i in 0..32 {
+                let span = telemetry.span_start("sim", &format!("op{i}"));
+                telemetry.advance(Duration::from_nanos(rng.next() % 1_000_000));
+                telemetry.count("ops", 1);
+                telemetry.observe("op_bytes", rng.next() % (1 << 20));
+                if rng.next().is_multiple_of(3) {
+                    telemetry.instant("sim", "tick");
+                }
+                telemetry.gauge_max("peak", rng.next() % (1 << 16));
+                telemetry.span_end(span);
+            }
+            (collector.trace_json(), collector.metrics_json())
+        };
+        prop_assert_eq!(record(seed), record(seed));
+    }
+}
