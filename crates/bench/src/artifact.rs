@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::experiments::concurrency::Concurrency;
 use crate::experiments::fig9::Fig9;
 use crate::experiments::hotpath::Hotpath;
+use crate::experiments::tiering::Tiering;
 
 /// One named scalar measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -129,6 +130,20 @@ pub fn hotpath_metrics(hotpath: &Hotpath) -> Vec<Metric> {
     metrics
 }
 
+/// Flattens a tiering sweep into metrics.
+pub fn tiering_metrics(tiering: &Tiering) -> Vec<Metric> {
+    let mut metrics = Vec::new();
+    metrics.push(Metric::new("flat/cold_secs", tiering.flat_cold.as_secs_f64()));
+    metrics.push(Metric::new("flat/warm_secs", tiering.flat_warm.as_secs_f64()));
+    for point in &tiering.points {
+        let prefix = format!("{}/l1_{}", point.disk, point.l1);
+        metrics.push(Metric::new(format!("{prefix}/cold_secs"), point.cold.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/warm_secs"), point.warm.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/l1_fill"), point.l1_fill()));
+    }
+    metrics
+}
+
 /// Recorded `streams = 1` deployment times the CI smoke job compares
 /// against.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -143,6 +158,21 @@ pub struct Baseline {
     /// `hotpath` experiment). Absolute wall-clock rates vary by machine, so
     /// only deterministic and scale-free ratio metrics are gated.
     pub hotpath: Vec<HotpathFloor>,
+    /// Recorded tiering-sweep deployment times (empty when the baseline was
+    /// recorded without the `tiering` experiment, and absent entirely in
+    /// baselines recorded before the sweep existed).
+    #[serde(default)]
+    pub tiering: Vec<TieringRow>,
+}
+
+/// One recorded tiering deployment time (simulated, so machine-independent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TieringRow {
+    /// Metric key as emitted by [`tiering_metrics`], e.g.
+    /// `"hdd/l1_eighth/warm_secs"`.
+    pub key: String,
+    /// Recorded time in seconds.
+    pub secs: f64,
 }
 
 /// A lower bound on one hot-path metric.
@@ -195,13 +225,24 @@ impl Baseline {
                 }
             })
             .collect();
-        Baseline { scale_denom, seed, rows, hotpath: Vec::new() }
+        Baseline { scale_denom, seed, rows, hotpath: Vec::new(), tiering: Vec::new() }
     }
 
     /// Adds the standard hot-path floors to this baseline (recorded when
     /// the `hotpath` experiment ran alongside `concurrency`).
     pub fn with_hotpath_floors(mut self) -> Self {
         self.hotpath = hotpath_floors();
+        self
+    }
+
+    /// Records the tiering sweep's deployment times (the `*_secs` metrics;
+    /// residency gauges are diagnostics, not gates).
+    pub fn with_tiering(mut self, metrics: &[Metric]) -> Self {
+        self.tiering = metrics
+            .iter()
+            .filter(|m| m.key.ends_with("_secs"))
+            .map(|m| TieringRow { key: m.key.clone(), secs: m.value })
+            .collect();
         self
     }
 
@@ -240,6 +281,30 @@ impl Baseline {
                         tolerance * 100.0,
                     ));
                 }
+            }
+        }
+        problems
+    }
+
+    /// Compares a fresh tiering sweep against the recorded times. Returns
+    /// one message per point more than `tolerance` (fractional) slower than
+    /// recorded, or missing from the run; faster-than-recorded passes.
+    /// No-op when the baseline has no tiering rows.
+    pub fn tiering_regressions(&self, metrics: &[Metric], tolerance: f64) -> Vec<String> {
+        let mut problems = Vec::new();
+        for row in &self.tiering {
+            match metrics.iter().find(|m| m.key == row.key) {
+                Some(m) if m.value <= row.secs * (1.0 + tolerance) => {}
+                Some(m) => problems.push(format!(
+                    "tiering/{}: took {:.4}s, recorded {:.4}s (+{:.1}% > {:.1}% tolerance)",
+                    row.key,
+                    m.value,
+                    row.secs,
+                    (m.value / row.secs - 1.0) * 100.0,
+                    tolerance * 100.0,
+                )),
+                None => problems
+                    .push(format!("tiering point {} missing from the run", row.key)),
             }
         }
         problems
@@ -311,6 +376,31 @@ mod tests {
 
         let missing = Concurrency { sweeps: vec![] };
         assert_eq!(baseline.regressions(&missing, 0.01).len(), 1);
+    }
+
+    #[test]
+    fn tiering_rows_gate_times_but_not_gauges() {
+        let recorded = Concurrency { sweeps: vec![sweep("20Mbps", 1_000)] };
+        let measured = vec![
+            Metric::new("hdd/l1_eighth/warm_secs", 2.0),
+            Metric::new("hdd/l1_eighth/l1_fill", 0.12),
+        ];
+        let baseline = Baseline::from_concurrency(&recorded, 64, 7).with_tiering(&measured);
+        assert_eq!(baseline.tiering.len(), 1, "only *_secs metrics are recorded");
+
+        assert!(baseline.tiering_regressions(&measured, 0.01).is_empty());
+        let faster = vec![Metric::new("hdd/l1_eighth/warm_secs", 1.5)];
+        assert!(baseline.tiering_regressions(&faster, 0.01).is_empty(), "improvements pass");
+        let slower = vec![Metric::new("hdd/l1_eighth/warm_secs", 2.5)];
+        assert_eq!(baseline.tiering_regressions(&slower, 0.01).len(), 1);
+        assert_eq!(baseline.tiering_regressions(&[], 0.01).len(), 1, "missing point flagged");
+
+        // Baselines recorded before the sweep existed still load and gate
+        // nothing.
+        let legacy = r#"{"scale_denom":64,"seed":7,"rows":[],"hotpath":[]}"#;
+        let legacy: Baseline = serde_json::from_str(legacy).unwrap();
+        assert!(legacy.tiering.is_empty());
+        assert!(legacy.tiering_regressions(&[], 0.01).is_empty());
     }
 
     #[test]

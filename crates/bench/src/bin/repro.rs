@@ -7,7 +7,7 @@
 //!       <experiment>...
 //!
 //! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 concurrency
-//!              cluster faults hotpath profile all
+//!              cluster faults hotpath tiering profile all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
@@ -17,10 +17,11 @@
 //! `--json` additionally writes each experiment's result to
 //! `BENCH_<name>.json` in the working directory. `--baseline FILE` compares
 //! the `concurrency` sweep's `streams = 1` rows against recorded times —
-//! and, when the baseline carries hot-path floors, the `hotpath` metrics
-//! against those floors — exiting non-zero on regression (the CI smoke
-//! job); `--record-baseline FILE` writes a fresh baseline (with hot-path
-//! floors when `hotpath` is in the run).
+//! and, when the baseline carries hot-path floors or tiering times, the
+//! `hotpath` / `tiering` metrics against those — exiting non-zero on
+//! regression (the CI smoke job); `--record-baseline FILE` writes a fresh
+//! baseline (with hot-path floors and tiering times when those experiments
+//! are in the run).
 //!
 //! `profile` (not part of `all`) runs the instrumented deployment-path
 //! profile; `--trace DIR` additionally writes its Perfetto `trace.json` and
@@ -117,7 +118,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--scale N] [--seed S] [--versions V] [--quick] [--json] \
                      [--baseline FILE] [--record-baseline FILE] [--trace DIR] \
                      <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults\
-                     |hotpath|profile|all>..."
+                     |hotpath|tiering|profile|all>..."
                         .to_owned(),
                 )
             }
@@ -143,7 +144,7 @@ fn main() -> ExitCode {
     let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         vec![
             "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "concurrency",
-            "cluster", "faults", "hotpath",
+            "cluster", "faults", "hotpath", "tiering",
         ]
     } else {
         args.experiments.iter().map(String::as_str).collect()
@@ -177,7 +178,11 @@ fn main() -> ExitCode {
 
     // The deployment experiments share one published corpus.
     let needs_publish = wanted.iter().any(|e| {
-        matches!(*e, "fig8" | "fig9" | "fig10" | "fig11" | "concurrency" | "cluster" | "faults")
+        matches!(
+            *e,
+            "fig8" | "fig9" | "fig10" | "fig11" | "concurrency" | "cluster" | "faults"
+                | "tiering"
+        )
     });
     let published = if needs_publish {
         eprintln!("converting and publishing corpus to registries...");
@@ -188,6 +193,7 @@ fn main() -> ExitCode {
 
     let mut concurrency_result = None;
     let mut hotpath_metrics = None;
+    let mut tiering_metrics = None;
     for name in &wanted {
         println!("{}", "=".repeat(72));
         let mut metrics = Vec::new();
@@ -226,6 +232,13 @@ fn main() -> ExitCode {
                 let result = experiments::hotpath::run(&ctx, args.quick);
                 metrics = artifact::hotpath_metrics(&result);
                 hotpath_metrics = Some(metrics.clone());
+                result.to_string()
+            }
+            "tiering" => {
+                let result =
+                    experiments::tiering::run(&ctx, published.as_ref().expect("published"));
+                metrics = artifact::tiering_metrics(&result);
+                tiering_metrics = Some(metrics.clone());
                 result.to_string()
             }
             "fig10" => {
@@ -292,6 +305,9 @@ fn main() -> ExitCode {
         if hotpath_metrics.is_some() {
             baseline = baseline.with_hotpath_floors();
         }
+        if let Some(metrics) = &tiering_metrics {
+            baseline = baseline.with_tiering(metrics);
+        }
         let json = serde_json::to_string(&baseline).expect("baseline serializes");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("writing {}: {e}", path.display());
@@ -327,6 +343,16 @@ fn main() -> ExitCode {
                 Some(metrics) => problems.extend(baseline.hotpath_regressions(metrics)),
                 None => problems.push(
                     "baseline records hot-path floors; add `hotpath` to the run".to_owned(),
+                ),
+            }
+        }
+        if !baseline.tiering.is_empty() {
+            match &tiering_metrics {
+                Some(metrics) => {
+                    problems.extend(baseline.tiering_regressions(metrics, BASELINE_TOLERANCE));
+                }
+                None => problems.push(
+                    "baseline records tiering times; add `tiering` to the run".to_owned(),
                 ),
             }
         }

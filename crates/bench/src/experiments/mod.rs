@@ -13,6 +13,7 @@ pub mod fig9;
 pub mod hotpath;
 pub mod profile;
 pub mod table2;
+pub mod tiering;
 
 use gear_client::ClientConfig;
 use gear_corpus::{Corpus, CorpusConfig};

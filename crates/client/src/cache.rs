@@ -1,571 +1,80 @@
-//! The level-1 shared file cache (paper §III-D1).
+//! The level-1 shared file cache (paper §III-D1) — a façade over
+//! [`gear_store`].
 //!
-//! Gear files belonging to different images share one client-side cache,
-//! deduplicated by fingerprint. Users bound its capacity and pick a
-//! replacement policy (the paper names FIFO and LRU); files currently linked
-//! from an installed Gear index are pinned and never evicted.
+//! The cache implementations used to live here; they are now the
+//! [`gear_store`] crate's [`MemStore`] / [`Sharded`] stores, shared with the
+//! registry and the P2P cluster. This module keeps the historical names as
+//! aliases and adds [`store_for`], which builds whichever [`BlobStore`] a
+//! [`ClientConfig`] asks for:
 //!
-//! # Recency policy
-//!
-//! The cache's recency rules are deliberate and tested:
-//!
-//! * [`SharedCache::contains`] is a pure read — it never touches recency
-//!   state or hit/miss counters, so probing for residency (dedup checks,
-//!   assertions, accounting) cannot perturb the replacement order.
-//! * [`SharedCache::get`] refreshes the entry's last-used time **even when
-//!   the entry is pinned**. A pinned file is immune to eviction, but its
-//!   recency keeps tracking real accesses, so the moment it is unpinned it
-//!   competes at its true position in the LRU order rather than at the
-//!   stale position it held when first pinned.
-//!
-//! # Eviction index
-//!
-//! Victim selection is O(log n): alongside the fingerprint map the cache
-//! keeps a [`BTreeSet`] of `(policy_key, fingerprint)` pairs covering
-//! exactly the unpinned entries, where `policy_key` is the insertion tick
-//! (FIFO) or the last-used tick (LRU). Ticks are allocated from a single
-//! monotonically increasing counter and each key is written at a distinct
-//! tick, so keys are unique and the set's smallest element is precisely the
-//! entry a full scan's `min_by_key` would have chosen — the index is a pure
-//! speedup, not a policy change.
+//! * `tier: None` (the default) — a flat [`MemStore`], bit-for-bit the
+//!   historical `SharedCache` behaviour (same ticks, same victims, zero
+//!   staged I/O time);
+//! * `tier: Some(..)` — a [`TieredStore`]: bounded L1 memory over the
+//!   configured [`gear_simnet::DiskModel`], whose staged read/write time the
+//!   client drains into each deployment's timeline.
 
-use std::collections::{BTreeSet, HashMap};
+use gear_store::{BlobStore, TieredStore};
 
-use bytes::Bytes;
-use gear_hash::Fingerprint;
+pub use gear_store::{EvictionPolicy, MemStore, Sharded, StoreStats};
 
-/// Cache replacement policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EvictionPolicy {
-    /// Evict the oldest-inserted unpinned file first.
-    Fifo,
-    /// Evict the least-recently-used unpinned file first (the default).
-    #[default]
-    Lru,
-}
+use crate::config::ClientConfig;
+
+/// The level-1 shared cache (historical name for [`MemStore`]).
+pub type SharedCache = MemStore;
+
+/// The sharded shared cache (historical name for [`Sharded<MemStore>`]).
+pub type ShardedCache = Sharded<MemStore>;
 
 /// Cache hit/miss/eviction accounting.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Lookups that found the file locally.
-    pub hits: u64,
-    /// Lookups that missed.
-    pub misses: u64,
-    /// Files evicted to make room.
-    pub evictions: u64,
-    /// Bytes evicted.
-    pub evicted_bytes: u64,
-    /// Bytes currently held by pinned entries (a gauge, not a counter:
-    /// the portion of [`SharedCache::bytes`] that eviction cannot touch).
-    pub pinned_bytes: u64,
-}
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `StoreStats` (one stats type for every blob store)"
+)]
+pub type CacheStats = StoreStats;
 
-impl CacheStats {
-    /// Element-wise sum of counters; gauges (`pinned_bytes`) also add, so
-    /// merging per-shard stats yields whole-cache totals.
-    pub fn merge(self, other: CacheStats) -> CacheStats {
-        CacheStats {
-            hits: self.hits + other.hits,
-            misses: self.misses + other.misses,
-            evictions: self.evictions + other.evictions,
-            evicted_bytes: self.evicted_bytes + other.evicted_bytes,
-            pinned_bytes: self.pinned_bytes + other.pinned_bytes,
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-struct CacheEntry {
-    content: Bytes,
-    /// Number of installed indexes referencing this file.
-    pins: u32,
-    /// Insertion sequence (FIFO key).
-    inserted: u64,
-    /// Last-access sequence (LRU key).
-    used: u64,
-}
-
-/// A capacity-bounded, fingerprint-addressed shared file cache.
-#[derive(Debug, Default)]
-pub struct SharedCache {
-    entries: HashMap<Fingerprint, CacheEntry>,
-    /// Unpinned entries ordered by eviction key; `first()` is the victim.
-    index: BTreeSet<(u64, Fingerprint)>,
-    policy: EvictionPolicy,
-    /// Capacity in bytes; `None` = unbounded.
-    capacity: Option<u64>,
-    bytes: u64,
-    pinned_bytes: u64,
-    tick: u64,
-    stats: CacheStats,
-}
-
-impl SharedCache {
-    /// An unbounded LRU cache.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// A cache with the given policy and byte capacity (`None` = unbounded).
-    pub fn with_policy(policy: EvictionPolicy, capacity: Option<u64>) -> Self {
-        SharedCache { policy, capacity, ..Self::default() }
-    }
-
-    /// The eviction-order key of an entry under `policy`. An associated fn
-    /// (not a method) so it can be called while an entry is mutably
-    /// borrowed out of the map.
-    fn policy_key(policy: EvictionPolicy, entry: &CacheEntry) -> u64 {
-        match policy {
-            EvictionPolicy::Fifo => entry.inserted,
-            EvictionPolicy::Lru => entry.used,
-        }
-    }
-
-    /// Whether the file is cached. A pure read: recency state and hit/miss
-    /// counters are untouched, so residency probes never perturb eviction
-    /// order (see the module docs).
-    pub fn contains(&self, fingerprint: Fingerprint) -> bool {
-        self.entries.contains_key(&fingerprint)
-    }
-
-    /// Looks the file up, recording a hit or miss and refreshing recency.
-    ///
-    /// The last-used time advances even for pinned entries — pinning grants
-    /// immunity from eviction, not exemption from recency tracking — so an
-    /// unpinned file re-enters the LRU order at its true position.
-    pub fn get(&mut self, fingerprint: Fingerprint) -> Option<Bytes> {
-        self.tick += 1;
-        match self.entries.get_mut(&fingerprint) {
-            Some(entry) => {
-                if entry.pins == 0 && self.policy == EvictionPolicy::Lru {
-                    self.index.remove(&(entry.used, fingerprint));
-                    self.index.insert((self.tick, fingerprint));
-                }
-                entry.used = self.tick;
-                self.stats.hits += 1;
-                Some(entry.content.clone())
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
-    }
-
-    /// Inserts a file (no-op if present), evicting unpinned files as needed.
-    /// Returns whether the file is resident afterwards (a file larger than
-    /// the whole capacity is not cached).
-    pub fn insert(&mut self, fingerprint: Fingerprint, content: Bytes) -> bool {
-        if self.entries.contains_key(&fingerprint) {
-            return true;
-        }
-        let len = content.len() as u64;
-        if let Some(cap) = self.capacity {
-            if len > cap {
-                return false;
-            }
-            while self.bytes + len > cap {
-                if !self.evict_one() {
-                    return false; // everything left is pinned
-                }
-            }
-        }
-        self.tick += 1;
-        self.bytes += len;
-        self.entries.insert(
-            fingerprint,
-            CacheEntry { content, pins: 0, inserted: self.tick, used: self.tick },
-        );
-        // FIFO and LRU keys coincide at insertion time.
-        self.index.insert((self.tick, fingerprint));
-        true
-    }
-
-    /// Pins a file (one reference from an installed index).
-    pub fn pin(&mut self, fingerprint: Fingerprint) {
-        if let Some(e) = self.entries.get_mut(&fingerprint) {
-            e.pins += 1;
-            if e.pins == 1 {
-                let key = Self::policy_key(self.policy, e);
-                self.index.remove(&(key, fingerprint));
-                self.pinned_bytes += e.content.len() as u64;
-            }
-        }
-    }
-
-    /// Releases one pin. When the last pin drops the entry rejoins the
-    /// eviction order at its current recency (see [`SharedCache::get`]).
-    pub fn unpin(&mut self, fingerprint: Fingerprint) {
-        if let Some(e) = self.entries.get_mut(&fingerprint) {
-            if e.pins == 1 {
-                let key = Self::policy_key(self.policy, e);
-                self.index.insert((key, fingerprint));
-                self.pinned_bytes -= e.content.len() as u64;
-            }
-            e.pins = e.pins.saturating_sub(1);
-        }
-    }
-
-    /// Evicts one unpinned file per the policy; false if none is evictable.
-    /// O(log n): the victim is the index's smallest key.
-    fn evict_one(&mut self) -> bool {
-        match self.index.pop_first() {
-            Some((_, fp)) => {
-                let entry = self.entries.remove(&fp).expect("indexed entry exists");
-                self.bytes -= entry.content.len() as u64;
-                self.stats.evictions += 1;
-                self.stats.evicted_bytes += entry.content.len() as u64;
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Resident bytes.
-    pub fn bytes(&self) -> u64 {
-        self.bytes
-    }
-
-    /// Resident file count.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Accounting so far, including the current pinned-byte gauge.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats { pinned_bytes: self.pinned_bytes, ..self.stats }
-    }
-
-    /// Drops every entry (the paper's cold-cache experiment setup) but keeps
-    /// statistics.
-    pub fn clear(&mut self) {
-        self.entries.clear();
-        self.index.clear();
-        self.bytes = 0;
-        self.pinned_bytes = 0;
-    }
-}
-
-/// A [`SharedCache`] split into independently locked shards, selected by
-/// fingerprint prefix.
-///
-/// Fingerprints are MD5 outputs, so their first byte is uniformly
-/// distributed and `first_byte % shards` spreads load evenly. Each shard is
-/// its own [`SharedCache`] behind a [`parking_lot::Mutex`] with `1/shards`
-/// of the byte budget: concurrent deployments touching different files
-/// proceed without contending on one global lock, and every per-shard
-/// operation keeps the O(log n) eviction bound. Capacity is enforced per
-/// shard — a uniform fingerprint stream fills shards evenly, so the
-/// aggregate stays within the configured total.
-#[derive(Debug)]
-pub struct ShardedCache {
-    shards: Vec<parking_lot::Mutex<SharedCache>>,
-}
-
-impl ShardedCache {
-    /// A sharded cache with `shards` shards (clamped to at least 1) sharing
-    /// `capacity` bytes total under the given policy.
-    pub fn with_policy(policy: EvictionPolicy, capacity: Option<u64>, shards: usize) -> Self {
-        let shards = shards.max(1);
-        let per_shard = capacity.map(|c| c / shards as u64);
-        ShardedCache {
-            shards: (0..shards)
-                .map(|_| parking_lot::Mutex::new(SharedCache::with_policy(policy, per_shard)))
-                .collect(),
-        }
-    }
-
-    fn shard(&self, fingerprint: Fingerprint) -> &parking_lot::Mutex<SharedCache> {
-        let prefix = fingerprint.as_bytes()[0] as usize;
-        &self.shards[prefix % self.shards.len()]
-    }
-
-    /// Number of shards.
-    pub fn shard_count(&self) -> usize {
-        self.shards.len()
-    }
-
-    /// Whether the file is cached (pure read, like [`SharedCache::contains`]).
-    pub fn contains(&self, fingerprint: Fingerprint) -> bool {
-        self.shard(fingerprint).lock().contains(fingerprint)
-    }
-
-    /// Looks the file up in its shard; recency semantics as in
-    /// [`SharedCache::get`].
-    pub fn get(&self, fingerprint: Fingerprint) -> Option<Bytes> {
-        self.shard(fingerprint).lock().get(fingerprint)
-    }
-
-    /// Inserts a file into its shard; eviction presses only on that shard.
-    pub fn insert(&self, fingerprint: Fingerprint, content: Bytes) -> bool {
-        self.shard(fingerprint).lock().insert(fingerprint, content)
-    }
-
-    /// Pins a file in its shard.
-    pub fn pin(&self, fingerprint: Fingerprint) {
-        self.shard(fingerprint).lock().pin(fingerprint)
-    }
-
-    /// Releases one pin in the file's shard.
-    pub fn unpin(&self, fingerprint: Fingerprint) {
-        self.shard(fingerprint).lock().unpin(fingerprint)
-    }
-
-    /// Resident bytes across all shards.
-    pub fn bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().bytes()).sum()
-    }
-
-    /// Resident file count across all shards.
-    pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
-    }
-
-    /// Whether every shard is empty.
-    pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
-    }
-
-    /// Merged accounting across all shards.
-    pub fn stats(&self) -> CacheStats {
-        self.shards
-            .iter()
-            .map(|s| s.lock().stats())
-            .fold(CacheStats::default(), CacheStats::merge)
-    }
-
-    /// Clears every shard (statistics survive, as in [`SharedCache::clear`]).
-    pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.lock().clear();
-        }
+/// Builds the blob store `config` asks for (see the module docs).
+pub fn store_for(config: &ClientConfig) -> Box<dyn BlobStore> {
+    match config.tier {
+        None => Box::new(MemStore::with_policy(config.cache_policy, config.cache_capacity)),
+        Some(tier) => Box::new(TieredStore::new(
+            config.cache_policy,
+            tier.l1_capacity,
+            config.cache_capacity,
+            tier.disk,
+            config.byte_scale,
+            tier.promote_on_hit,
+        )),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TierConfig;
+    use bytes::Bytes;
+    use gear_hash::Fingerprint;
 
-    fn fp(n: u8) -> Fingerprint {
-        Fingerprint::of(&[n])
-    }
-
-    fn body(n: u8, len: usize) -> Bytes {
-        Bytes::from(vec![n; len])
+    #[test]
+    fn default_config_builds_a_flat_memory_store() {
+        let mut store = store_for(&ClientConfig::default());
+        let fp = Fingerprint::of(b"blob");
+        assert!(store.put(fp, Bytes::from_static(b"blob")));
+        assert!(store.get(fp).is_some());
+        assert_eq!(store.drain_cost(), std::time::Duration::ZERO);
+        assert_eq!(store.tier_bytes(), (4, 0), "all bytes resident in memory");
     }
 
     #[test]
-    fn hit_and_miss_accounting() {
-        let mut c = SharedCache::new();
-        assert!(c.get(fp(1)).is_none());
-        c.insert(fp(1), body(1, 10));
-        assert_eq!(c.get(fp(1)).unwrap().len(), 10);
-        let s = c.stats();
-        assert_eq!((s.hits, s.misses), (1, 1));
-    }
-
-    #[test]
-    fn dedup_on_insert() {
-        let mut c = SharedCache::new();
-        assert!(c.insert(fp(1), body(1, 10)));
-        assert!(c.insert(fp(1), body(1, 10)));
-        assert_eq!(c.len(), 1);
-        assert_eq!(c.bytes(), 10);
-    }
-
-    #[test]
-    fn fifo_evicts_oldest() {
-        let mut c = SharedCache::with_policy(EvictionPolicy::Fifo, Some(25));
-        c.insert(fp(1), body(1, 10));
-        c.insert(fp(2), body(2, 10));
-        c.get(fp(1)); // recently used, but FIFO ignores that
-        c.insert(fp(3), body(3, 10));
-        assert!(!c.contains(fp(1)), "oldest-inserted must be evicted");
-        assert!(c.contains(fp(2)) && c.contains(fp(3)));
-        assert_eq!(c.stats().evictions, 1);
-    }
-
-    #[test]
-    fn lru_evicts_least_recently_used() {
-        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(25));
-        c.insert(fp(1), body(1, 10));
-        c.insert(fp(2), body(2, 10));
-        c.get(fp(1)); // refresh 1, so 2 is the LRU victim
-        c.insert(fp(3), body(3, 10));
-        assert!(c.contains(fp(1)));
-        assert!(!c.contains(fp(2)));
-    }
-
-    #[test]
-    fn pinned_files_survive_eviction() {
-        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(25));
-        c.insert(fp(1), body(1, 10));
-        c.pin(fp(1));
-        c.insert(fp(2), body(2, 10));
-        c.insert(fp(3), body(3, 10)); // must evict 2, not pinned 1
-        assert!(c.contains(fp(1)));
-        assert!(!c.contains(fp(2)));
-        // Unpin and it becomes evictable again.
-        c.unpin(fp(1));
-        c.insert(fp(4), body(4, 10));
-        assert!(!c.contains(fp(1)));
-    }
-
-    #[test]
-    fn oversized_and_all_pinned() {
-        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(10));
-        assert!(!c.insert(fp(1), body(1, 11)), "larger than capacity");
-        c.insert(fp(2), body(2, 10));
-        c.pin(fp(2));
-        assert!(!c.insert(fp(3), body(3, 5)), "cannot evict pinned content");
-    }
-
-    #[test]
-    fn clear_keeps_stats() {
-        let mut c = SharedCache::new();
-        c.insert(fp(1), body(1, 4));
-        c.get(fp(1));
-        c.clear();
-        assert!(c.is_empty());
-        assert_eq!(c.bytes(), 0);
-        assert_eq!(c.stats().hits, 1);
-        assert_eq!(c.stats().pinned_bytes, 0);
-    }
-
-    #[test]
-    fn contains_does_not_perturb_recency() {
-        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(25));
-        c.insert(fp(1), body(1, 10));
-        c.insert(fp(2), body(2, 10));
-        // Probe 1 repeatedly: contains() is a pure read, so 1 stays the
-        // LRU victim despite being the most recently *probed*.
-        for _ in 0..5 {
-            assert!(c.contains(fp(1)));
-        }
-        c.insert(fp(3), body(3, 10));
-        assert!(!c.contains(fp(1)), "contains() must not refresh LRU position");
-        assert!(c.contains(fp(2)));
-        // And it never counts as a hit or a miss.
-        assert_eq!(c.stats().hits, 0);
-        assert_eq!(c.stats().misses, 0);
-    }
-
-    #[test]
-    fn get_refreshes_recency_while_pinned() {
-        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(25));
-        c.insert(fp(1), body(1, 10));
-        c.insert(fp(2), body(2, 10));
-        c.pin(fp(1));
-        c.get(fp(1)); // bumps 1's recency even though it is pinned
-        c.unpin(fp(1));
-        // 1 was used after 2, so 2 — not 1 — is the victim.
-        c.insert(fp(3), body(3, 10));
-        assert!(c.contains(fp(1)), "pinned-era access keeps 1 recent after unpin");
-        assert!(!c.contains(fp(2)));
-    }
-
-    #[test]
-    fn pinned_bytes_gauge_tracks_pin_transitions() {
-        let mut c = SharedCache::new();
-        c.insert(fp(1), body(1, 10));
-        c.insert(fp(2), body(2, 7));
-        assert_eq!(c.stats().pinned_bytes, 0);
-        c.pin(fp(1));
-        assert_eq!(c.stats().pinned_bytes, 10);
-        c.pin(fp(1)); // second pin on the same entry: no double count
-        assert_eq!(c.stats().pinned_bytes, 10);
-        c.pin(fp(2));
-        assert_eq!(c.stats().pinned_bytes, 17);
-        c.unpin(fp(1)); // 2 pins -> 1: still pinned
-        assert_eq!(c.stats().pinned_bytes, 17);
-        c.unpin(fp(1)); // 1 -> 0: released
-        assert_eq!(c.stats().pinned_bytes, 7);
-        c.unpin(fp(2));
-        assert_eq!(c.stats().pinned_bytes, 0);
-        c.unpin(fp(2)); // over-unpin is a no-op
-        assert_eq!(c.stats().pinned_bytes, 0);
-    }
-
-    #[test]
-    fn eviction_index_survives_churn() {
-        // Interleave inserts/gets/pins over a small capacity and verify the
-        // map and index never disagree (every unpinned entry evictable,
-        // byte accounting exact).
-        let mut c = SharedCache::with_policy(EvictionPolicy::Lru, Some(64));
-        for round in 0u8..120 {
-            c.insert(fp(round % 16), body(round % 16, 8 + (round % 5) as usize));
-            c.get(fp(round.wrapping_mul(7) % 16));
-            if round % 3 == 0 {
-                c.pin(fp(round % 16));
-            }
-            if round % 3 == 1 {
-                c.unpin(fp(round.wrapping_sub(1) % 16));
-            }
-            assert!(c.bytes() <= 64);
-        }
-        // Drain: with all pins released, eviction must be able to empty it.
-        for n in 0u8..16 {
-            c.unpin(fp(n));
-            c.unpin(fp(n));
-        }
-        while c.evict_one() {}
-        assert!(c.is_empty());
-        assert_eq!(c.bytes(), 0);
-    }
-
-    #[test]
-    fn sharded_cache_matches_shared_semantics() {
-        let sharded = ShardedCache::with_policy(EvictionPolicy::Lru, Some(4096), 4);
-        assert_eq!(sharded.shard_count(), 4);
-        for n in 0u8..32 {
-            assert!(sharded.insert(fp(n), body(n, 16)));
-        }
-        assert_eq!(sharded.len(), 32);
-        assert_eq!(sharded.bytes(), 32 * 16);
-        for n in 0u8..32 {
-            assert!(sharded.contains(fp(n)));
-            assert_eq!(sharded.get(fp(n)).unwrap(), body(n, 16));
-        }
-        assert!(sharded.get(fp(200)).is_none());
-        let stats = sharded.stats();
-        assert_eq!((stats.hits, stats.misses), (32, 1));
-        sharded.pin(fp(3));
-        assert_eq!(sharded.stats().pinned_bytes, 16);
-        sharded.unpin(fp(3));
-        sharded.clear();
-        assert!(sharded.is_empty());
-        assert_eq!(sharded.stats().hits, 32, "stats survive clear");
-    }
-
-    #[test]
-    fn sharded_eviction_stays_within_shard_budget() {
-        // 2 shards x 32 bytes. Fill one shard past its budget and verify
-        // evictions happen there while the other shard is untouched.
-        let sharded = ShardedCache::with_policy(EvictionPolicy::Fifo, Some(64), 2);
-        // Find fingerprints landing in each shard by prefix parity.
-        let mut even = Vec::new();
-        let mut odd = Vec::new();
-        for n in 0u8..=255 {
-            let f = fp(n);
-            if f.as_bytes()[0].is_multiple_of(2) {
-                even.push(f);
-            } else {
-                odd.push(f);
-            }
-        }
-        sharded.insert(odd[0], Bytes::from(vec![1u8; 24]));
-        for f in even.iter().take(5) {
-            sharded.insert(*f, Bytes::from(vec![2u8; 16]));
-        }
-        // 5 x 16 = 80 bytes pressed into a 32-byte shard: evictions occurred,
-        // but the odd-shard resident survived untouched.
-        assert!(sharded.stats().evictions >= 3);
-        assert!(sharded.contains(odd[0]));
-        assert!(sharded.bytes() <= 32 + 24);
+    fn tier_config_builds_a_tiered_store() {
+        let config = ClientConfig {
+            tier: Some(TierConfig { l1_capacity: Some(2), ..TierConfig::default() }),
+            ..ClientConfig::default()
+        };
+        let mut store = store_for(&config);
+        let fp = Fingerprint::of(b"blob");
+        assert!(store.put(fp, Bytes::from_static(b"blob")));
+        assert!(store.drain_cost() > std::time::Duration::ZERO, "write-through is priced");
+        assert_eq!(store.tier_bytes(), (0, 4), "too big for the 2-byte L1");
     }
 }

@@ -68,6 +68,28 @@ impl Default for FetchConfig {
     }
 }
 
+/// Two-tier shared-cache configuration: bounded L1 memory in front of the
+/// client's (modeled) local disk, which then holds the full
+/// [`ClientConfig::cache_capacity`] budget. See
+/// [`gear_store::TieredStore`] for the policies (write-through,
+/// promotion-on-hit, L2-authoritative eviction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierConfig {
+    /// L1 memory budget in (scaled) bytes; `None` = unbounded (observably
+    /// identical to an untiered cache — only costs differ).
+    pub l1_capacity: Option<u64>,
+    /// Disk model backing the L2 tier.
+    pub disk: DiskModel,
+    /// Whether an L2 hit installs the blob in L1.
+    pub promote_on_hit: bool,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig { l1_capacity: None, disk: DiskModel::ssd(), promote_on_hit: true }
+    }
+}
+
 /// Configuration of a deployment client.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientConfig {
@@ -90,6 +112,10 @@ pub struct ClientConfig {
     pub cache_policy: EvictionPolicy,
     /// Shared-cache capacity in (scaled) bytes; `None` = unbounded.
     pub cache_capacity: Option<u64>,
+    /// Optional two-tier cache: L1 memory over modeled disk. `None` (the
+    /// default) keeps the whole cache in memory with zero staged I/O time —
+    /// bit-for-bit the historical behaviour.
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for ClientConfig {
@@ -103,6 +129,7 @@ impl Default for ClientConfig {
             request_amplification: 1.0,
             cache_policy: EvictionPolicy::Lru,
             cache_capacity: None,
+            tier: None,
         }
     }
 }
@@ -128,6 +155,12 @@ impl ClientConfig {
     /// (clamped to at least 1).
     pub fn with_streams(mut self, streams: usize) -> Self {
         self.fetch.streams = streams.max(1);
+        self
+    }
+
+    /// Returns a copy running the shared cache as a two-tier store.
+    pub fn with_tier(mut self, tier: TierConfig) -> Self {
+        self.tier = Some(tier);
         self
     }
 

@@ -15,9 +15,10 @@ use gear_image::ImageRef;
 use gear_corpus::StartupTrace;
 use gear_registry::{DockerRegistry, GearFileStore};
 use gear_simnet::{FaultKind, FaultPlan, NetMetrics, RetryPolicy};
+use gear_store::{BlobStore, StoreStats};
 use gear_telemetry::Telemetry;
 
-use crate::cache::SharedCache;
+use crate::cache::store_for;
 use crate::config::ClientConfig;
 use crate::fetch::{FaultState, FetchScheduler};
 use crate::report::DeploymentReport;
@@ -118,14 +119,14 @@ enum FetchEvent {
 /// scratch map dedups repeated fingerprints within one read so the
 /// accounting matches what cache admission would have produced.
 struct CacheAndRegistry<'a> {
-    cache: RefCell<&'a mut SharedCache>,
+    cache: RefCell<&'a mut dyn BlobStore>,
     store: &'a GearFileStore,
     events: RefCell<Vec<FetchEvent>>,
     fetched: RefCell<HashMap<Fingerprint, Bytes>>,
 }
 
 impl<'a> CacheAndRegistry<'a> {
-    fn new(cache: &'a mut SharedCache, store: &'a GearFileStore) -> Self {
+    fn new(cache: &'a mut dyn BlobStore, store: &'a GearFileStore) -> Self {
         CacheAndRegistry {
             cache: RefCell::new(cache),
             store,
@@ -172,7 +173,7 @@ impl Materializer for CacheAndRegistry<'_> {
 #[derive(Debug)]
 pub struct GearClient {
     config: ClientConfig,
-    cache: SharedCache,
+    cache: Box<dyn BlobStore>,
     indexes: HashMap<ImageRef, InstalledIndex>,
     containers: HashMap<ContainerId, Container>,
     /// Compressed index-image blobs already local (skip re-downloading).
@@ -188,7 +189,7 @@ impl GearClient {
     /// Creates a client with an empty cache and no installed indexes.
     pub fn new(config: ClientConfig) -> Self {
         GearClient {
-            cache: SharedCache::with_policy(config.cache_policy, config.cache_capacity),
+            cache: store_for(&config),
             config,
             indexes: HashMap::new(),
             containers: HashMap::new(),
@@ -299,8 +300,14 @@ impl GearClient {
     }
 
     /// Shared-cache statistics.
-    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+    pub fn cache_stats(&self) -> StoreStats {
         self.cache.stats()
+    }
+
+    /// Resident bytes per tier, `(memory, disk)`. An untiered cache reports
+    /// everything under memory.
+    pub fn cache_tier_bytes(&self) -> (u64, u64) {
+        self.cache.tier_bytes()
     }
 
     /// Resident bytes in the shared cache (scaled units).
@@ -341,7 +348,7 @@ impl GearClient {
         let cache_before = if self.telemetry.enabled() {
             self.cache.stats()
         } else {
-            crate::cache::CacheStats::default()
+            StoreStats::default()
         };
 
         // ---- pull phase: fetch the (tiny) index image ----------------------
@@ -402,7 +409,7 @@ impl GearClient {
             let mut per_read: Vec<(String, Vec<FetchEvent>)> =
                 Vec::with_capacity(trace.reads.len());
             {
-                let session = CacheAndRegistry::new(&mut self.cache, store);
+                let session = CacheAndRegistry::new(self.cache.as_mut(), store);
                 for path in &trace.reads {
                     let read = mount.read(path, &session);
                     let events = session.events.replace(Vec::new());
@@ -458,7 +465,7 @@ impl GearClient {
                         &payloads,
                         |i| {
                             let (fp, content, ..) = &downloads[i];
-                            cache.insert(*fp, content.clone());
+                            cache.put(*fp, content.clone());
                         },
                     )?;
                 let batch_bytes: u64 = payloads.iter().sum();
@@ -495,7 +502,7 @@ impl GearClient {
             }
         } else {
             for path in &trace.reads {
-                let session = CacheAndRegistry::new(&mut self.cache, store);
+                let session = CacheAndRegistry::new(self.cache.as_mut(), store);
                 let read = mount.read(path, &session);
                 let CacheAndRegistry { events, .. } = session;
                 let events = events.into_inner();
@@ -524,7 +531,7 @@ impl GearClient {
                                 self.config,
                                 scaled_transfer,
                             )?;
-                            self.cache.insert(fingerprint, content);
+                            self.cache.put(fingerprint, content);
                             report.files_fetched += 1;
                             report.requests += 1;
                             report.bytes_pulled += scaled_transfer;
@@ -550,6 +557,15 @@ impl GearClient {
                     }
                 }
             }
+        }
+        // Fold the blob store's staged tier I/O (L2 reads, write-through
+        // traffic) into the deployment. A pure memory cache stages nothing,
+        // so the event — and any timeline change — only appears when
+        // `ClientConfig::tier` is set.
+        let staged = self.cache.drain_cost();
+        if !staged.is_zero() {
+            report.timeline.push(pull + run, staged, TimelineEvent::TierIo);
+            run += staged;
         }
         let task = trace.task.compute_time();
         report.timeline.push(pull + run, task, TimelineEvent::Task);
@@ -577,7 +593,7 @@ impl GearClient {
         report: &DeploymentReport,
         base: Duration,
         metrics_before: NetMetrics,
-        cache_before: crate::cache::CacheStats,
+        cache_before: StoreStats,
     ) {
         let t = &self.telemetry;
         let deploy =
@@ -611,6 +627,11 @@ impl GearClient {
         t.count("cache.evicted_bytes", cache_now.evicted_bytes - cache_before.evicted_bytes);
         t.gauge_set("cache.pinned_bytes", cache_now.pinned_bytes);
         t.gauge_max("cache.bytes", self.cache.bytes());
+        if self.config.tier.is_some() {
+            let (l1_bytes, l2_bytes) = self.cache.tier_bytes();
+            t.gauge_set("cache.l1_bytes", l1_bytes);
+            t.gauge_set("cache.l2_bytes", l2_bytes);
+        }
 
         t.count("net.bytes_down", self.metrics.bytes_down - metrics_before.bytes_down);
         t.count("net.bytes_up", self.metrics.bytes_up - metrics_before.bytes_up);
@@ -696,13 +717,16 @@ impl GearClient {
                 .with_recorder(self.telemetry.clone())
                 .run(&config, &mut self.faults, &payloads, |i| {
                     let (fp, content) = &contents[i];
-                    cache.insert(*fp, content.clone());
+                    cache.put(*fp, content.clone());
                 })?;
             let batch_bytes: u64 = payloads.iter().sum();
+            // Staged tier writes from the batch's cache inserts are part of
+            // the prefetch cost (zero for an untiered cache).
             let batch_cost = outcome.network
                 + outcome.serial_delay
                 + config.decompress(batch_bytes)
-                + config.disk.io_time(batch_bytes, wanted.len() as u64);
+                + config.disk.io_time(batch_bytes, wanted.len() as u64)
+                + self.cache.drain_cost();
             report.pull += batch_cost;
             self.telemetry.advance(batch_cost);
             report.files_fetched += wanted.len() as u64;
@@ -745,7 +769,7 @@ impl GearClient {
         let mut elapsed = Duration::ZERO;
         for _ in 0..ops {
             for path in op_reads {
-                let session = CacheAndRegistry::new(&mut self.cache, store);
+                let session = CacheAndRegistry::new(self.cache.as_mut(), store);
                 let read = container.mount.read(path, &session);
                 let CacheAndRegistry { events, .. } = session;
                 let events = events.into_inner();
@@ -775,11 +799,14 @@ impl GearClient {
                             &payloads,
                             |i| {
                                 let (fp, content, _) = &downloads[i];
-                                cache.insert(*fp, content.clone());
+                                cache.put(*fp, content.clone());
                             },
                         )?;
                     elapsed += outcome.network + outcome.serial_delay;
                 }
+                // Tier I/O staged while serving this path (L2 hits and
+                // first-touch write-through) is part of the op's latency.
+                elapsed += self.cache.drain_cost();
             }
             elapsed += op_compute;
         }
@@ -804,7 +831,7 @@ impl GearClient {
         let config = self.config;
         let container =
             self.containers.get_mut(&id).ok_or(DeployError::NoSuchContainer(id))?;
-        let session = CacheAndRegistry::new(&mut self.cache, store);
+        let session = CacheAndRegistry::new(self.cache.as_mut(), store);
         let read = container.mount.read_range(path, offset, len, &session);
         let CacheAndRegistry { events, .. } = session;
         let events = events.into_inner();
@@ -832,13 +859,16 @@ impl GearClient {
                     &payloads,
                     |i| {
                         let (fp, content, _) = &downloads[i];
-                        cache.insert(*fp, content.clone());
+                        cache.put(*fp, content.clone());
                     },
                 )?;
             for (_, _, scaled) in &downloads {
                 self.metrics.download(*scaled);
             }
         }
+        // Ranged reads return content, not a priced duration; drop the
+        // staged tier time so it cannot leak into a later deployment.
+        let _ = self.cache.drain_cost();
         Ok(content)
     }
 
@@ -1284,6 +1314,44 @@ mod tests {
         let (_, report) = client.deploy(&r, &trace(&["app/bin"]), &docker, &store).unwrap();
         assert_eq!(report.retries, 0);
         assert_eq!(report.files_fetched, 1);
+    }
+
+    #[test]
+    fn tiered_cache_prices_io_without_changing_results() {
+        use crate::config::TierConfig;
+        let (docker, store, r) =
+            setup(&[("app/bin", b"binary bytes here"), ("app/cfg", b"config")], "svc:1");
+        let t = trace(&["app/bin", "app/cfg"]);
+
+        let mut flat = GearClient::new(ClientConfig::default());
+        let (_, base) = flat.deploy(&r, &t, &docker, &store).unwrap();
+
+        // L1 too small for either file: every cache access goes to L2 disk.
+        let tiered_cfg = ClientConfig::default().with_tier(TierConfig {
+            l1_capacity: Some(1),
+            disk: gear_simnet::DiskModel::hdd(),
+            promote_on_hit: true,
+        });
+        let mut tiered = GearClient::new(tiered_cfg);
+        let (_, report) = tiered.deploy(&r, &t, &docker, &store).unwrap();
+
+        // Same work moved; only local tier I/O was added.
+        assert_eq!(report.files_fetched, base.files_fetched);
+        assert_eq!(report.bytes_pulled, base.bytes_pulled);
+        assert_eq!(report.cache_hits, base.cache_hits);
+        assert_eq!(tiered.cache_bytes(), flat.cache_bytes());
+        assert_eq!(tiered.cache_tier_bytes().0, 0, "nothing fits the 1-byte L1");
+        assert!(report.total() > base.total(), "write-through disk time is charged");
+        let tier_io =
+            report.timeline.time_in(|e| matches!(e, TimelineEvent::TierIo));
+        assert_eq!(report.total() - base.total(), tier_io, "the delta is exactly tier I/O");
+        assert_eq!(report.timeline.len(), base.timeline.len() + 1, "one TierIo event");
+
+        // Warm redeploys hit the same files whichever tier serves them.
+        let (c, warm_tiered) = tiered.deploy(&r, &t, &docker, &store).unwrap();
+        tiered.destroy(c);
+        let (_, warm_flat) = flat.deploy(&r, &t, &docker, &store).unwrap();
+        assert_eq!(warm_tiered.cache_hits, warm_flat.cache_hits);
     }
 
     #[test]

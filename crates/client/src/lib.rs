@@ -58,8 +58,10 @@ mod report;
 mod slacker;
 mod timeline;
 
-pub use cache::{CacheStats, EvictionPolicy, SharedCache, ShardedCache};
-pub use config::{ClientConfig, Costs, FetchConfig};
+#[allow(deprecated)]
+pub use cache::CacheStats;
+pub use cache::{store_for, EvictionPolicy, SharedCache, ShardedCache, StoreStats};
+pub use config::{ClientConfig, Costs, FetchConfig, TierConfig};
 pub use docker::DockerClient;
 pub use gear::{ContainerId, DeployError, GearClient};
 pub use report::DeploymentReport;

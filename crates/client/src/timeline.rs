@@ -57,6 +57,10 @@ pub enum TimelineEvent {
         /// Total wire bytes (paper scale).
         bytes: u64,
     },
+    /// Local tier I/O staged by the shared blob store (L2 disk reads and
+    /// write-through traffic), drained once per deployment. Absent when the
+    /// cache is untiered: a pure memory store stages no I/O time.
+    TierIo,
     /// The deployment task's compute.
     Task,
 }
@@ -85,6 +89,7 @@ impl TimelineEvent {
             TimelineEvent::ParallelFetch { files, bytes } => {
                 ("client", "parallel_fetch".to_owned(), vec![("files", *files), ("bytes", *bytes)])
             }
+            TimelineEvent::TierIo => ("cache", "tier_io".to_owned(), Vec::new()),
             TimelineEvent::Task => ("client", "task".to_owned(), Vec::new()),
         }
     }
@@ -105,6 +110,7 @@ impl TimelineEvent {
             TimelineEvent::ParallelFetch { files, bytes } => {
                 format!("fetch  {files} files in parallel ({bytes} B)")
             }
+            TimelineEvent::TierIo => "tier   I/O (staged L2 traffic)".to_owned(),
             TimelineEvent::Task => "task".to_owned(),
         }
     }

@@ -91,7 +91,7 @@ impl GearFrontend {
     }
 
     /// `(original registry, index registry)` storage statistics.
-    pub fn stats(&self) -> (RegistryStats, RegistryStats, gear_registry::FileStoreStats) {
+    pub fn stats(&self) -> (RegistryStats, RegistryStats, gear_registry::StoreStats) {
         (self.docker.stats(), self.index.stats(), self.files.stats())
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use gear_client::{ClientConfig, SharedCache, Timeline, TimelineEvent};
+use gear_client::{store_for, ClientConfig, Timeline, TimelineEvent};
 use gear_core::{GearImage, GearIndex};
 use gear_corpus::StartupTrace;
 use gear_fs::{FsError, FsTree, UnionFs};
@@ -15,6 +15,7 @@ use gear_hash::Fingerprint;
 use gear_image::ImageRef;
 use gear_registry::{DockerRegistry, GearFileStore};
 use gear_simnet::{FaultKind, FaultPlan, Link, RetryPolicy, StreamConfig};
+use gear_store::BlobStore;
 use gear_telemetry::Telemetry;
 
 use crate::directory::PeerDirectory;
@@ -185,7 +186,10 @@ struct FetchCharge {
 
 #[derive(Debug)]
 struct Node {
-    cache: SharedCache,
+    /// Per-node blob store, built by [`store_for`] from the cluster's
+    /// client config — a flat memory cache by default, a tiered
+    /// memory-over-disk store when `client.tier` is set.
+    cache: Box<dyn BlobStore>,
     indexes: HashMap<ImageRef, (Arc<GearIndex>, Arc<FsTree>)>,
 }
 
@@ -210,13 +214,7 @@ impl Cluster {
     /// Creates a cluster of `config.nodes` empty nodes.
     pub fn new(config: ClusterConfig) -> Self {
         let nodes = (0..config.nodes)
-            .map(|_| Node {
-                cache: SharedCache::with_policy(
-                    config.client.cache_policy,
-                    config.client.cache_capacity,
-                ),
-                indexes: HashMap::new(),
-            })
+            .map(|_| Node { cache: store_for(&config.client), indexes: HashMap::new() })
             .collect();
         Cluster {
             config,
@@ -594,8 +592,10 @@ impl Cluster {
         report: &mut NodeDeployment,
     ) -> Result<(Bytes, FetchCharge), ClusterError> {
         let client = self.config.client;
-        // 1. Own cache.
+        // 1. Own cache. A tiered store may stage disk time for an L2 hit;
+        // that is local post-transfer work (zero for a flat memory cache).
         if let Some(content) = self.nodes[node].cache.get(fingerprint) {
+            let tier_io = self.nodes[node].cache.drain_cost();
             report.local_files += 1;
             let charge = FetchCharge {
                 lane: Lane::Local,
@@ -603,7 +603,7 @@ impl Cluster {
                 lane_time: Duration::ZERO,
                 payload: 0,
                 serial: Duration::ZERO,
-                post: client.costs.hard_link,
+                post: client.costs.hard_link + tier_io,
             };
             return Ok((content, charge));
         }
@@ -617,6 +617,9 @@ impl Cluster {
                 self.directory.withdraw(fingerprint, peer);
                 continue;
             };
+            // Serving from a tiered peer may stage disk time on the peer's
+            // side; it occupies that holder's lane along with the transfer.
+            let peer_tier_io = self.nodes[peer].cache.drain_cost();
             let scaled = client.scaled(content.len() as u64);
             let nominal = self.peer_link_time(scaled);
             match Self::attempt(&mut self.faults, nominal) {
@@ -625,13 +628,14 @@ impl Cluster {
                     report.peer_files += 1;
                     report.peer_bytes += scaled;
                     self.admit(node, fingerprint, content.clone());
+                    let tier_io = self.nodes[node].cache.drain_cost();
                     let charge = FetchCharge {
                         lane: Lane::Peer(peer),
                         bytes: scaled,
-                        lane_time: nominal + extra,
+                        lane_time: nominal + extra + peer_tier_io,
                         payload: 0,
                         serial,
-                        post: client.disk.io_time(scaled, 1),
+                        post: client.disk.io_time(scaled, 1) + tier_io,
                     };
                     return Ok((content, charge));
                 }
@@ -660,6 +664,7 @@ impl Cluster {
         report.registry_files += 1;
         report.registry_bytes += transfer;
         self.admit(node, fingerprint, content.clone());
+        let tier_io = self.nodes[node].cache.drain_cost();
         let charge = FetchCharge {
             lane: Lane::Registry,
             bytes: transfer,
@@ -667,13 +672,14 @@ impl Cluster {
             payload: transfer,
             serial,
             post: client.decompress(transfer)
-                + client.disk.io_time(client.scaled(content.len() as u64), 1),
+                + client.disk.io_time(client.scaled(content.len() as u64), 1)
+                + tier_io,
         };
         Ok((content, charge))
     }
 
     fn admit(&mut self, node: NodeId, fingerprint: Fingerprint, content: Bytes) {
-        if self.nodes[node].cache.insert(fingerprint, content) {
+        if self.nodes[node].cache.put(fingerprint, content) {
             self.directory.announce(fingerprint, node);
         }
     }

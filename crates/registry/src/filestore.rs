@@ -5,6 +5,14 @@
 //! Identical files collapse to one stored object regardless of how many
 //! images contain them, which is the registry half of Gear's file-level
 //! sharing.
+//!
+//! Residency, iteration, and integrity scanning are delegated to an
+//! unbounded [`gear_store::MemStore`] — the same blob store the client
+//! cache and the P2P nodes run on — so verification and accounting logic
+//! live in exactly one place. This façade adds what is registry-specific:
+//! fingerprint validation on upload, optional per-file compression with
+//! compressed wire-size accounting, dedup counting, and `registry.*`
+//! telemetry.
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -13,7 +21,10 @@ use std::fmt;
 use bytes::Bytes;
 use gear_compress::{compress, Level};
 use gear_hash::Fingerprint;
+use gear_store::MemStore;
 use gear_telemetry::Telemetry;
+
+pub use gear_store::StoreStats;
 
 /// Outcome of an upload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,35 +60,27 @@ impl fmt::Display for UploadError {
 impl Error for UploadError {}
 
 /// Storage accounting for the file store.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct FileStoreStats {
-    /// Unique objects stored.
-    pub objects: usize,
-    /// Bytes on disk (compressed when compression is enabled).
-    pub stored_bytes: u64,
-    /// Logical (uncompressed) bytes of stored objects.
-    pub logical_bytes: u64,
-    /// Uploads rejected as duplicates.
-    pub dedup_hits: u64,
-}
-
-#[derive(Debug, Clone)]
-struct StoredFile {
-    raw: Bytes,
-    /// Size as kept on disk and sent on the wire (compressed if enabled).
-    stored_len: u64,
-}
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `StoreStats` (one stats type for every blob store)"
+)]
+pub type FileStoreStats = StoreStats;
 
 /// A content-addressed Gear-file pool.
 #[derive(Debug, Default)]
 pub struct GearFileStore {
-    files: HashMap<Fingerprint, StoredFile>,
+    /// Raw (uncompressed) object bodies, unbounded: the registry never
+    /// evicts — space reclamation is explicit via
+    /// [`GearFileStore::retain_only`].
+    store: MemStore,
+    /// Per-object size as kept on disk and sent on the wire (compressed if
+    /// compression is enabled).
+    wire: HashMap<Fingerprint, u64>,
     compression: Option<Level>,
     dedup_hits: u64,
-    /// Running totals, maintained on upload and GC so [`GearFileStore::stats`]
-    /// is O(1) instead of a full-store sweep.
+    /// Running compressed total, maintained on upload and GC so
+    /// [`GearFileStore::stats`] is O(1) instead of a full-store sweep.
     stored_bytes: u64,
-    logical_bytes: u64,
     telemetry: Telemetry,
 }
 
@@ -108,7 +111,7 @@ impl GearFileStore {
     /// `query` verb: whether a Gear file with this fingerprint exists.
     pub fn query(&self, fingerprint: Fingerprint) -> bool {
         self.telemetry.count("registry.queries", 1);
-        self.files.contains_key(&fingerprint)
+        self.store.contains(fingerprint)
     }
 
     /// `upload` verb: stores `content` under `fingerprint`, deduplicating.
@@ -127,7 +130,7 @@ impl GearFileStore {
             return Err(UploadError::FingerprintMismatch { claimed: fingerprint, actual });
         }
         self.telemetry.count("registry.uploads", 1);
-        if self.files.contains_key(&fingerprint) {
+        if self.store.contains(fingerprint) {
             self.dedup_hits += 1;
             self.telemetry.count("registry.dedup_hits", 1);
             return Ok(UploadOutcome { stored: false, stored_bytes: 0 });
@@ -137,19 +140,21 @@ impl GearFileStore {
             None => content.len() as u64,
         };
         self.stored_bytes += stored_len;
-        self.logical_bytes += content.len() as u64;
         if self.telemetry.enabled() {
             self.telemetry.count("registry.upload_bytes", content.len() as u64);
             self.telemetry.observe("registry.object_bytes", content.len() as u64);
             self.telemetry.instant("registry", "store");
         }
-        self.files.insert(fingerprint, StoredFile { raw: content, stored_len });
+        self.wire.insert(fingerprint, stored_len);
+        self.store.insert(fingerprint, content);
         Ok(UploadOutcome { stored: true, stored_bytes: stored_len })
     }
 
-    /// `download` verb: retrieves the content for `fingerprint`.
+    /// `download` verb: retrieves the content for `fingerprint`. A pure
+    /// read ([`MemStore::peek`]): server-side downloads never perturb the
+    /// store's recency state.
     pub fn download(&self, fingerprint: Fingerprint) -> Option<Bytes> {
-        let found = self.files.get(&fingerprint).map(|f| f.raw.clone());
+        let found = self.store.peek(fingerprint);
         if self.telemetry.enabled() {
             self.telemetry.count("registry.downloads", 1);
             if let Some(body) = &found {
@@ -162,29 +167,29 @@ impl GearFileStore {
     /// Bytes that cross the wire when downloading `fingerprint` (compressed
     /// size if compression is on).
     pub fn transfer_size(&self, fingerprint: Fingerprint) -> Option<u64> {
-        self.files.get(&fingerprint).map(|f| f.stored_len)
+        self.wire.get(&fingerprint).copied()
     }
 
     /// Number of unique objects.
     pub fn object_count(&self) -> usize {
-        self.files.len()
+        self.store.len()
     }
 
-    /// Storage accounting. O(1): totals are maintained incrementally by
-    /// [`GearFileStore::upload`] and [`GearFileStore::retain_only`].
-    pub fn stats(&self) -> FileStoreStats {
-        FileStoreStats {
-            objects: self.files.len(),
+    /// Storage accounting. O(1): the compressed total is maintained
+    /// incrementally by [`GearFileStore::upload`] and
+    /// [`GearFileStore::retain_only`]; the rest comes from the blob store.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
             stored_bytes: self.stored_bytes,
-            logical_bytes: self.logical_bytes,
             dedup_hits: self.dedup_hits,
+            ..self.store.stats()
         }
     }
 
     /// Iterates over stored files as `(fingerprint, content)` (for
     /// persistence layers).
     pub fn iter(&self) -> impl Iterator<Item = (Fingerprint, &Bytes)> {
-        self.files.iter().map(|(fp, f)| (*fp, &f.raw))
+        self.store.iter()
     }
 
     /// Integrity scan: re-hashes every object and returns the fingerprints
@@ -194,39 +199,27 @@ impl GearFileStore {
     /// content uncompressed and only accounts compressed wire sizes, so a
     /// scan never decompresses anything, and re-hashing is the entire cost.
     pub fn verify(&self) -> Vec<Fingerprint> {
-        self.verify_with(&gear_par::Pool::serial())
+        self.store.verify()
     }
 
     /// [`GearFileStore::verify`] fanned out across `pool`. Output is sorted,
     /// so it is identical for any worker count (and to the serial scan).
     pub fn verify_with(&self, pool: &gear_par::Pool) -> Vec<Fingerprint> {
-        let entries: Vec<(Fingerprint, &Bytes)> = self.iter().collect();
-        let mut bad: Vec<Fingerprint> = pool
-            .map(&entries, |(fp, raw)| (Fingerprint::of(raw) != *fp).then_some(*fp))
-            .into_iter()
-            .flatten()
-            .collect();
-        bad.sort();
-        bad
+        self.store.verify_with(pool)
     }
 
     /// Removes objects not in `live`, returning bytes freed. Models cache
     /// replacement / garbage collection on the registry side. Running totals
     /// are kept in step, so [`GearFileStore::stats`] stays exact after GC.
     pub fn retain_only(&mut self, live: &std::collections::HashSet<Fingerprint>) -> u64 {
+        let dead: Vec<Fingerprint> =
+            self.iter().map(|(fp, _)| fp).filter(|fp| !live.contains(fp)).collect();
         let mut freed = 0;
-        let mut logical_freed = 0;
-        self.files.retain(|fp, f| {
-            if live.contains(fp) {
-                true
-            } else {
-                freed += f.stored_len;
-                logical_freed += f.raw.len() as u64;
-                false
-            }
-        });
+        for fp in dead {
+            self.store.remove(fp);
+            freed += self.wire.remove(&fp).unwrap_or(0);
+        }
         self.stored_bytes -= freed;
-        self.logical_bytes -= logical_freed;
         freed
     }
 
@@ -234,9 +227,7 @@ impl GearFileStore {
     /// touching its key, simulating on-disk corruption for integrity tests.
     #[cfg(test)]
     fn corrupt_for_test(&mut self, fingerprint: Fingerprint, bad: Bytes) {
-        let file = self.files.get_mut(&fingerprint).expect("object exists");
-        self.logical_bytes = self.logical_bytes - file.raw.len() as u64 + bad.len() as u64;
-        file.raw = bad;
+        self.store.corrupt_for_test(fingerprint, bad);
     }
 }
 
@@ -294,6 +285,18 @@ mod tests {
     }
 
     #[test]
+    fn downloads_never_touch_lookup_counters() {
+        let mut store = GearFileStore::new();
+        let body = Bytes::from_static(b"served object");
+        let fp = Fingerprint::of(&body);
+        store.upload(fp, body).unwrap();
+        store.download(fp);
+        store.download(Fingerprint::of(b"missing"));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "downloads are pure reads");
+    }
+
+    #[test]
     fn verify_flags_corruption_and_matches_parallel() {
         let mut store = GearFileStore::new();
         let bodies: Vec<Bytes> = (0u8..40).map(|i| Bytes::from(vec![i; 50])).collect();
@@ -334,7 +337,7 @@ mod tests {
         assert!(freed > 0);
         // The incremental totals must equal a from-scratch recount.
         let stats = store.stats();
-        assert_eq!(stats.objects, live.len());
+        assert_eq!(stats.objects, live.len() as u64);
         let recount_logical: u64 = store.iter().map(|(_, raw)| raw.len() as u64).sum();
         let recount_stored: u64 =
             fps.iter().filter_map(|fp| store.transfer_size(*fp)).sum();
@@ -344,7 +347,7 @@ mod tests {
         // Re-uploading a collected object stores it again and accounting
         // keeps following.
         store.upload(fps[1], bodies[1].clone()).unwrap();
-        assert_eq!(store.stats().objects, live.len() + 1);
+        assert_eq!(store.stats().objects, live.len() as u64 + 1);
         assert_eq!(
             store.stats().logical_bytes,
             recount_logical + bodies[1].len() as u64

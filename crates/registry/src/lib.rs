@@ -40,4 +40,6 @@ mod docker;
 mod filestore;
 
 pub use docker::{DockerRegistry, PushReport, RegistryStats};
-pub use filestore::{FileStoreStats, GearFileStore, UploadError, UploadOutcome};
+#[allow(deprecated)]
+pub use filestore::FileStoreStats;
+pub use filestore::{GearFileStore, StoreStats, UploadError, UploadOutcome};

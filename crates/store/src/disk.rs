@@ -1,0 +1,241 @@
+//! A blob store on modeled disk: every read and write accrues deterministic
+//! I/O time from a [`DiskModel`].
+//!
+//! Contents live in memory (this is a simulation — determinism is the whole
+//! point), but access is *priced*: a `get` that hits accrues one file read,
+//! a `put` that stores accrues one file write, and an integrity scan accrues
+//! a full-pool read. The accrued time sits in the store until the caller
+//! folds it into its own simulated clock via
+//! [`drain_cost`](crate::BlobStore::drain_cost) — the same
+//! accrue-then-charge pattern the deployment cost models use.
+//!
+//! Metadata-only operations (`contains`, `pin`, `evict`, `touch`) are free:
+//! the model charges data movement, not bookkeeping.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use gear_hash::Fingerprint;
+use gear_simnet::DiskModel;
+
+use crate::{BlobStore, EvictionPolicy, MemStore, StoreStats};
+
+/// A capacity-bounded blob store whose data accesses accrue [`DiskModel`]
+/// time, scaled by the corpus byte scale so priced latency matches the
+/// deployment cost model's units.
+#[derive(Debug)]
+pub struct DiskStore {
+    inner: MemStore,
+    model: DiskModel,
+    /// Multiplier mapping stored (corpus-scaled) bytes back to modeled real
+    /// bytes, mirroring `ClientConfig::byte_scale`.
+    byte_scale: u64,
+    accrued: Duration,
+}
+
+impl DiskStore {
+    /// A store with the given policy, capacity, and disk model.
+    /// `byte_scale` is the corpus down-scaling factor (1 = unscaled).
+    pub fn new(
+        policy: EvictionPolicy,
+        capacity: Option<u64>,
+        model: DiskModel,
+        byte_scale: u64,
+    ) -> Self {
+        DiskStore {
+            inner: MemStore::with_policy(policy, capacity),
+            model,
+            byte_scale: byte_scale.max(1),
+            accrued: Duration::ZERO,
+        }
+    }
+
+    fn accrue_io(&mut self, bytes: u64, files: u64) {
+        self.accrued += self.model.io_time(bytes * self.byte_scale, files);
+    }
+
+    /// Pure read — no recency, no accounting, no priced I/O (see
+    /// [`BlobStore::peek`]).
+    pub fn peek(&self, fingerprint: Fingerprint) -> Option<Bytes> {
+        self.inner.peek(fingerprint)
+    }
+
+    /// Whether the blob is resident (free metadata probe).
+    pub fn contains(&self, fingerprint: Fingerprint) -> bool {
+        self.inner.contains(fingerprint)
+    }
+
+    /// Looks the blob up, accruing one file read on a hit.
+    pub fn get(&mut self, fingerprint: Fingerprint) -> Option<Bytes> {
+        let found = self.inner.get(fingerprint);
+        if let Some(content) = &found {
+            self.accrue_io(content.len() as u64, 1);
+        }
+        found
+    }
+
+    /// Recency refresh without data movement (see [`MemStore::touch`]).
+    pub fn touch(&mut self, fingerprint: Fingerprint) {
+        self.inner.touch(fingerprint);
+    }
+
+    /// Stores the blob, accruing one file write when it is newly written.
+    /// Eviction victims are appended to `evicted` (deletion is metadata —
+    /// free).
+    pub fn insert_recording(
+        &mut self,
+        fingerprint: Fingerprint,
+        content: Bytes,
+        evicted: &mut Vec<Fingerprint>,
+    ) -> bool {
+        if self.inner.contains(fingerprint) {
+            return true; // dedup: nothing crosses the disk
+        }
+        let len = content.len() as u64;
+        let resident = self.inner.insert_recording(fingerprint, content, evicted);
+        if resident {
+            self.accrue_io(len, 1);
+        }
+        resident
+    }
+
+    /// [`DiskStore::insert_recording`] without victim tracking.
+    pub fn insert(&mut self, fingerprint: Fingerprint, content: Bytes) -> bool {
+        let mut evicted = Vec::new();
+        self.insert_recording(fingerprint, content, &mut evicted)
+    }
+
+    /// The time accrued since the last drain (without draining it).
+    pub fn accrued(&self) -> Duration {
+        self.accrued
+    }
+}
+
+impl BlobStore for DiskStore {
+    fn contains(&self, fingerprint: Fingerprint) -> bool {
+        self.inner.contains(fingerprint)
+    }
+
+    fn peek(&self, fingerprint: Fingerprint) -> Option<Bytes> {
+        self.inner.peek(fingerprint)
+    }
+
+    fn get(&mut self, fingerprint: Fingerprint) -> Option<Bytes> {
+        DiskStore::get(self, fingerprint)
+    }
+
+    fn put(&mut self, fingerprint: Fingerprint, content: Bytes) -> bool {
+        self.insert(fingerprint, content)
+    }
+
+    fn pin(&mut self, fingerprint: Fingerprint) {
+        self.inner.pin(fingerprint);
+    }
+
+    fn unpin(&mut self, fingerprint: Fingerprint) {
+        self.inner.unpin(fingerprint);
+    }
+
+    fn evict(&mut self) -> Option<(Fingerprint, u64)> {
+        self.inner.evict()
+    }
+
+    fn victim_key(&self) -> Option<u64> {
+        self.inner.victim_key()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn verify(&self) -> Vec<Fingerprint> {
+        // Integrity scans are offline tooling, outside the deployment
+        // clock; like `peek`, they are not priced.
+        self.inner.verify()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    fn drain_cost(&mut self) -> Duration {
+        std::mem::take(&mut self.accrued)
+    }
+
+    fn tier_bytes(&self) -> (u64, u64) {
+        (0, self.inner.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u8) -> Fingerprint {
+        Fingerprint::of(&[n])
+    }
+
+    fn body(n: u8, len: usize) -> Bytes {
+        Bytes::from(vec![n; len])
+    }
+
+    #[test]
+    fn reads_and_writes_accrue_modeled_time() {
+        let mut d = DiskStore::new(EvictionPolicy::Lru, None, DiskModel::ssd(), 1);
+        assert_eq!(d.drain_cost(), Duration::ZERO);
+        d.insert(fp(1), body(1, 1_000_000));
+        let write = d.drain_cost();
+        assert_eq!(write, DiskModel::ssd().io_time(1_000_000, 1));
+        d.get(fp(1));
+        let read = d.drain_cost();
+        assert_eq!(read, DiskModel::ssd().io_time(1_000_000, 1));
+        // Drained: nothing left.
+        assert_eq!(d.drain_cost(), Duration::ZERO);
+    }
+
+    #[test]
+    fn metadata_operations_are_free() {
+        let mut d = DiskStore::new(EvictionPolicy::Lru, Some(100), DiskModel::hdd(), 1);
+        d.insert(fp(1), body(1, 60));
+        d.drain_cost();
+        assert!(d.contains(fp(1)));
+        assert!(d.peek(fp(1)).is_some());
+        d.touch(fp(1));
+        d.pin(fp(1));
+        d.unpin(fp(1));
+        assert_eq!(d.drain_cost(), Duration::ZERO);
+        // A duplicate insert moves no data.
+        d.insert(fp(1), body(1, 60));
+        assert_eq!(d.drain_cost(), Duration::ZERO);
+        // A miss moves no data either.
+        assert!(d.get(fp(9)).is_none());
+        assert_eq!(d.drain_cost(), Duration::ZERO);
+    }
+
+    #[test]
+    fn byte_scale_multiplies_priced_bytes() {
+        let mut scaled = DiskStore::new(EvictionPolicy::Lru, None, DiskModel::nvme(), 1024);
+        scaled.insert(fp(1), body(1, 1000));
+        assert_eq!(scaled.drain_cost(), DiskModel::nvme().io_time(1000 * 1024, 1));
+    }
+
+    #[test]
+    fn behaves_like_memstore_modulo_cost() {
+        let mut d = DiskStore::new(EvictionPolicy::Fifo, Some(25), DiskModel::ram(), 1);
+        let mut m = MemStore::with_policy(EvictionPolicy::Fifo, Some(25));
+        for n in 1u8..=4 {
+            assert_eq!(d.insert(fp(n), body(n, 10)), m.insert(fp(n), body(n, 10)));
+            assert_eq!(d.get(fp(1)).is_some(), m.get(fp(1)).is_some());
+        }
+        assert_eq!(d.stats(), m.stats());
+        assert_eq!(d.bytes(), m.bytes());
+    }
+}

@@ -1,0 +1,187 @@
+//! Content-addressed blob storage for the Gear reproduction.
+//!
+//! Gear's value proposition is file-granularity sharing of content-addressed
+//! objects between the registry pool, the client cache, and peer nodes. This
+//! crate is the single storage abstraction all three consume: a [`BlobStore`]
+//! trait keyed by [`Fingerprint`], with composable implementations:
+//!
+//! * [`MemStore`] — the capacity-bounded in-memory cache with O(log n)
+//!   BTreeSet-indexed eviction (FIFO/LRU) and pinning, absorbing the old
+//!   `gear-client` `SharedCache`;
+//! * [`DiskStore`] — a [`MemStore`] whose reads and writes accrue simulated
+//!   I/O time from a deterministic [`DiskModel`], so tier placement has
+//!   priced latency ([`BlobStore::drain_cost`] hands the accrued time to the
+//!   caller's clock);
+//! * [`TieredStore`] — L1 memory over L2 modeled disk with write-through and
+//!   promotion-on-hit policies;
+//! * [`Sharded`] — a generic wrapper splitting any store into independently
+//!   locked shards selected by fingerprint prefix, replacing the old
+//!   `ShardedCache`.
+//!
+//! The crate is dependency-free in the external sense: it builds from the
+//! workspace (`gear-hash`, `gear-simnet`, `gear-par`) and the vendored
+//! `bytes`/`parking_lot` only.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Duration;
+
+use bytes::Bytes;
+use gear_hash::Fingerprint;
+
+mod disk;
+mod mem;
+mod sharded;
+mod split;
+mod stats;
+mod tiered;
+
+pub use disk::DiskStore;
+pub use mem::{EvictionPolicy, MemStore, TickSource};
+pub use sharded::Sharded;
+pub use split::split_capacity;
+pub use stats::StoreStats;
+pub use tiered::TieredStore;
+
+/// A content-addressed blob store keyed by MD5 fingerprint.
+///
+/// The trait is object-safe: consumers hold a `Box<dyn BlobStore>` and swap
+/// flat, tiered, or sharded backends without code changes. Semantics every
+/// implementation upholds:
+///
+/// * [`contains`](BlobStore::contains) and [`peek`](BlobStore::peek) are
+///   **pure reads** — no recency update, no hit/miss accounting — so
+///   residency probes and side-channel reads never perturb eviction order.
+/// * [`get`](BlobStore::get) records a hit or miss and refreshes recency,
+///   even for pinned entries (pinning grants immunity from eviction, not
+///   exemption from recency tracking).
+/// * [`put`](BlobStore::put) deduplicates by fingerprint and returns whether
+///   the blob is resident afterwards; bounded stores evict unpinned blobs to
+///   make room and reject blobs larger than their whole capacity.
+/// * Simulated storage cost accrues inside the store and is handed to the
+///   caller's clock through [`drain_cost`](BlobStore::drain_cost); a pure
+///   in-memory store accrues nothing.
+pub trait BlobStore: fmt::Debug + Send {
+    /// Whether the blob is resident. A pure read (see trait docs).
+    fn contains(&self, fingerprint: Fingerprint) -> bool;
+
+    /// Reads the blob without touching recency or hit/miss accounting, and
+    /// without accruing storage cost — the side-channel read used by pure
+    /// accessors (dedup checks, wire-size queries, integrity tooling).
+    fn peek(&self, fingerprint: Fingerprint) -> Option<Bytes>;
+
+    /// Looks the blob up, recording a hit or miss and refreshing recency.
+    fn get(&mut self, fingerprint: Fingerprint) -> Option<Bytes>;
+
+    /// Stores the blob (no-op if present), evicting unpinned blobs as
+    /// needed. Returns whether the blob is resident afterwards.
+    fn put(&mut self, fingerprint: Fingerprint, content: Bytes) -> bool;
+
+    /// Pins the blob (one reference); pinned blobs are never evicted.
+    fn pin(&mut self, fingerprint: Fingerprint);
+
+    /// Releases one pin; on the last release the blob rejoins the eviction
+    /// order at its current recency.
+    fn unpin(&mut self, fingerprint: Fingerprint);
+
+    /// Evicts the policy's current victim, returning its fingerprint and
+    /// size; `None` when everything resident is pinned (or the store is
+    /// empty).
+    fn evict(&mut self) -> Option<(Fingerprint, u64)>;
+
+    /// The eviction-order key of the blob [`evict`](BlobStore::evict) would
+    /// remove — smaller keys are evicted first. Lets wrappers (e.g.
+    /// [`Sharded`]) pick a global victim across stores sharing a
+    /// [`TickSource`].
+    fn victim_key(&self) -> Option<u64>;
+
+    /// Accounting so far (hit/miss/eviction counters plus residency gauges).
+    fn stats(&self) -> StoreStats;
+
+    /// Integrity scan: re-hashes every blob and returns the fingerprints
+    /// whose content no longer matches, sorted (empty = clean).
+    fn verify(&self) -> Vec<Fingerprint>;
+
+    /// Resident blob count.
+    fn len(&self) -> usize;
+
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resident bytes.
+    fn bytes(&self) -> u64;
+
+    /// Drops every blob but keeps statistics (the paper's cold-cache
+    /// experiment setup).
+    fn clear(&mut self);
+
+    /// Simulated storage time accrued since the last drain. Callers fold
+    /// this into their deterministic clock; memory-only stores return zero.
+    fn drain_cost(&mut self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Resident bytes split `(memory tier, disk tier)`; single-tier stores
+    /// report everything in their native tier.
+    fn tier_bytes(&self) -> (u64, u64) {
+        (self.bytes(), 0)
+    }
+
+    /// Looks the blob up, running `fill` on a miss and storing its result.
+    ///
+    /// Single-flight safety is the caller's locking discipline: implementors
+    /// run `fill` while holding whatever exclusivity `&mut self` (or, for
+    /// [`Sharded`], the shard lock) provides, so no two fills for the same
+    /// fingerprint can interleave.
+    fn get_or_fill(
+        &mut self,
+        fingerprint: Fingerprint,
+        fill: &mut dyn FnMut() -> Option<Bytes>,
+    ) -> Option<Bytes> {
+        if let Some(content) = self.get(fingerprint) {
+            return Some(content);
+        }
+        let content = fill()?;
+        self.put(fingerprint, content.clone());
+        Some(content)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn fp(n: u8) -> Fingerprint {
+        Fingerprint::of(&[n])
+    }
+
+    #[test]
+    fn get_or_fill_is_single_flight_per_call() {
+        let mut store: Box<dyn BlobStore> =
+            Box::new(MemStore::with_policy(EvictionPolicy::Lru, None));
+        let mut fills = 0;
+        let body = Bytes::from_static(b"filled");
+        for _ in 0..3 {
+            let got = store.get_or_fill(fp(1), &mut || {
+                fills += 1;
+                Some(body.clone())
+            });
+            assert_eq!(got.unwrap(), body);
+        }
+        assert_eq!(fills, 1, "only the first lookup runs the fill");
+        // A failing fill caches nothing.
+        assert!(store.get_or_fill(fp(2), &mut || None).is_none());
+        assert!(!store.contains(fp(2)));
+    }
+
+    #[test]
+    fn default_tier_bytes_is_all_memory() {
+        let mut store = MemStore::new();
+        store.insert(fp(1), Bytes::from_static(b"abcd"));
+        let store: &dyn BlobStore = &store;
+        assert_eq!(store.tier_bytes(), (4, 0));
+    }
+}

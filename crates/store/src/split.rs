@@ -1,0 +1,59 @@
+//! Shared per-shard capacity arithmetic.
+
+/// Splits a total byte capacity across `shards` stores with no remainder
+/// loss: the first `total % shards` shards get one extra byte, and the
+/// per-shard capacities always sum back to exactly `total`. `None`
+/// (unbounded) stays unbounded everywhere.
+///
+/// This is the one audited home for the arithmetic previously duplicated
+/// (and floor-truncated) inside the sharded-cache constructor.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero — a sharded store with no shards is a
+/// construction bug, not a runtime condition.
+pub fn split_capacity(total: Option<u64>, shards: usize) -> Vec<Option<u64>> {
+    assert!(shards > 0, "capacity split requires at least one shard");
+    match total {
+        None => vec![None; shards],
+        Some(total) => {
+            let shards_u64 = shards as u64;
+            let base = total / shards_u64;
+            let extra = total % shards_u64;
+            (0..shards_u64).map(|i| Some(base + u64::from(i < extra))).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_back_to_total_with_no_remainder_loss() {
+        for total in [0u64, 1, 7, 64, 100, 1023, 4096, u64::from(u32::MAX)] {
+            for shards in [1usize, 2, 3, 5, 7, 8, 13, 64] {
+                let parts = split_capacity(Some(total), shards);
+                assert_eq!(parts.len(), shards);
+                let sum: u64 = parts.iter().map(|p| p.unwrap()).sum();
+                assert_eq!(sum, total, "{total} bytes over {shards} shards");
+                // The split is as even as integers allow: parts differ by
+                // at most one byte.
+                let min = parts.iter().map(|p| p.unwrap()).min().unwrap();
+                let max = parts.iter().map(|p| p.unwrap()).max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_stays_unbounded() {
+        assert_eq!(split_capacity(None, 4), vec![None; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        split_capacity(Some(10), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Unified accounting for every [`BlobStore`](crate::BlobStore).
+//!
+//! One struct replaces the old `gear-client` `CacheStats` and
+//! `gear-registry` `FileStoreStats`: cache-style hit/miss/eviction counters
+//! and registry-style object/byte totals live side by side, so per-shard or
+//! per-tier stats merge into whole-store totals with one exact sum.
+
+/// Store accounting: counters (monotonic) and gauges (current state).
+///
+/// Counter fields (`hits`, `misses`, `evictions`, `evicted_bytes`,
+/// `dedup_hits`) only ever grow; gauge fields (`pinned_bytes`, `objects`,
+/// `stored_bytes`, `logical_bytes`) track the store's current residency.
+/// Both kinds add element-wise under [`StoreStats::merge`], so merging
+/// per-shard stats yields whole-cache totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Lookups that found the blob locally.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Blobs evicted to make room.
+    pub evictions: u64,
+    /// Bytes evicted.
+    pub evicted_bytes: u64,
+    /// Bytes currently held by pinned blobs (the portion of residency that
+    /// eviction cannot touch).
+    pub pinned_bytes: u64,
+    /// Unique blobs resident.
+    pub objects: u64,
+    /// Bytes as kept by the backing medium (compressed when the owner
+    /// compresses).
+    pub stored_bytes: u64,
+    /// Logical (uncompressed) bytes resident.
+    pub logical_bytes: u64,
+    /// Writes rejected as duplicates of an already-resident blob.
+    pub dedup_hits: u64,
+}
+
+impl StoreStats {
+    /// Element-wise sum: counters and gauges both add, so merging per-shard
+    /// (or per-tier) stats yields exact whole-store totals.
+    #[must_use]
+    pub fn merge(self, other: StoreStats) -> StoreStats {
+        StoreStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            evicted_bytes: self.evicted_bytes + other.evicted_bytes,
+            pinned_bytes: self.pinned_bytes + other.pinned_bytes,
+            objects: self.objects + other.objects,
+            stored_bytes: self.stored_bytes + other.stored_bytes,
+            logical_bytes: self.logical_bytes + other.logical_bytes,
+            dedup_hits: self.dedup_hits + other.dedup_hits,
+        }
+    }
+
+    /// Total lookups (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that hit; 0 when nothing was looked up.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Logical bytes saved by the backing medium (compression), i.e.
+    /// `logical_bytes - stored_bytes`; 0 when storage is uncompressed.
+    #[must_use]
+    pub fn saved_bytes(&self) -> u64 {
+        self.logical_bytes.saturating_sub(self.stored_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_exact_element_wise_sum() {
+        let a = StoreStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+            evicted_bytes: 4,
+            pinned_bytes: 5,
+            objects: 6,
+            stored_bytes: 7,
+            logical_bytes: 8,
+            dedup_hits: 9,
+        };
+        let b = StoreStats {
+            hits: 10,
+            misses: 20,
+            evictions: 30,
+            evicted_bytes: 40,
+            pinned_bytes: 50,
+            objects: 60,
+            stored_bytes: 70,
+            logical_bytes: 80,
+            dedup_hits: 90,
+        };
+        let m = a.merge(b);
+        assert_eq!(
+            m,
+            StoreStats {
+                hits: 11,
+                misses: 22,
+                evictions: 33,
+                evicted_bytes: 44,
+                pinned_bytes: 55,
+                objects: 66,
+                stored_bytes: 77,
+                logical_bytes: 88,
+                dedup_hits: 99,
+            }
+        );
+        assert_eq!(StoreStats::default().merge(a), a, "zero is the identity");
+    }
+
+    #[test]
+    fn derived_accessors() {
+        let s = StoreStats { hits: 3, misses: 1, stored_bytes: 40, logical_bytes: 100, ..StoreStats::default() };
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(s.saved_bytes(), 60);
+        assert_eq!(StoreStats::default().hit_rate(), 0.0);
+    }
+}

@@ -5,6 +5,9 @@
 //! statistics, plotting, or baseline storage.
 
 #![forbid(unsafe_code)]
+// Vendored stand-in: keep upstream-shaped code as-is rather than chasing
+// style lints in it.
+#![allow(clippy::all, clippy::pedantic)]
 
 use std::fmt;
 use std::time::{Duration, Instant};

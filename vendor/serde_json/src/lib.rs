@@ -5,6 +5,9 @@
 //! re-exported [`Value`].
 
 #![forbid(unsafe_code)]
+// Vendored stand-in: keep upstream-shaped code as-is rather than chasing
+// style lints in it.
+#![allow(clippy::all, clippy::pedantic)]
 
 use std::fmt;
 
