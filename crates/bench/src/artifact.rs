@@ -13,6 +13,7 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::concurrency::Concurrency;
+use crate::experiments::crash::Crash;
 use crate::experiments::fig9::Fig9;
 use crate::experiments::hotpath::Hotpath;
 use crate::experiments::tiering::Tiering;
@@ -144,6 +145,20 @@ pub fn tiering_metrics(tiering: &Tiering) -> Vec<Metric> {
     metrics
 }
 
+/// Flattens a crash-recovery sweep into metrics.
+pub fn crash_metrics(crash: &Crash) -> Vec<Metric> {
+    let mut metrics = Vec::new();
+    for row in &crash.rows {
+        let prefix = format!("{}/{}", row.disk, row.point);
+        metrics
+            .push(Metric::new(format!("{prefix}/recovery_secs"), row.mean_recovery.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/replayed_records"), row.mean_replayed));
+        metrics.push(Metric::new(format!("{prefix}/lost_acked"), row.lost_acked as f64));
+    }
+    metrics.push(Metric::new("lost_acked_total", crash.total_lost() as f64));
+    metrics
+}
+
 /// Recorded `streams = 1` deployment times the CI smoke job compares
 /// against.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -163,6 +178,21 @@ pub struct Baseline {
     /// baselines recorded before the sweep existed).
     #[serde(default)]
     pub tiering: Vec<TieringRow>,
+    /// Recorded crash-sweep recovery times (empty when the baseline was
+    /// recorded without the `crash` experiment, and absent entirely in
+    /// baselines recorded before the sweep existed).
+    #[serde(default)]
+    pub crash: Vec<CrashRow>,
+}
+
+/// One recorded crash-recovery time (simulated, so machine-independent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrashRow {
+    /// Metric key as emitted by [`crash_metrics`], e.g.
+    /// `"hdd/torn/recovery_secs"`.
+    pub key: String,
+    /// Recorded time in seconds.
+    pub secs: f64,
 }
 
 /// One recorded tiering deployment time (simulated, so machine-independent).
@@ -225,7 +255,14 @@ impl Baseline {
                 }
             })
             .collect();
-        Baseline { scale_denom, seed, rows, hotpath: Vec::new(), tiering: Vec::new() }
+        Baseline {
+            scale_denom,
+            seed,
+            rows,
+            hotpath: Vec::new(),
+            tiering: Vec::new(),
+            crash: Vec::new(),
+        }
     }
 
     /// Adds the standard hot-path floors to this baseline (recorded when
@@ -242,6 +279,17 @@ impl Baseline {
             .iter()
             .filter(|m| m.key.ends_with("_secs"))
             .map(|m| TieringRow { key: m.key.clone(), secs: m.value })
+            .collect();
+        self
+    }
+
+    /// Records the crash sweep's recovery times (the `*_secs` metrics;
+    /// record counts and loss totals are invariants, not recordings).
+    pub fn with_crash(mut self, metrics: &[Metric]) -> Self {
+        self.crash = metrics
+            .iter()
+            .filter(|m| m.key.ends_with("_secs"))
+            .map(|m| CrashRow { key: m.key.clone(), secs: m.value })
             .collect();
         self
     }
@@ -305,6 +353,41 @@ impl Baseline {
                 )),
                 None => problems
                     .push(format!("tiering point {} missing from the run", row.key)),
+            }
+        }
+        problems
+    }
+
+    /// Compares a fresh crash sweep against the recorded recovery times and
+    /// enforces the durability invariant. Any `lost_acked` metric above
+    /// zero fails **regardless of what the baseline recorded** — losing an
+    /// acknowledged blob is never an acceptable trade for speed. Recorded
+    /// `*_secs` rows gate like the tiering rows: more than `tolerance`
+    /// slower fails, faster passes, missing points fail.
+    pub fn crash_regressions(&self, metrics: &[Metric], tolerance: f64) -> Vec<String> {
+        let mut problems = Vec::new();
+        for m in metrics.iter().filter(|m| m.key.ends_with("lost_acked")) {
+            if m.value > 0.0 {
+                problems.push(format!(
+                    "crash/{}: {} acknowledged blobs lost after recovery (must be 0)",
+                    m.key, m.value,
+                ));
+            }
+        }
+        for row in &self.crash {
+            match metrics.iter().find(|m| m.key == row.key) {
+                Some(m) if m.value <= row.secs * (1.0 + tolerance) => {}
+                Some(m) => problems.push(format!(
+                    "crash/{}: took {:.4}s, recorded {:.4}s (+{:.1}% > {:.1}% tolerance)",
+                    row.key,
+                    m.value,
+                    row.secs,
+                    (m.value / row.secs - 1.0) * 100.0,
+                    tolerance * 100.0,
+                )),
+                None => {
+                    problems.push(format!("crash point {} missing from the run", row.key));
+                }
             }
         }
         problems
@@ -401,6 +484,41 @@ mod tests {
         let legacy: Baseline = serde_json::from_str(legacy).unwrap();
         assert!(legacy.tiering.is_empty());
         assert!(legacy.tiering_regressions(&[], 0.01).is_empty());
+    }
+
+    #[test]
+    fn crash_rows_gate_times_and_loss_is_never_tolerated() {
+        let recorded = Concurrency { sweeps: vec![sweep("20Mbps", 1_000)] };
+        let measured = vec![
+            Metric::new("hdd/torn/recovery_secs", 0.5),
+            Metric::new("hdd/torn/replayed_records", 40.0),
+            Metric::new("hdd/torn/lost_acked", 0.0),
+        ];
+        let baseline = Baseline::from_concurrency(&recorded, 64, 7).with_crash(&measured);
+        assert_eq!(baseline.crash.len(), 1, "only *_secs metrics are recorded");
+
+        assert!(baseline.crash_regressions(&measured, 0.01).is_empty());
+        let slower = vec![
+            Metric::new("hdd/torn/recovery_secs", 0.6),
+            Metric::new("hdd/torn/lost_acked", 0.0),
+        ];
+        assert_eq!(baseline.crash_regressions(&slower, 0.01).len(), 1);
+
+        // Blob loss fails even when the recorded rows are all satisfied —
+        // and even against a baseline with no crash rows at all.
+        let lossy = vec![
+            Metric::new("hdd/torn/recovery_secs", 0.5),
+            Metric::new("hdd/torn/lost_acked", 2.0),
+        ];
+        assert_eq!(baseline.crash_regressions(&lossy, 0.01).len(), 1);
+        let plain = Baseline::from_concurrency(&recorded, 64, 7);
+        assert_eq!(plain.crash_regressions(&lossy, 0.01).len(), 1, "loss gate is unconditional");
+
+        // Baselines recorded before the sweep existed still load.
+        let legacy = r#"{"scale_denom":64,"seed":7,"rows":[],"hotpath":[]}"#;
+        let legacy: Baseline = serde_json::from_str(legacy).unwrap();
+        assert!(legacy.crash.is_empty());
+        assert!(legacy.crash_regressions(&[], 0.01).is_empty());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!       <experiment>...
 //!
 //! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 concurrency
-//!              cluster faults hotpath tiering profile all
+//!              cluster faults crash hotpath tiering profile all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
@@ -20,8 +20,8 @@
 //! and, when the baseline carries hot-path floors or tiering times, the
 //! `hotpath` / `tiering` metrics against those — exiting non-zero on
 //! regression (the CI smoke job); `--record-baseline FILE` writes a fresh
-//! baseline (with hot-path floors and tiering times when those experiments
-//! are in the run).
+//! baseline (with hot-path floors and tiering / crash-recovery times when
+//! those experiments are in the run).
 //!
 //! `profile` (not part of `all`) runs the instrumented deployment-path
 //! profile; `--trace DIR` additionally writes its Perfetto `trace.json` and
@@ -118,7 +118,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--scale N] [--seed S] [--versions V] [--quick] [--json] \
                      [--baseline FILE] [--record-baseline FILE] [--trace DIR] \
                      <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults\
-                     |hotpath|tiering|profile|all>..."
+                     |crash|hotpath|tiering|profile|all>..."
                         .to_owned(),
                 )
             }
@@ -144,7 +144,7 @@ fn main() -> ExitCode {
     let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         vec![
             "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "concurrency",
-            "cluster", "faults", "hotpath", "tiering",
+            "cluster", "faults", "crash", "hotpath", "tiering",
         ]
     } else {
         args.experiments.iter().map(String::as_str).collect()
@@ -194,6 +194,7 @@ fn main() -> ExitCode {
     let mut concurrency_result = None;
     let mut hotpath_metrics = None;
     let mut tiering_metrics = None;
+    let mut crash_metrics = None;
     for name in &wanted {
         println!("{}", "=".repeat(72));
         let mut metrics = Vec::new();
@@ -256,6 +257,21 @@ fn main() -> ExitCode {
             "faults" => {
                 experiments::faults::run(&ctx, published.as_ref().expect("published")).to_string()
             }
+            "crash" => {
+                let result = experiments::crash::run();
+                metrics = artifact::crash_metrics(&result);
+                crash_metrics = Some(metrics.clone());
+                let text = result.to_string();
+                if result.total_lost() > 0 {
+                    println!("{text}");
+                    eprintln!(
+                        "DURABILITY FAILURE: {} acknowledged blobs lost after recovery",
+                        result.total_lost()
+                    );
+                    return ExitCode::FAILURE;
+                }
+                text
+            }
             "cluster" => {
                 let series = if ctx.corpus.series_by_name("postgres").is_some() {
                     "postgres"
@@ -308,6 +324,9 @@ fn main() -> ExitCode {
         if let Some(metrics) = &tiering_metrics {
             baseline = baseline.with_tiering(metrics);
         }
+        if let Some(metrics) = &crash_metrics {
+            baseline = baseline.with_crash(metrics);
+        }
         let json = serde_json::to_string(&baseline).expect("baseline serializes");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("writing {}: {e}", path.display());
@@ -353,6 +372,16 @@ fn main() -> ExitCode {
                 }
                 None => problems.push(
                     "baseline records tiering times; add `tiering` to the run".to_owned(),
+                ),
+            }
+        }
+        if !baseline.crash.is_empty() {
+            match &crash_metrics {
+                Some(metrics) => {
+                    problems.extend(baseline.crash_regressions(metrics, BASELINE_TOLERANCE));
+                }
+                None => problems.push(
+                    "baseline records crash-recovery times; add `crash` to the run".to_owned(),
                 ),
             }
         }

@@ -1,6 +1,7 @@
 //! One submodule per paper artifact, sharing an [`ExperimentContext`].
 
 pub mod concurrency;
+pub mod crash;
 pub mod ext_cluster;
 pub mod faults;
 pub mod fig10;

@@ -14,7 +14,7 @@
 //!   configured [`gear_simnet::DiskModel`], whose staged read/write time the
 //!   client drains into each deployment's timeline.
 
-use gear_store::{BlobStore, TieredStore};
+use gear_store::{BlobStore, StoreSnapshot, TieredStore};
 
 pub use gear_store::{EvictionPolicy, MemStore, Sharded, StoreStats};
 
@@ -45,6 +45,34 @@ pub fn store_for(config: &ClientConfig) -> Box<dyn BlobStore> {
             config.byte_scale,
             tier.promote_on_hit,
         )),
+    }
+}
+
+/// Rehydrates the blob store a live-upgrade handoff snapshot describes —
+/// the restore side of [`store_for`]. The restored store behaves
+/// tick-for-tick identically to the one snapshotted (see
+/// [`gear_store::snapshot`]). `config` is only sanity-checked: the snapshot
+/// shape must match what [`store_for`] would build for it, so an upgraded
+/// binary cannot silently resume a flat cache as a tiered one.
+///
+/// # Panics
+///
+/// Panics when the snapshot shape contradicts `config.tier`.
+pub fn restore_store_for(config: &ClientConfig, snapshot: &StoreSnapshot) -> Box<dyn BlobStore> {
+    match (config.tier, snapshot) {
+        (None, StoreSnapshot::Mem(_)) | (Some(_), StoreSnapshot::Tiered(_)) => {
+            snapshot.restore()
+        }
+        (tier, snapshot) => panic!(
+            "handoff shape mismatch: config tier {:?} cannot resume a {} snapshot",
+            tier,
+            match snapshot {
+                StoreSnapshot::Mem(_) => "flat memory",
+                StoreSnapshot::Disk(_) => "disk",
+                StoreSnapshot::Tiered(_) => "tiered",
+                StoreSnapshot::Sharded(_) => "sharded",
+            },
+        ),
     }
 }
 

@@ -185,11 +185,48 @@ pub struct GearClient {
     telemetry: Telemetry,
 }
 
+/// A running client's complete persistent state, extracted for live
+/// upgrade: the shared cache as serialized snapshot bytes (contents, pins,
+/// eviction ticks, accrued I/O cost), the installed indexes, the local
+/// index-image blobs, network accounting, and the container-id cursor.
+///
+/// [`GearClient::handoff`] produces one mid-traffic; a "new version"
+/// instance built by [`GearClient::resume`] continues bit-identically —
+/// same cache hits, same eviction victims, same priced timelines. Running
+/// containers do not survive an upgrade (their union mounts are process
+/// state); fault injection and telemetry must be re-attached by the new
+/// instance.
+#[derive(Debug, Clone)]
+pub struct ClientHandoff {
+    config: ClientConfig,
+    cache: Vec<u8>,
+    indexes: Vec<(ImageRef, Arc<GearIndex>)>,
+    blobs: Vec<Digest>,
+    metrics: NetMetrics,
+    next_id: u64,
+}
+
+impl ClientHandoff {
+    /// The serialized cache snapshot (the wire format an out-of-process
+    /// upgrade would ship; see [`gear_store::StoreSnapshot::from_bytes`]).
+    pub fn cache_bytes(&self) -> &[u8] {
+        &self.cache
+    }
+}
+
 impl GearClient {
     /// Creates a client with an empty cache and no installed indexes.
     pub fn new(config: ClientConfig) -> Self {
+        Self::with_store(store_for(&config), config)
+    }
+
+    /// Creates a client over a pre-built blob store — how restored
+    /// snapshots and custom (e.g. journaled or sharded) caches are mounted.
+    /// The store must match what `config` describes; [`GearClient::new`] is
+    /// the common path.
+    pub fn with_store(cache: Box<dyn BlobStore>, config: ClientConfig) -> Self {
         GearClient {
-            cache: store_for(&config),
+            cache,
             config,
             indexes: HashMap::new(),
             containers: HashMap::new(),
@@ -199,6 +236,56 @@ impl GearClient {
             faults: None,
             telemetry: Telemetry::noop(),
         }
+    }
+
+    /// Extracts this client's persistent state for a live upgrade,
+    /// consuming the instance (running containers are torn down with it).
+    /// The cache travels as canonical snapshot bytes; indexes and blob
+    /// digests are listed in deterministic (reference / digest) order.
+    pub fn handoff(self) -> ClientHandoff {
+        let mut indexes: Vec<(ImageRef, Arc<GearIndex>)> = self
+            .indexes
+            .into_iter()
+            .map(|(reference, installed)| (reference, installed.index))
+            .collect();
+        indexes.sort_by_key(|(reference, _)| reference.to_string());
+        let mut blobs: Vec<Digest> = self.blobs.into_iter().collect();
+        blobs.sort();
+        ClientHandoff {
+            config: self.config,
+            cache: self.cache.snapshot().to_bytes(),
+            indexes,
+            blobs,
+            metrics: self.metrics,
+            next_id: self.next_id,
+        }
+    }
+
+    /// Builds the "new version" instance from a handoff. Subsequent
+    /// behaviour is bit-identical to the instance that produced the
+    /// handoff: the restored cache serves the same hits, evicts the same
+    /// victims, and accrues I/O from the same cost baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`gear_store::SnapshotError`] when the cache bytes are corrupt.
+    pub fn resume(handoff: ClientHandoff) -> Result<Self, gear_store::SnapshotError> {
+        let snapshot = gear_store::StoreSnapshot::from_bytes(&handoff.cache)?;
+        let mut client = GearClient::with_store(
+            crate::cache::restore_store_for(&handoff.config, &snapshot),
+            handoff.config,
+        );
+        for (reference, index) in handoff.indexes {
+            // Pins already live in the cache snapshot: rebuild the mount
+            // tree without re-pinning (a second pin per file would survive
+            // one future `remove_image` too many).
+            let tree = Arc::new(index.to_tree());
+            client.indexes.insert(reference, InstalledIndex { index, tree });
+        }
+        client.blobs = handoff.blobs.into_iter().collect();
+        client.metrics = handoff.metrics;
+        client.next_id = handoff.next_id;
+        Ok(client)
     }
 
     /// Attaches a telemetry recorder: every deployment is replayed into it
@@ -1352,6 +1439,52 @@ mod tests {
         tiered.destroy(c);
         let (_, warm_flat) = flat.deploy(&r, &t, &docker, &store).unwrap();
         assert_eq!(warm_tiered.cache_hits, warm_flat.cache_hits);
+    }
+
+    #[test]
+    fn live_upgrade_handoff_is_bit_identical_mid_traffic() {
+        use crate::config::TierConfig;
+        let files: Vec<(String, Vec<u8>)> =
+            (0..12).map(|i| (format!("srv/f{i:02}"), vec![i as u8; 600])).collect();
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(p, c)| (p.as_str(), c.as_slice())).collect();
+        let (docker, store, r) = setup(&refs, "svc:1");
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        // A tiny tiered cache so the workload exercises eviction order and
+        // accrued disk cost — the state a sloppy handoff would lose.
+        let config = ClientConfig::default().with_tier(TierConfig {
+            l1_capacity: Some(1_500),
+            disk: gear_simnet::DiskModel::hdd(),
+            promote_on_hit: true,
+        });
+        let warm = trace(&paths[..8]);
+        let hot = trace(&paths[4..]);
+
+        let mut control = GearClient::new(config);
+        control.deploy(&r, &warm, &docker, &store).unwrap();
+
+        let mut old_version = GearClient::new(config);
+        old_version.deploy(&r, &warm, &docker, &store).unwrap();
+        // Upgrade between requests: snapshot, ship bytes, resume.
+        let new_version = GearClient::resume(old_version.handoff()).unwrap();
+        let mut new_version = new_version;
+
+        let (_, upgraded) = new_version.deploy(&r, &hot, &docker, &store).unwrap();
+        let (_, expected) = control.deploy(&r, &hot, &docker, &store).unwrap();
+        assert_eq!(upgraded, expected, "post-upgrade deployment diverged");
+        assert_eq!(new_version.cache_stats(), control.cache_stats());
+        assert_eq!(new_version.cache_tier_bytes(), control.cache_tier_bytes());
+        assert_eq!(new_version.metrics(), control.metrics());
+
+        // The id cursor survives: the next container keeps counting.
+        let (id_new, _) = new_version.deploy(&r, &trace(&[]), &docker, &store).unwrap();
+        let (id_control, _) = control.deploy(&r, &trace(&[]), &docker, &store).unwrap();
+        assert_eq!(id_new, id_control);
+
+        // Indexes survived without double-pinning: removing the image once
+        // releases every pin.
+        assert!(new_version.remove_image(&r));
+        assert_eq!(new_version.cache_stats().pinned_bytes, 0, "pins leaked through handoff");
     }
 
     #[test]

@@ -60,10 +60,12 @@ mod timeline;
 
 #[allow(deprecated)]
 pub use cache::CacheStats;
-pub use cache::{store_for, EvictionPolicy, SharedCache, ShardedCache, StoreStats};
+pub use cache::{
+    restore_store_for, store_for, EvictionPolicy, SharedCache, ShardedCache, StoreStats,
+};
 pub use config::{ClientConfig, Costs, FetchConfig, TierConfig};
 pub use docker::DockerClient;
-pub use gear::{ContainerId, DeployError, GearClient};
+pub use gear::{ClientHandoff, ContainerId, DeployError, GearClient};
 pub use report::DeploymentReport;
 pub use slacker::SlackerClient;
 pub use timeline::{Timeline, TimelineEvent};

@@ -443,6 +443,31 @@ impl Cluster {
         t.set_now(base + report.total);
     }
 
+    /// Live-upgrades one node mid-traffic: its cache state (contents, pins,
+    /// eviction ticks, accrued I/O cost) is serialized to snapshot bytes —
+    /// the payload an out-of-process upgrade would ship — and rehydrated
+    /// into a "new version" store instance that behaves tick-for-tick
+    /// identically. Directory announcements and installed indexes survive
+    /// untouched, so peers keep fetching from the node across the upgrade.
+    ///
+    /// Returns the handoff payload size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::NoSuchNode`].
+    pub fn upgrade_node(&mut self, node: NodeId) -> Result<usize, ClusterError> {
+        let n = self.nodes.get_mut(node).ok_or(ClusterError::NoSuchNode(node))?;
+        let bytes = n.cache.snapshot().to_bytes();
+        let snapshot = gear_store::StoreSnapshot::from_bytes(&bytes)
+            .expect("snapshot bytes produced in-process always decode");
+        n.cache = gear_client::restore_store_for(&self.config.client, &snapshot);
+        if self.telemetry.enabled() {
+            self.telemetry.count("p2p.upgrades", 1);
+            self.telemetry.instant("p2p", &format!("upgrade node{node}"));
+        }
+        Ok(bytes.len())
+    }
+
     /// Empties one node's cache (e.g. node failure / re-image), withdrawing
     /// its directory entries.
     pub fn reset_node(&mut self, node: NodeId) {
@@ -1023,6 +1048,51 @@ mod tests {
             cluster.deploy_on(1, &r, &t, &reg, &store).unwrap()
         };
         assert_eq!(deploy_once(), deploy_once(), "same seeds → identical deployment");
+    }
+
+    #[test]
+    fn upgrade_under_load_changes_nothing_observable() {
+        use gear_client::TierConfig;
+        // Tiered node caches so the handoff must carry eviction ticks and
+        // accrued disk cost, not just contents.
+        let tiered = ClientConfig::default().with_tier(TierConfig {
+            l1_capacity: Some(2_000),
+            disk: gear_simnet::DiskModel::hdd(),
+            promote_on_hit: true,
+        });
+        let files: Vec<(String, Vec<u8>)> =
+            (0..6).map(|i| (format!("f{i}"), vec![i as u8 + 1; 9_000])).collect();
+        let refs: Vec<(&str, &[u8])> =
+            files.iter().map(|(p, c)| (p.as_str(), c.as_slice())).collect();
+        let (reg, store, r) = published(&refs);
+        let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+        let warm = trace(&paths[..4]);
+        let hot = trace(&paths[2..]);
+
+        let run = |upgrade: bool| {
+            let mut cluster = Cluster::new(ClusterConfig::edge(3).with_client(tiered));
+            cluster.deploy_on(0, &r, &warm, &reg, &store).unwrap();
+            cluster.deploy_on(1, &r, &warm, &reg, &store).unwrap();
+            if upgrade {
+                let payload = cluster.upgrade_node(0).unwrap();
+                assert!(payload > 0, "the handoff ships real state");
+            }
+            // Post-upgrade traffic: node 0 serves peers and keeps deploying.
+            let third = cluster.deploy_on(2, &r, &hot, &reg, &store).unwrap();
+            let again = cluster.deploy_on(0, &r, &hot, &reg, &store).unwrap();
+            (third, again, cluster.registry_egress(), cluster.peer_traffic())
+        };
+
+        let control = run(false);
+        let upgraded = run(true);
+        assert_eq!(upgraded, control, "an upgraded node must be indistinguishable");
+        assert!(upgraded.0.peer_files > 0, "the upgraded node still serves peers");
+    }
+
+    #[test]
+    fn upgrade_node_out_of_range_is_a_typed_error() {
+        let mut cluster = Cluster::new(ClusterConfig::lan(1));
+        assert!(matches!(cluster.upgrade_node(5), Err(ClusterError::NoSuchNode(5))));
     }
 
     #[test]

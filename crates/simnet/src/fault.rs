@@ -340,7 +340,9 @@ impl FaultyLink {
 }
 
 /// A uniform draw in `[0, 1)`, pure in `(seed, index)` (splitmix64).
-fn unit_draw(seed: u64, index: u64) -> f64 {
+/// Shared with [`CrashPlan`](crate::CrashPlan) so fault and crash schedules
+/// stream from the same generator family.
+pub(crate) fn unit_draw(seed: u64, index: u64) -> f64 {
     let mut z = seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);

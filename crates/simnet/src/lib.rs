@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod crash;
 mod disk;
 mod fault;
 mod link;
@@ -40,6 +41,7 @@ mod metrics;
 mod stream;
 
 pub use clock::VirtualClock;
+pub use crash::{CrashPlan, CrashPoint};
 pub use disk::DiskModel;
 pub use fault::{FaultKind, FaultPlan, FaultyLink, LinkOutcome, RetryPolicy};
 pub use link::{Bandwidth, Link};

@@ -31,15 +31,22 @@ use bytes::Bytes;
 use gear_hash::Fingerprint;
 
 mod disk;
+pub mod journal;
 mod mem;
 mod sharded;
+pub mod snapshot;
 mod split;
 mod stats;
 mod tiered;
 
 pub use disk::DiskStore;
+pub use journal::{JournalMedia, JournalRecord, RecoveryReport};
 pub use mem::{EvictionPolicy, MemStore, TickSource};
 pub use sharded::Sharded;
+pub use snapshot::{
+    DiskSnapshot, EntrySnapshot, MemSnapshot, ShardedSnapshot, SnapshotError, StoreSnapshot,
+    TieredSnapshot,
+};
 pub use split::split_capacity;
 pub use stats::StoreStats;
 pub use tiered::TieredStore;
@@ -130,6 +137,19 @@ pub trait BlobStore: fmt::Debug + Send {
         (self.bytes(), 0)
     }
 
+    /// Whether a journaled store's planned power cut has fired, leaving the
+    /// store inert until recovered (see
+    /// [`DiskStore::recover`](crate::DiskStore::recover)). Stores without
+    /// crash wiring are never crashed.
+    fn is_crashed(&self) -> bool {
+        false
+    }
+
+    /// The store's complete state for live-upgrade handoff:
+    /// [`StoreSnapshot::restore`] rehydrates an instance that behaves
+    /// tick-for-tick identically (see [`crate::snapshot`]).
+    fn snapshot(&self) -> StoreSnapshot;
+
     /// Looks the blob up, running `fill` on a miss and storing its result.
     ///
     /// Single-flight safety is the caller's locking discipline: implementors
@@ -147,6 +167,90 @@ pub trait BlobStore: fmt::Debug + Send {
         let content = fill()?;
         self.put(fingerprint, content.clone());
         Some(content)
+    }
+}
+
+/// Boxed trait objects are stores too, so wrappers like
+/// [`Sharded`] can hold heterogeneous (snapshot-restored) shards.
+impl BlobStore for Box<dyn BlobStore> {
+    fn contains(&self, fingerprint: Fingerprint) -> bool {
+        (**self).contains(fingerprint)
+    }
+
+    fn peek(&self, fingerprint: Fingerprint) -> Option<Bytes> {
+        (**self).peek(fingerprint)
+    }
+
+    fn get(&mut self, fingerprint: Fingerprint) -> Option<Bytes> {
+        (**self).get(fingerprint)
+    }
+
+    fn put(&mut self, fingerprint: Fingerprint, content: Bytes) -> bool {
+        (**self).put(fingerprint, content)
+    }
+
+    fn pin(&mut self, fingerprint: Fingerprint) {
+        (**self).pin(fingerprint);
+    }
+
+    fn unpin(&mut self, fingerprint: Fingerprint) {
+        (**self).unpin(fingerprint);
+    }
+
+    fn evict(&mut self) -> Option<(Fingerprint, u64)> {
+        (**self).evict()
+    }
+
+    fn victim_key(&self) -> Option<u64> {
+        (**self).victim_key()
+    }
+
+    fn stats(&self) -> StoreStats {
+        (**self).stats()
+    }
+
+    fn verify(&self) -> Vec<Fingerprint> {
+        (**self).verify()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn bytes(&self) -> u64 {
+        (**self).bytes()
+    }
+
+    fn clear(&mut self) {
+        (**self).clear();
+    }
+
+    fn drain_cost(&mut self) -> Duration {
+        (**self).drain_cost()
+    }
+
+    fn tier_bytes(&self) -> (u64, u64) {
+        (**self).tier_bytes()
+    }
+
+    fn is_crashed(&self) -> bool {
+        (**self).is_crashed()
+    }
+
+    fn snapshot(&self) -> StoreSnapshot {
+        (**self).snapshot()
+    }
+
+    fn get_or_fill(
+        &mut self,
+        fingerprint: Fingerprint,
+        fill: &mut dyn FnMut() -> Option<Bytes>,
+    ) -> Option<Bytes> {
+        (**self).get_or_fill(fingerprint, fill)
     }
 }
 

@@ -66,6 +66,18 @@ impl TickSource {
         Self::default()
     }
 
+    /// A counter resuming at `value` — the next tick drawn is `value + 1`.
+    /// Used when rehydrating a snapshot so the restored store draws exactly
+    /// the ticks the original would have drawn next.
+    pub fn at(value: u64) -> Self {
+        TickSource(Arc::new(AtomicU64::new(value)))
+    }
+
+    /// The current counter value (the last tick handed out).
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
     /// The next tick (first call returns 1).
     fn next(&self) -> u64 {
         self.0.fetch_add(1, Ordering::Relaxed) + 1
@@ -345,6 +357,66 @@ impl MemStore {
         self.pinned_bytes = 0;
     }
 
+    /// The store's complete state as a [`MemSnapshot`] (entries in
+    /// fingerprint order, so equal states snapshot identically).
+    pub fn snapshot_parts(&self) -> crate::MemSnapshot {
+        let mut entries: Vec<crate::EntrySnapshot> = self
+            .entries
+            .iter()
+            .map(|(fp, e)| crate::EntrySnapshot {
+                fingerprint: *fp,
+                content: e.content.clone(),
+                pins: e.pins,
+                inserted: e.inserted,
+                used: e.used,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.fingerprint);
+        crate::MemSnapshot {
+            policy: self.policy,
+            capacity: self.capacity,
+            ticks: self.ticks.value(),
+            entries,
+            counters: self.stats,
+        }
+    }
+
+    /// Rebuilds a store from a snapshot, drawing future ticks from `ticks`
+    /// (pass `TickSource::at(snapshot.ticks)`, or a shared source for the
+    /// shards of a [`Sharded`](crate::Sharded)). The result behaves
+    /// tick-for-tick identically to the snapshotted store.
+    pub fn restore(snapshot: &crate::MemSnapshot, ticks: TickSource) -> Self {
+        let mut store = MemStore {
+            policy: snapshot.policy,
+            capacity: snapshot.capacity,
+            ticks,
+            stats: snapshot.counters,
+            ..Self::default()
+        };
+        for e in &snapshot.entries {
+            store.bytes += e.content.len() as u64;
+            if e.pins > 0 {
+                store.pinned_bytes += e.content.len() as u64;
+            } else {
+                let key = match snapshot.policy {
+                    EvictionPolicy::Fifo => e.inserted,
+                    EvictionPolicy::Lru => e.used,
+                };
+                store.index.insert((key, e.fingerprint));
+            }
+            store.entries.insert(
+                e.fingerprint,
+                StoreEntry {
+                    content: e.content.clone(),
+                    pins: e.pins,
+                    inserted: e.inserted,
+                    used: e.used,
+                },
+            );
+        }
+        store
+    }
+
     /// Overwrites the stored body of `fingerprint` without touching its key,
     /// simulating on-disk corruption for integrity tests.
     #[doc(hidden)]
@@ -415,6 +487,10 @@ impl BlobStore for MemStore {
 
     fn clear(&mut self) {
         MemStore::clear(self);
+    }
+
+    fn snapshot(&self) -> crate::StoreSnapshot {
+        crate::StoreSnapshot::Mem(self.snapshot_parts())
     }
 }
 

@@ -160,6 +160,19 @@ impl<S: BlobStore> Sharded<S> {
             shard.lock().clear();
         }
     }
+
+    /// Whether any shard's planned power cut has fired (shards share a
+    /// machine, so one crashed shard means the store is down).
+    pub fn is_crashed(&self) -> bool {
+        self.shards.iter().any(|s| s.lock().is_crashed())
+    }
+
+    /// Per-shard snapshots in shard order (see [`crate::snapshot`]).
+    pub fn snapshot(&self) -> crate::StoreSnapshot {
+        crate::StoreSnapshot::Sharded(crate::ShardedSnapshot {
+            shards: self.shards.iter().map(|s| s.lock().snapshot()).collect(),
+        })
+    }
 }
 
 impl Sharded<MemStore> {
@@ -235,6 +248,14 @@ impl<S: BlobStore> BlobStore for Sharded<S> {
 
     fn tier_bytes(&self) -> (u64, u64) {
         Sharded::tier_bytes(self)
+    }
+
+    fn is_crashed(&self) -> bool {
+        Sharded::is_crashed(self)
+    }
+
+    fn snapshot(&self) -> crate::StoreSnapshot {
+        Sharded::snapshot(self)
     }
 }
 

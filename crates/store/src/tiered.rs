@@ -65,6 +65,42 @@ impl TieredStore {
             evicted: Vec::new(),
         }
     }
+
+    /// Composes a tiered store from pre-built tiers — how a harness mounts a
+    /// journaled/crashing [`DiskStore`] (built via
+    /// [`DiskStore::with_journal`]) under an L1, and how snapshots
+    /// rehydrate.
+    pub fn from_parts(l1: MemStore, l2: DiskStore, promote_on_hit: bool) -> Self {
+        TieredStore { l1, l2, promote_on_hit, evicted: Vec::new() }
+    }
+
+    /// Replaces the L2 crash plan (no-op when L2 has no journal).
+    pub fn set_crash_plan(&mut self, plan: gear_simnet::CrashPlan) {
+        self.l2.set_crash_plan(plan);
+    }
+
+    /// The L2 journal media, when one is attached.
+    pub fn journal_media(&self) -> Option<crate::JournalMedia> {
+        self.l2.journal_media()
+    }
+
+    /// Rehydrates a snapshot; the result behaves tick-for-tick identically
+    /// (see [`crate::snapshot`]).
+    pub fn restore(snapshot: &crate::TieredSnapshot) -> Self {
+        TieredStore::from_parts(
+            MemStore::restore(&snapshot.l1, crate::TickSource::at(snapshot.l1.ticks)),
+            DiskStore::restore(&snapshot.l2),
+            snapshot.promote_on_hit,
+        )
+    }
+
+    /// L1 is volatile: the moment L2's planned power cut fires, the memory
+    /// tier's contents are lost with the machine.
+    fn drop_l1_on_crash(&mut self) {
+        if self.l2.is_crashed() && !self.l1.is_empty() {
+            self.l1.clear();
+        }
+    }
 }
 
 impl BlobStore for TieredStore {
@@ -78,6 +114,9 @@ impl BlobStore for TieredStore {
     }
 
     fn get(&mut self, fingerprint: Fingerprint) -> Option<Bytes> {
+        if self.l2.is_crashed() {
+            return None;
+        }
         if let Some(content) = self.l1.get(fingerprint) {
             // Served from memory: free, but L2's replacement order must
             // advance exactly as a flat store's would.
@@ -103,7 +142,11 @@ impl BlobStore for TieredStore {
         for victim in self.evicted.drain(..) {
             self.l1.remove(victim);
         }
-        if resident {
+        // A cut during the write-through tears the L1 install away with the
+        // rest of volatile memory; the ack still follows L2's commit.
+        if self.l2.is_crashed() {
+            self.drop_l1_on_crash();
+        } else if resident {
             self.l1.insert(fingerprint, content);
         }
         resident
@@ -113,14 +156,18 @@ impl BlobStore for TieredStore {
         // Pins guard residency, which is L2's business; an L1 copy may
         // still be displaced (the blob stays resident in L2).
         self.l2.pin(fingerprint);
+        self.drop_l1_on_crash();
     }
 
     fn unpin(&mut self, fingerprint: Fingerprint) {
         self.l2.unpin(fingerprint);
+        self.drop_l1_on_crash();
     }
 
     fn evict(&mut self) -> Option<(Fingerprint, u64)> {
-        let (victim, len) = self.l2.evict()?;
+        let evicted = self.l2.evict();
+        self.drop_l1_on_crash();
+        let (victim, len) = evicted?;
         self.l1.remove(victim);
         Some((victim, len))
     }
@@ -160,6 +207,18 @@ impl BlobStore for TieredStore {
 
     fn tier_bytes(&self) -> (u64, u64) {
         (self.l1.bytes(), self.l2.bytes())
+    }
+
+    fn is_crashed(&self) -> bool {
+        self.l2.is_crashed()
+    }
+
+    fn snapshot(&self) -> crate::StoreSnapshot {
+        crate::StoreSnapshot::Tiered(crate::TieredSnapshot {
+            l1: self.l1.snapshot_parts(),
+            l2: self.l2.snapshot_parts(),
+            promote_on_hit: self.promote_on_hit,
+        })
     }
 }
 

@@ -13,7 +13,7 @@
 use bytes::Bytes;
 use gear_hash::Fingerprint;
 use gear_simnet::DiskModel;
-use gear_store::{BlobStore, EvictionPolicy, MemStore, Sharded, TieredStore};
+use gear_store::{split_capacity, BlobStore, EvictionPolicy, MemStore, Sharded, TieredStore};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -155,5 +155,47 @@ proptest! {
         let (l1_bytes, l2_bytes) = tiered.tier_bytes();
         prop_assert!(l1_bytes <= l2_bytes, "L1 ⊆ L2");
         prop_assert_eq!(l2_bytes, MemStore::bytes(&flat));
+    }
+}
+
+proptest! {
+    /// `split_capacity` is exact for any total and shard count: per-shard
+    /// capacities sum back to the total (no floor-truncation loss), differ
+    /// by at most one byte, and extras go to the leading shards.
+    #[test]
+    fn split_capacity_is_exact_and_even(
+        total in prop_oneof![
+            Just(0u64),
+            0u64..64,                 // capacity below the shard count
+            any::<u64>(),             // the whole range, incl. u64::MAX region
+            Just(u64::MAX),
+        ],
+        shards in 1usize..64,
+    ) {
+        let parts = split_capacity(Some(total), shards);
+        prop_assert_eq!(parts.len(), shards);
+        // Sum in u128: u64::MAX over one shard must not overflow the check.
+        let sum: u128 = parts.iter().map(|p| u128::from(p.unwrap())).sum();
+        prop_assert_eq!(sum, u128::from(total), "split loses or invents bytes");
+        let min = parts.iter().map(|p| p.unwrap()).min().unwrap();
+        let max = parts.iter().map(|p| p.unwrap()).max().unwrap();
+        prop_assert!(max - min <= 1, "split is uneven: min={} max={}", min, max);
+        // Deterministic placement: the `total % shards` extra bytes land on
+        // the leading shards, so the sequence is non-increasing.
+        for pair in parts.windows(2) {
+            prop_assert!(pair[0] >= pair[1]);
+        }
+        // Capacity smaller than the shard count means trailing shards get
+        // exactly zero, never a phantom byte.
+        if total < shards as u64 {
+            prop_assert_eq!(parts.iter().filter(|p| **p == Some(1)).count() as u64, total);
+            prop_assert_eq!(parts[shards - 1], Some(0));
+        }
+    }
+
+    /// Unbounded capacity splits to unbounded shards, whatever the count.
+    #[test]
+    fn split_capacity_unbounded_everywhere(shards in 1usize..256) {
+        prop_assert_eq!(split_capacity(None, shards), vec![None; shards]);
     }
 }

@@ -71,3 +71,4 @@ pub use gear_p2p as p2p;
 pub use gear_proto as proto;
 pub use gear_registry as registry;
 pub use gear_simnet as simnet;
+pub use gear_store as store;

@@ -1,0 +1,72 @@
+//! Fixed-seed bit-identity pin for the untiered, crash-free default path.
+//!
+//! The golden digest below was captured on the commit *before* the store
+//! journal landed. The untiered default (`ClientConfig::default()` /
+//! `paper_testbed`, `tier: None`, no journal attached) must keep producing
+//! byte-identical deployment reports and timelines: the WAL is opt-in, and
+//! attaching nothing may not move a single tick, byte, or duration.
+
+use gear::client::GearClient;
+use gear::hash::Fingerprint;
+use gear_bench::experiments::fig8::publish_corpus;
+use gear_bench::experiments::ExperimentContext;
+
+/// Digest of the full quick-corpus round-robin deployment transcript,
+/// captured at the pre-journal HEAD. If this changes, the default
+/// (journal-free) path is no longer bit-identical to the seed behaviour.
+const GOLDEN_TRANSCRIPT_DIGEST: &str = "ece177473356fe4f96d98fc7d5a81fed";
+
+/// Deploys every image of the quick corpus round-robin through one
+/// persistent untiered client and renders the complete observable output —
+/// per-deployment phase durations, byte/request/file counters, the full
+/// timeline debug — into one transcript string.
+fn default_path_transcript() -> String {
+    let ctx = ExperimentContext::quick();
+    let published = publish_corpus(&ctx);
+    let mut client = GearClient::new(ctx.client_config);
+    let mut transcript = String::new();
+    let rounds = ctx.corpus.series.iter().map(|s| s.images.len()).max().unwrap_or(0);
+    for version in 0..rounds {
+        for series in &ctx.corpus.series {
+            let (Some(image), Some(trace)) =
+                (series.images.get(version), series.traces.get(version))
+            else {
+                continue;
+            };
+            let (id, report) = client
+                .deploy(image.reference(), trace, &published.gear_index, &published.gear_files)
+                .expect("gear deploy");
+            client.destroy(id);
+            transcript.push_str(&format!(
+                "{} pull={} run={} bytes={} req={} files={} hits={} pinned={} timeline={:?}\n",
+                report.reference,
+                report.pull.as_nanos(),
+                report.run.as_nanos(),
+                report.bytes_pulled,
+                report.requests,
+                report.files_fetched,
+                report.cache_hits,
+                report.pinned_bytes,
+                report.timeline,
+            ));
+        }
+    }
+    transcript.push_str(&format!(
+        "cache bytes={} tiers={:?} stats={:?}\n",
+        client.cache_bytes(),
+        client.cache_tier_bytes(),
+        client.cache_stats(),
+    ));
+    transcript
+}
+
+#[test]
+fn untiered_default_matches_pre_journal_golden() {
+    let transcript = default_path_transcript();
+    let digest = Fingerprint::of(transcript.as_bytes()).to_string();
+    assert_eq!(
+        digest, GOLDEN_TRANSCRIPT_DIGEST,
+        "default (untiered, journal-free) deployment output drifted from the \
+         pre-journal golden; the WAL must be strictly opt-in"
+    );
+}

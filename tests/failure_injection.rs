@@ -192,6 +192,82 @@ fn faulty_transport_surfaces_typed_errors_never_wrong_bytes() {
 }
 
 #[test]
+fn transport_faults_and_store_crash_in_one_deploy_leave_no_partial_state() {
+    use gear::client::TierConfig;
+    use gear::simnet::{CrashPlan, DiskModel, FaultPlan, RetryPolicy};
+    use gear::store::{BlobStore, DiskStore, EvictionPolicy, JournalMedia, MemStore, TieredStore};
+
+    // Enough files that the crash plan has journal writes to choose from.
+    let files: Vec<(String, Vec<u8>)> =
+        (0..10).map(|i| (format!("srv/f{i}"), vec![i as u8 + 1; 4_000])).collect();
+    let refs: Vec<(&str, &[u8])> =
+        files.iter().map(|(p, c)| (p.as_str(), c.as_slice())).collect();
+    let (docker, store, r) = simple_published(&refs, "svc:1");
+    let paths: Vec<&str> = files.iter().map(|(p, _)| p.as_str()).collect();
+    let t = trace(&paths);
+    let tier = TierConfig {
+        l1_capacity: Some(16_000),
+        disk: DiskModel::ssd(),
+        promote_on_hit: true,
+    };
+    let config = ClientConfig::default().with_tier(tier);
+
+    // Sweep the scripted store-crash point across the deploy's journal
+    // writes while the transport concurrently drops requests; whatever
+    // interleaving results, recovery must find only whole, verifiable blobs.
+    let mut crashes_seen = 0;
+    for crash_at in 0..12u64 {
+        let media = JournalMedia::new();
+        let l2 = DiskStore::with_journal(
+            EvictionPolicy::Lru,
+            None,
+            tier.disk,
+            config.byte_scale,
+            media.clone(),
+            CrashPlan::new(crash_at).crash_at_write(crash_at, gear::simnet::CrashPoint::TornWrite),
+        );
+        let cache = TieredStore::from_parts(
+            MemStore::with_policy(EvictionPolicy::Lru, tier.l1_capacity),
+            l2,
+            tier.promote_on_hit,
+        );
+        let mut client = GearClient::with_store(Box::new(cache), config);
+        client.inject_faults(
+            FaultPlan::new(crash_at).with_drop(0.2),
+            RetryPolicy::standard(crash_at),
+        );
+        // The deploy may succeed (crash after the last insert, faults all
+        // retried) or abort on the fault budget; either way it must not
+        // panic, and the store must recover cleanly below.
+        let outcome = client.deploy(&r, &t, &docker, &store);
+        let crashed = client.cache_tier_bytes() == (0, 0) && outcome.is_ok();
+        if crashed {
+            crashes_seen += 1;
+        }
+        drop(client);
+
+        let (recovered, report) =
+            DiskStore::recover(EvictionPolicy::Lru, None, tier.disk, config.byte_scale, media);
+        // No partial cache entries: every recovered blob re-hashes to its
+        // fingerprint (real MD5 addressing end to end), and every recovered
+        // blob is one of the published files, complete.
+        assert!(recovered.verify().is_empty(), "torn blob survived recovery at {crash_at}");
+        for (_, content) in files.iter().map(|(p, c)| (p, c)) {
+            let fp = Fingerprint::of(content);
+            if let Some(served) = recovered.peek(fp) {
+                assert_eq!(served.as_ref(), content.as_slice(), "content mangled at {crash_at}");
+            }
+        }
+        assert_eq!(
+            report.recovered_blobs as usize,
+            recovered.len(),
+            "recovery report disagrees with the store at {crash_at}"
+        );
+    }
+    assert!(crashes_seen > 0, "the sweep never crashed a store mid-deploy");
+}
+
+#[test]
 fn deploy_is_idempotent_after_errors() {
     // A failed deployment (missing file) must not poison later successful
     // ones: the index may be installed, but state stays consistent.
