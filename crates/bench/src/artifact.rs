@@ -128,6 +128,21 @@ pub fn hotpath_metrics(hotpath: &Hotpath) -> Vec<Metric> {
     metrics.push(Metric::new("union/warm_over_cold", hotpath.union.warm_over_cold));
     metrics
         .push(Metric::new("union/resolve_cache_hits", hotpath.union.resolve_cache_hits as f64));
+    for point in &hotpath.compress {
+        let prefix = format!("compress/{}/workers{}", point.level, point.workers);
+        metrics.push(Metric::new(format!("{prefix}/real_mb_s"), point.real_mb_s));
+        metrics.push(Metric::new(format!("{prefix}/modeled_mb_s"), point.modeled_mb_s));
+        metrics.push(Metric::new(format!("{prefix}/modeled_speedup"), point.modeled_speedup));
+        metrics.push(Metric::new(format!("{prefix}/ratio"), point.ratio));
+        metrics.push(Metric::new(
+            format!("{prefix}/bit_identical"),
+            if point.bit_identical { 1.0 } else { 0.0 },
+        ));
+    }
+    metrics.push(Metric::new("kernels/crc32_gb_s", hotpath.kernels.crc32_gb_s));
+    metrics.push(Metric::new("kernels/md5_gb_s", hotpath.kernels.md5_gb_s));
+    metrics.push(Metric::new("kernels/sha256_gb_s", hotpath.kernels.sha256_gb_s));
+    metrics.push(Metric::new("kernels/match_len_gb_s", hotpath.kernels.match_len_gb_s));
     metrics
 }
 
@@ -216,16 +231,32 @@ pub struct HotpathFloor {
 
 /// The hot-path floors a recorded baseline enforces: the modeled 8-worker
 /// conversion speedup, bit-identical parallel output, flat cache ops/s
-/// across a 16x size range, and warm union lookups beating cold. The
-/// ratio floors are deliberately loose — they catch a return to linear
-/// eviction scans (flatness ~0.06) or a dead resolve cache (warm/cold
-/// ~1.0) without flaking on noisy CI machines.
+/// across a 16x size range, warm union lookups beating cold, and the
+/// block-compression invariants (bit-identical frames at every worker
+/// count, the modeled 8-worker speedup, and the ratio not collapsing to
+/// stored blocks). The ratio floors are deliberately loose — they catch a
+/// return to linear eviction scans (flatness ~0.06), a dead resolve cache
+/// (warm/cold ~1.0), or a broken block split without flaking on noisy CI
+/// machines. Real-throughput floors (MB/s, GB/s) are order-of-magnitude
+/// tripwires only: they fail when a kernel falls back to a byte-at-a-time
+/// loop, not when the runner is merely slow.
 pub fn hotpath_floors() -> Vec<HotpathFloor> {
     vec![
         HotpathFloor { key: "convert/threads8/modeled_speedup".to_owned(), min: 4.0 },
         HotpathFloor { key: "convert/threads8/bit_identical".to_owned(), min: 1.0 },
         HotpathFloor { key: "cache/flatness".to_owned(), min: 0.2 },
         HotpathFloor { key: "union/warm_over_cold".to_owned(), min: 1.5 },
+        // Deterministic block-compression gates.
+        HotpathFloor { key: "compress/default/workers8/modeled_speedup".to_owned(), min: 4.0 },
+        HotpathFloor { key: "compress/default/workers8/bit_identical".to_owned(), min: 1.0 },
+        HotpathFloor { key: "compress/default/workers2/bit_identical".to_owned(), min: 1.0 },
+        HotpathFloor { key: "compress/fast/workers8/bit_identical".to_owned(), min: 1.0 },
+        // Machine-loose throughput tripwires.
+        HotpathFloor { key: "compress/default/workers1/real_mb_s".to_owned(), min: 1.0 },
+        HotpathFloor { key: "kernels/crc32_gb_s".to_owned(), min: 0.2 },
+        HotpathFloor { key: "kernels/md5_gb_s".to_owned(), min: 0.03 },
+        HotpathFloor { key: "kernels/sha256_gb_s".to_owned(), min: 0.02 },
+        HotpathFloor { key: "kernels/match_len_gb_s".to_owned(), min: 0.2 },
     ]
 }
 
@@ -527,17 +558,15 @@ mod tests {
         let baseline = Baseline::from_concurrency(&recorded, 64, 7).with_hotpath_floors();
         assert_eq!(baseline.hotpath.len(), hotpath_floors().len());
 
-        let good = vec![
-            Metric::new("convert/threads8/modeled_speedup", 5.5),
-            Metric::new("convert/threads8/bit_identical", 1.0),
-            Metric::new("cache/flatness", 0.9),
-            Metric::new("union/warm_over_cold", 8.0),
-        ];
+        let good: Vec<Metric> = hotpath_floors()
+            .into_iter()
+            .map(|floor| Metric::new(floor.key, floor.min + 1.0))
+            .collect();
         assert!(baseline.hotpath_regressions(&good).is_empty());
 
         let mut bad = good;
-        bad[2].value = 0.05; // linear-eviction-scan territory
-        bad.pop(); // warm_over_cold missing entirely
+        bad[2].value = 0.05; // linear-eviction-scan territory (cache/flatness)
+        bad.pop(); // last floor's metric missing entirely
         let problems = baseline.hotpath_regressions(&bad);
         assert_eq!(problems.len(), 2, "{problems:?}");
 

@@ -19,6 +19,15 @@
 //! * **union** — [`UnionFs`] path resolution, cold (first lookup walks the
 //!   layers) versus warm (repeated lookups served by the interned resolve
 //!   cache).
+//! * **compress** — block-parallel `GZc2` compression of a corpus-derived
+//!   buffer, swept over `level x workers`. Reports real MB/s, the cost
+//!   model's MB/s (per-file recompression rate credited across workers with
+//!   static block chunking), the modeled speedup, and whether every worker
+//!   count produced a byte-identical frame. Real wall-clock depends on the
+//!   host's core count, so only the deterministic columns are gated.
+//! * **kernels** — word-wise kernel throughput: slice-by-8 CRC-32,
+//!   direct-from-slice MD5/SHA-256 blocks, and the `u64` XOR +
+//!   `trailing_zeros` LZSS match scanner, all in GB/s.
 
 use std::fmt;
 use std::sync::Arc;
@@ -26,9 +35,11 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use gear_client::{EvictionPolicy, SharedCache};
+use gear_compress::{compress_with, crc32, Level, Lzss, BLOCK_SIZE};
 use gear_core::{Converter, ConverterOptions};
 use gear_fs::{FsTree, UnionFs};
-use gear_hash::Fingerprint;
+use gear_hash::{Fingerprint, Md5, Sha256};
+use gear_par::Pool;
 use gear_simnet::DiskModel;
 
 use super::{secs, ExperimentContext};
@@ -84,6 +95,42 @@ pub struct UnionBench {
     pub resolve_cache_hits: u64,
 }
 
+/// One `level x workers` block-compression measurement.
+#[derive(Debug, Clone)]
+pub struct CompressPoint {
+    /// Compression level label (`"fast"` / `"default"`).
+    pub level: &'static str,
+    /// Worker count.
+    pub workers: usize,
+    /// Input bytes over measured wall-clock, in MB/s (machine-dependent).
+    pub real_mb_s: f64,
+    /// Cost-model throughput: the converter's per-file recompression rate
+    /// credited across workers under static block chunking.
+    pub modeled_mb_s: f64,
+    /// Modeled speedup over the serial row (deterministic: depends only on
+    /// the block count and worker count).
+    pub modeled_speedup: f64,
+    /// Compressed over uncompressed size.
+    pub ratio: f64,
+    /// Whether the frame matched the serial frame byte for byte.
+    pub bit_identical: bool,
+}
+
+/// Word-wise kernel throughputs, in GB/s (machine-dependent).
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// Buffer size the kernels ran over.
+    pub bytes: usize,
+    /// Slice-by-8 CRC-32.
+    pub crc32_gb_s: f64,
+    /// MD5 with direct-from-slice block compression.
+    pub md5_gb_s: f64,
+    /// SHA-256 with direct-from-slice block compression.
+    pub sha256_gb_s: f64,
+    /// The 8-bytes-at-a-time LZSS match scanner (matched bytes per second).
+    pub match_len_gb_s: f64,
+}
+
 /// The full hot-path benchmark result.
 #[derive(Debug, Clone)]
 pub struct Hotpath {
@@ -93,6 +140,10 @@ pub struct Hotpath {
     pub cache: Vec<CachePoint>,
     /// Union lookup rates.
     pub union: UnionBench,
+    /// Block-compression sweep, grouped by level then worker count.
+    pub compress: Vec<CompressPoint>,
+    /// Word-wise kernel throughputs.
+    pub kernels: KernelBench,
 }
 
 impl Hotpath {
@@ -111,15 +162,135 @@ impl Hotpath {
             _ => 0.0,
         }
     }
+
+    /// The compression row for a level label and worker count, if swept.
+    pub fn compress_point(&self, level: &str, workers: usize) -> Option<&CompressPoint> {
+        self.compress.iter().find(|p| p.level == level && p.workers == workers)
+    }
+
+    /// Whether every swept `level x workers` combination produced a frame
+    /// byte-identical to its serial run.
+    pub fn compress_bit_identical(&self) -> bool {
+        self.compress.iter().all(|p| p.bit_identical)
+    }
 }
 
-/// Runs all three suites. `quick` shrinks the op counts for CI smoke runs
+/// Runs all five suites. `quick` shrinks the op counts for CI smoke runs
 /// and tests.
 pub fn run(ctx: &ExperimentContext, quick: bool) -> Hotpath {
+    let corpus_buffer = corpus_buffer(ctx, quick);
     Hotpath {
         convert: run_convert(ctx),
         cache: run_cache(quick),
         union: run_union(quick),
+        compress: run_compress(&corpus_buffer),
+        kernels: run_kernels(&corpus_buffer),
+    }
+}
+
+/// Builds a compression workload from real corpus content: serialized layer
+/// archives of the first image of each series, concatenated and tiled to a
+/// fixed multiple of [`BLOCK_SIZE`] so the block count — and with it the
+/// modeled speedups — is the same at every corpus scale.
+fn corpus_buffer(ctx: &ExperimentContext, quick: bool) -> Vec<u8> {
+    let blocks = if quick { 8 } else { 16 };
+    let target = blocks * BLOCK_SIZE;
+    let mut buffer = Vec::with_capacity(target + BLOCK_SIZE);
+    'fill: loop {
+        for series in &ctx.corpus.series {
+            let Some(image) = series.images.first() else { continue };
+            for layer in image.layers() {
+                buffer.extend_from_slice(&layer.archive().to_bytes());
+                if buffer.len() >= target {
+                    break 'fill;
+                }
+            }
+        }
+        if buffer.is_empty() {
+            // Degenerate corpus: fall back to a synthetic page so the suite
+            // still runs.
+            buffer.extend_from_slice(&[0xA5; 4096]);
+        }
+    }
+    buffer.truncate(target);
+    buffer
+}
+
+fn run_compress(buffer: &[u8]) -> Vec<CompressPoint> {
+    let blocks = buffer.len().div_ceil(BLOCK_SIZE);
+    let model_rate = ConverterOptions::default().compress_bytes_per_sec;
+    let mut points = Vec::new();
+    for (label, level) in [("fast", Level::Fast), ("default", Level::Default)] {
+        let mut serial_frame: Vec<u8> = Vec::new();
+        for workers in THREAD_SWEEP {
+            let pool = Pool::new(workers);
+            let start = Instant::now();
+            let frame = compress_with(buffer, level, &pool);
+            let wall = start.elapsed().as_secs_f64().max(1e-9);
+            if workers == 1 {
+                serial_frame = frame.clone();
+            }
+            // Static chunking: the slowest worker carries ceil(blocks/w)
+            // blocks, so modeled time scales by that over the serial count.
+            let modeled_speedup = blocks as f64 / blocks.div_ceil(workers) as f64;
+            points.push(CompressPoint {
+                level: label,
+                workers,
+                real_mb_s: buffer.len() as f64 / 1.0e6 / wall,
+                modeled_mb_s: model_rate * modeled_speedup / 1.0e6,
+                modeled_speedup,
+                ratio: frame.len() as f64 / buffer.len() as f64,
+                bit_identical: frame == serial_frame,
+            });
+        }
+    }
+    points
+}
+
+fn run_kernels(buffer: &[u8]) -> KernelBench {
+    let gb = |bytes: usize, secs: f64| bytes as f64 / 1.0e9 / secs.max(1e-9);
+
+    let start = Instant::now();
+    let mut crc_acc = 0u32;
+    for _ in 0..4 {
+        crc_acc ^= crc32(buffer);
+    }
+    let crc_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(crc_acc);
+
+    let start = Instant::now();
+    let mut md5 = Md5::new();
+    md5.update(buffer);
+    std::hint::black_box(md5.finalize());
+    let md5_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut sha = Sha256::new();
+    sha.update(buffer);
+    std::hint::black_box(sha.finalize());
+    let sha_secs = start.elapsed().as_secs_f64();
+
+    // Match scanning: double the buffer's first half so position `i` and
+    // `i + half` hold identical content — every probe then runs the
+    // long-match fast path the word-wise kernel accelerates.
+    let half = buffer.len() / 2;
+    let doubled: Vec<u8> = [&buffer[..half], &buffer[..half]].concat();
+    let start = Instant::now();
+    let mut matched = 0usize;
+    let mut i = 0;
+    while i + half + 8 < doubled.len() {
+        matched += Lzss::match_len(&doubled, i, i + half);
+        i += 64;
+    }
+    let match_secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(matched);
+
+    KernelBench {
+        bytes: buffer.len(),
+        crc32_gb_s: gb(buffer.len() * 4, crc_secs),
+        md5_gb_s: gb(buffer.len(), md5_secs),
+        sha256_gb_s: gb(buffer.len(), sha_secs),
+        match_len_gb_s: gb(matched, match_secs),
     }
 }
 
@@ -319,13 +490,44 @@ impl fmt::Display for Hotpath {
         writeln!(f)?;
         writeln!(f, "union: {} paths (files + symlink aliases)", self.union.paths)?;
         writeln!(f, "cold lookups: {}", rate(self.union.cold_lookups_per_sec))?;
-        write!(
+        writeln!(
             f,
             "warm lookups: {} ({:.1}x cold, {} resolve-cache hits)",
             rate(self.union.warm_lookups_per_sec),
             self.union.warm_over_cold,
             self.union.resolve_cache_hits
-        )
+        )?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "compress: {} blocks of {} KiB, corpus-derived content",
+            self.kernels.bytes.div_ceil(BLOCK_SIZE),
+            BLOCK_SIZE / 1024
+        )?;
+        writeln!(
+            f,
+            "{:<9}{:>9}{:>11}{:>13}{:>10}{:>8}{:>11}",
+            "level", "workers", "real MB/s", "model MB/s", "speedup", "ratio", "identical"
+        )?;
+        for p in &self.compress {
+            writeln!(
+                f,
+                "{:<9}{:>9}{:>11.1}{:>13.1}{:>9.2}x{:>8.3}{:>11}",
+                p.level,
+                p.workers,
+                p.real_mb_s,
+                p.modeled_mb_s,
+                p.modeled_speedup,
+                p.ratio,
+                if p.bit_identical { "yes" } else { "NO" }
+            )?;
+        }
+        writeln!(f)?;
+        writeln!(f, "kernels: word-wise throughput over {} MiB", self.kernels.bytes / (1 << 20))?;
+        writeln!(f, "crc32 (slice-by-8):   {:>7.2} GB/s", self.kernels.crc32_gb_s)?;
+        writeln!(f, "md5 (direct blocks):  {:>7.2} GB/s", self.kernels.md5_gb_s)?;
+        writeln!(f, "sha256 (direct blocks):{:>6.2} GB/s", self.kernels.sha256_gb_s)?;
+        write!(f, "match_len (u64 scan): {:>7.2} GB/s", self.kernels.match_len_gb_s)
     }
 }
 
@@ -350,9 +552,27 @@ mod tests {
         }
     }
 
+    /// A Hotpath with only the cache/union suites populated (for tests that
+    /// don't need the corpus-driven sweeps).
+    fn cache_union_only() -> Hotpath {
+        Hotpath {
+            convert: Vec::new(),
+            cache: run_cache(true),
+            union: run_union(true),
+            compress: Vec::new(),
+            kernels: KernelBench {
+                bytes: 0,
+                crc32_gb_s: 0.0,
+                md5_gb_s: 0.0,
+                sha256_gb_s: 0.0,
+                match_len_gb_s: 0.0,
+            },
+        }
+    }
+
     #[test]
     fn cache_churn_stays_flat_across_sizes() {
-        let hp = Hotpath { convert: Vec::new(), cache: run_cache(true), union: run_union(true) };
+        let hp = cache_union_only();
         assert_eq!(hp.cache.len(), 3);
         for p in &hp.cache {
             assert!(p.ops_per_sec > 0.0);
@@ -362,6 +582,37 @@ mod tests {
         // eviction scan lands around 1/16 ≈ 0.06; the ordered index stays
         // well above the 0.2 CI floor even on noisy machines.
         assert!(hp.cache_flatness() > 0.2, "flatness {:.3}", hp.cache_flatness());
+    }
+
+    #[test]
+    fn compress_sweep_is_bit_identical_and_modeled_speedup_scales() {
+        let ctx = ExperimentContext::quick();
+        let buffer = corpus_buffer(&ctx, true);
+        assert_eq!(buffer.len(), 8 * BLOCK_SIZE, "quick buffer is 8 blocks");
+        let compress = run_compress(&buffer);
+        assert_eq!(compress.len(), 2 * THREAD_SWEEP.len(), "2 levels x 4 worker counts");
+        for p in &compress {
+            assert!(p.bit_identical, "{}/workers{} diverged from serial", p.level, p.workers);
+            assert!(p.real_mb_s > 0.0);
+            assert!(p.ratio > 0.0 && p.ratio <= 1.01, "ratio {:.3}", p.ratio);
+        }
+        // 8 blocks under static chunking: 2 workers -> 2x, 8 workers -> 8x.
+        let eight = compress.iter().find(|p| p.level == "default" && p.workers == 8).unwrap();
+        assert!(eight.modeled_speedup >= 4.0, "modeled {:.2}", eight.modeled_speedup);
+        let two = compress.iter().find(|p| p.level == "default" && p.workers == 2).unwrap();
+        assert!((two.modeled_speedup - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_throughputs_are_positive() {
+        let ctx = ExperimentContext::quick();
+        let buffer = corpus_buffer(&ctx, true);
+        let kernels = run_kernels(&buffer);
+        assert_eq!(kernels.bytes, buffer.len());
+        assert!(kernels.crc32_gb_s > 0.0);
+        assert!(kernels.md5_gb_s > 0.0);
+        assert!(kernels.sha256_gb_s > 0.0);
+        assert!(kernels.match_len_gb_s > 0.0, "match scan measured no matched bytes");
     }
 
     #[test]

@@ -163,7 +163,8 @@ mod tests {
 
     #[test]
     fn pull_is_nearly_instant() {
-        let (reg, r) = registry_with(&[("big", &[7u8; 100_000])], "s:1");
+        let body = vec![7u8; 100_000];
+        let (reg, r) = registry_with(&[("big", &body)], "s:1");
         let mut client = SlackerClient::new(ClientConfig::default());
         let (_, report) = client.deploy(&r, &trace(&["big"]), &reg).unwrap();
         assert!(report.pull < Duration::from_millis(100));
@@ -172,7 +173,8 @@ mod tests {
 
     #[test]
     fn no_sharing_between_deployments() {
-        let (reg, r) = registry_with(&[("f", &[1u8; 50_000])], "s:1");
+        let body = vec![1u8; 50_000];
+        let (reg, r) = registry_with(&[("f", &body)], "s:1");
         let mut client = SlackerClient::new(ClientConfig::default());
         let (_, first) = client.deploy(&r, &trace(&["f"]), &reg).unwrap();
         let (_, second) = client.deploy(&r, &trace(&["f"]), &reg).unwrap();
@@ -184,7 +186,8 @@ mod tests {
 
     #[test]
     fn block_requests_exceed_file_requests() {
-        let (reg, r) = registry_with(&[("f", &[1u8; 50_000])], "s:1");
+        let body = vec![1u8; 50_000];
+        let (reg, r) = registry_with(&[("f", &body)], "s:1");
         let mut client = SlackerClient::new(ClientConfig {
             byte_scale: 1,
             ..ClientConfig::default()
@@ -196,7 +199,8 @@ mod tests {
 
     #[test]
     fn degrades_faster_than_bandwidth_for_many_blocks() {
-        let (reg, r) = registry_with(&[("f", &[1u8; 200_000])], "s:1");
+        let body = vec![1u8; 200_000];
+        let (reg, r) = registry_with(&[("f", &body)], "s:1");
         let fast = ClientConfig { byte_scale: 64, ..ClientConfig::default() };
         let slow = ClientConfig {
             byte_scale: 64,

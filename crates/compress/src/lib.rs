@@ -30,7 +30,10 @@ mod frame;
 mod lzss;
 
 pub use crc32::crc32;
-pub use frame::{compress, compressed_size, decompress, DecompressError, FRAME_OVERHEAD};
+pub use frame::{
+    compress, compress_blocks, compress_with, compressed_size, compressed_size_with, decompress,
+    decompress_with, DecompressError, BLOCK_SIZE, FRAME_OVERHEAD,
+};
 pub use lzss::{Level, Lzss};
 
 /// Summary statistics for a batch of compression operations.

@@ -55,7 +55,7 @@ pub mod index;
 pub use commit::{commit, CommitError, CommitOutput};
 pub use frontend::{FrontendPushReport, GearFrontend};
 pub use convert::{
-    publish, CollisionResolver, Conversion, ConversionReport, ConvertError, Converter,
-    ConverterOptions, GearFile, PublishReport,
+    publish, publish_with_pool, CollisionResolver, Conversion, ConversionReport, ConvertError,
+    Converter, ConverterOptions, GearFile, PublishReport,
 };
 pub use index::{GearImage, GearIndex, IndexError, IndexNode, INDEX_PATH};

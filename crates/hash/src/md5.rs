@@ -72,16 +72,16 @@ impl Md5 {
                 self.buf_len = 0;
             }
         }
-        while rest.len() >= 64 {
-            let (block, tail) = rest.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            rest = tail;
+        // Aligned full blocks compress straight from the caller's slice —
+        // no 64-byte staging copy on the bulk path.
+        let mut blocks = rest.chunks_exact(64);
+        for block in &mut blocks {
+            self.compress(block);
         }
-        if !rest.is_empty() {
-            self.buf[..rest.len()].copy_from_slice(rest);
-            self.buf_len = rest.len();
+        let tail = blocks.remainder();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
         }
     }
 
@@ -109,7 +109,11 @@ impl Md5 {
         self.len = len;
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    /// Processes one 64-byte block directly from a slice (callers guarantee
+    /// the length; taking `&[u8]` lets the bulk path feed `chunks_exact(64)`
+    /// windows without copying them into a fixed-size array first).
+    fn compress(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
         let mut m = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);

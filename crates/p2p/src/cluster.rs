@@ -740,7 +740,8 @@ mod tests {
 
     #[test]
     fn second_node_fetches_from_first() {
-        let (reg, store, r) = published(&[("lib/shared.so", &[7u8; 50_000])]);
+        let body = vec![7u8; 50_000];
+        let (reg, store, r) = published(&[("lib/shared.so", &body)]);
         let mut cluster = Cluster::new(ClusterConfig::lan(3));
         let first = cluster.deploy_on(0, &r, &trace(&["lib/shared.so"]), &reg, &store).unwrap();
         assert_eq!(first.registry_files, 1);
@@ -769,7 +770,8 @@ mod tests {
 
     #[test]
     fn peer_fetch_is_faster_on_edge_uplink() {
-        let (reg, store, r) = published(&[("blob", &[9u8; 200_000])]);
+        let body = vec![9u8; 200_000];
+        let (reg, store, r) = published(&[("blob", &body)]);
         let mut cluster = Cluster::new(ClusterConfig::edge(2));
         let t = trace(&["blob"]);
         let cold = cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();
@@ -841,7 +843,8 @@ mod tests {
 
     #[test]
     fn faulty_peer_degrades_to_another_peer() {
-        let (reg, store, r) = published(&[("f", &[5u8; 40_000])]);
+        let body = vec![5u8; 40_000];
+        let (reg, store, r) = published(&[("f", &body)]);
         let mut cluster = Cluster::new(ClusterConfig::lan(3));
         let t = trace(&["f"]);
         cluster.deploy_on(0, &r, &t, &reg, &store).unwrap(); // registry
@@ -859,7 +862,8 @@ mod tests {
 
     #[test]
     fn all_peers_faulty_degrades_to_registry() {
-        let (reg, store, r) = published(&[("f", &[5u8; 40_000])]);
+        let body = vec![5u8; 40_000];
+        let (reg, store, r) = published(&[("f", &body)]);
         let mut cluster = Cluster::new(ClusterConfig::lan(3));
         let t = trace(&["f"]);
         cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();

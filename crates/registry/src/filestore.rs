@@ -19,8 +19,9 @@ use std::error::Error;
 use std::fmt;
 
 use bytes::Bytes;
-use gear_compress::{compress, Level};
+use gear_compress::{compressed_size_with, Level};
 use gear_hash::Fingerprint;
+use gear_par::Pool;
 use gear_store::MemStore;
 use gear_telemetry::Telemetry;
 
@@ -67,7 +68,7 @@ impl Error for UploadError {}
 pub type FileStoreStats = StoreStats;
 
 /// A content-addressed Gear-file pool.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GearFileStore {
     /// Raw (uncompressed) object bodies, unbounded: the registry never
     /// evicts — space reclamation is explicit via
@@ -77,11 +78,29 @@ pub struct GearFileStore {
     /// compression is enabled).
     wire: HashMap<Fingerprint, u64>,
     compression: Option<Level>,
+    /// Pool used for block-parallel compression accounting on upload.
+    /// Defaults to serial; results are bit-identical at any worker count,
+    /// so the pool only changes wall-clock, never stored sizes.
+    pool: Pool,
     dedup_hits: u64,
     /// Running compressed total, maintained on upload and GC so
     /// [`GearFileStore::stats`] is O(1) instead of a full-store sweep.
     stored_bytes: u64,
     telemetry: Telemetry,
+}
+
+impl Default for GearFileStore {
+    fn default() -> Self {
+        GearFileStore {
+            store: MemStore::default(),
+            wire: HashMap::new(),
+            compression: None,
+            pool: Pool::serial(),
+            dedup_hits: 0,
+            stored_bytes: 0,
+            telemetry: Telemetry::default(),
+        }
+    }
 }
 
 impl GearFileStore {
@@ -106,6 +125,13 @@ impl GearFileStore {
     /// and uploaded object sizes feed a byte-sized histogram.
     pub fn set_recorder(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Fans the per-upload compression accounting out across `pool`. Stored
+    /// sizes are bit-identical at any worker count (the block split is a
+    /// pure function of the content), so this is a pure wall-clock knob.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
     }
 
     /// `query` verb: whether a Gear file with this fingerprint exists.
@@ -135,8 +161,10 @@ impl GearFileStore {
             self.telemetry.count("registry.dedup_hits", 1);
             return Ok(UploadOutcome { stored: false, stored_bytes: 0 });
         }
+        // Count-only sizing: the registry keeps raw bodies and only accounts
+        // the compressed wire size, so no token stream is ever materialized.
         let stored_len = match self.compression {
-            Some(level) => compress(&content, level).len() as u64,
+            Some(level) => compressed_size_with(&content, level, &self.pool) as u64,
             None => content.len() as u64,
         };
         self.stored_bytes += stored_len;
