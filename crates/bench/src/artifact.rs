@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+use crate::experiments::chunking::Chunking;
 use crate::experiments::concurrency::Concurrency;
 use crate::experiments::crash::Crash;
 use crate::experiments::fig9::Fig9;
@@ -174,6 +175,28 @@ pub fn crash_metrics(crash: &Crash) -> Vec<Metric> {
     metrics
 }
 
+/// Flattens the chunking comparison into metrics.
+pub fn chunking_metrics(chunking: &Chunking) -> Vec<Metric> {
+    let bool01 = |b: bool| if b { 1.0 } else { 0.0 };
+    vec![
+        Metric::new("chunking/file_dedup_ratio", chunking.file.dedup_ratio),
+        Metric::new("chunking/chunk_dedup_ratio", chunking.chunk.dedup_ratio),
+        Metric::new("chunking/ratio_over_file", chunking.ratio_over_file()),
+        Metric::new("chunking/file_coldstart_bytes", chunking.file.coldstart_bytes as f64),
+        Metric::new("chunking/chunk_coldstart_bytes", chunking.chunk.coldstart_bytes as f64),
+        Metric::new("chunking/coldstart_saved_frac", chunking.coldstart_saved_frac()),
+        Metric::new("chunking/file_deploy_cold_secs", chunking.file.deploy_cold.as_secs_f64()),
+        Metric::new(
+            "chunking/chunk_deploy_cold_secs",
+            chunking.chunk.deploy_cold.as_secs_f64(),
+        ),
+        Metric::new("chunking/sparse_paths", chunking.sparse_paths as f64),
+        Metric::new("chunking/reads_identical", bool01(chunking.reads_identical)),
+        Metric::new("chunking/default_bit_identical", bool01(chunking.default_bit_identical)),
+        Metric::new("chunking/chunker_mb_s", chunking.chunker_mb_s),
+    ]
+}
+
 /// Recorded `streams = 1` deployment times the CI smoke job compares
 /// against.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -198,6 +221,11 @@ pub struct Baseline {
     /// baselines recorded before the sweep existed).
     #[serde(default)]
     pub crash: Vec<CrashRow>,
+    /// Chunking floors (empty when the baseline was recorded without the
+    /// `chunking` experiment, and absent entirely in baselines recorded
+    /// before the comparison existed).
+    #[serde(default)]
+    pub chunking: Vec<HotpathFloor>,
 }
 
 /// One recorded crash-recovery time (simulated, so machine-independent).
@@ -260,6 +288,25 @@ pub fn hotpath_floors() -> Vec<HotpathFloor> {
     ]
 }
 
+/// The chunking floors a recorded baseline enforces. The dedup-ratio and
+/// cold-start gates are deterministic results of the simulation, so they
+/// are hard: chunk-granularity dedup must never fall below file-granularity
+/// dedup, sparse cold starts must keep saving at least the 30 % the
+/// comparison claims, ranged reads must agree across granularities, and
+/// the default (chunking-off) conversion must stay bit-identical to the
+/// plain converter. The chunker MB/s floor is a machine-loose tripwire
+/// only: it fails when the word-wise kernel regresses to a byte-at-a-time
+/// loop, not when the runner is merely slow.
+pub fn chunking_floors() -> Vec<HotpathFloor> {
+    vec![
+        HotpathFloor { key: "chunking/ratio_over_file".to_owned(), min: 1.0 },
+        HotpathFloor { key: "chunking/coldstart_saved_frac".to_owned(), min: 0.3 },
+        HotpathFloor { key: "chunking/reads_identical".to_owned(), min: 1.0 },
+        HotpathFloor { key: "chunking/default_bit_identical".to_owned(), min: 1.0 },
+        HotpathFloor { key: "chunking/chunker_mb_s".to_owned(), min: 20.0 },
+    ]
+}
+
 /// One bandwidth preset's recorded serial times.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BaselineRow {
@@ -293,6 +340,7 @@ impl Baseline {
             hotpath: Vec::new(),
             tiering: Vec::new(),
             crash: Vec::new(),
+            chunking: Vec::new(),
         }
     }
 
@@ -300,6 +348,13 @@ impl Baseline {
     /// the `hotpath` experiment ran alongside `concurrency`).
     pub fn with_hotpath_floors(mut self) -> Self {
         self.hotpath = hotpath_floors();
+        self
+    }
+
+    /// Adds the standard chunking floors to this baseline (recorded when
+    /// the `chunking` experiment ran alongside `concurrency`).
+    pub fn with_chunking_floors(mut self) -> Self {
+        self.chunking = chunking_floors();
         self
     }
 
@@ -442,6 +497,25 @@ impl Baseline {
         }
         problems
     }
+
+    /// Checks a fresh chunking run's metrics against the recorded floors.
+    /// Returns one message per metric below its floor or missing from the
+    /// run. No-op (always passes) when the baseline has no chunking floors.
+    pub fn chunking_regressions(&self, metrics: &[Metric]) -> Vec<String> {
+        let mut problems = Vec::new();
+        for floor in &self.chunking {
+            match metrics.iter().find(|m| m.key == floor.key) {
+                Some(metric) if metric.value >= floor.min => {}
+                Some(metric) => problems.push(format!(
+                    "chunking/{}: {:.4} below recorded floor {:.4}",
+                    floor.key, metric.value, floor.min
+                )),
+                None => problems
+                    .push(format!("chunking floor {} missing from the run", floor.key)),
+            }
+        }
+        problems
+    }
 }
 
 #[cfg(test)]
@@ -573,5 +647,33 @@ mod tests {
         // A baseline recorded without the hotpath experiment gates nothing.
         let plain = Baseline::from_concurrency(&recorded, 64, 7);
         assert!(plain.hotpath_regressions(&[]).is_empty());
+    }
+
+    #[test]
+    fn chunking_floors_flag_shortfalls_and_gaps() {
+        let recorded = Concurrency { sweeps: vec![sweep("20Mbps", 1_000)] };
+        let baseline = Baseline::from_concurrency(&recorded, 64, 7).with_chunking_floors();
+        assert_eq!(baseline.chunking.len(), chunking_floors().len());
+
+        let good: Vec<Metric> = chunking_floors()
+            .into_iter()
+            .map(|floor| Metric::new(floor.key, floor.min + 0.5))
+            .collect();
+        assert!(baseline.chunking_regressions(&good).is_empty());
+
+        let mut bad = good;
+        bad[1].value = 0.1; // cold-start saving collapsed below the 30 % gate
+        bad.pop(); // chunker MB/s metric missing entirely
+        let problems = baseline.chunking_regressions(&bad);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+
+        // A baseline recorded without the chunking experiment gates
+        // nothing, and pre-chunking baselines still load.
+        let plain = Baseline::from_concurrency(&recorded, 64, 7);
+        assert!(plain.chunking_regressions(&[]).is_empty());
+        let legacy = r#"{"scale_denom":64,"seed":7,"rows":[],"hotpath":[]}"#;
+        let legacy: Baseline = serde_json::from_str(legacy).unwrap();
+        assert!(legacy.chunking.is_empty());
+        assert!(legacy.chunking_regressions(&[]).is_empty());
     }
 }

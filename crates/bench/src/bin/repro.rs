@@ -7,7 +7,7 @@
 //!       <experiment>...
 //!
 //! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 concurrency
-//!              cluster faults crash hotpath tiering profile all
+//!              cluster faults crash hotpath tiering chunking profile all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
@@ -17,11 +17,11 @@
 //! `--json` additionally writes each experiment's result to
 //! `BENCH_<name>.json` in the working directory. `--baseline FILE` compares
 //! the `concurrency` sweep's `streams = 1` rows against recorded times —
-//! and, when the baseline carries hot-path floors or tiering times, the
-//! `hotpath` / `tiering` metrics against those — exiting non-zero on
-//! regression (the CI smoke job); `--record-baseline FILE` writes a fresh
-//! baseline (with hot-path floors and tiering / crash-recovery times when
-//! those experiments are in the run).
+//! and, when the baseline carries hot-path or chunking floors or tiering
+//! times, the `hotpath` / `chunking` / `tiering` metrics against those —
+//! exiting non-zero on regression (the CI smoke job); `--record-baseline
+//! FILE` writes a fresh baseline (with hot-path / chunking floors and
+//! tiering / crash-recovery times when those experiments are in the run).
 //!
 //! `profile` (not part of `all`) runs the instrumented deployment-path
 //! profile; `--trace DIR` additionally writes its Perfetto `trace.json` and
@@ -118,7 +118,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--scale N] [--seed S] [--versions V] [--quick] [--json] \
                      [--baseline FILE] [--record-baseline FILE] [--trace DIR] \
                      <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults\
-                     |crash|hotpath|tiering|profile|all>..."
+                     |crash|hotpath|tiering|chunking|profile|all>..."
                         .to_owned(),
                 )
             }
@@ -144,7 +144,7 @@ fn main() -> ExitCode {
     let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         vec![
             "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "concurrency",
-            "cluster", "faults", "crash", "hotpath", "tiering",
+            "cluster", "faults", "crash", "hotpath", "tiering", "chunking",
         ]
     } else {
         args.experiments.iter().map(String::as_str).collect()
@@ -195,6 +195,7 @@ fn main() -> ExitCode {
     let mut hotpath_metrics = None;
     let mut tiering_metrics = None;
     let mut crash_metrics = None;
+    let mut chunking_metrics = None;
     for name in &wanted {
         println!("{}", "=".repeat(72));
         let mut metrics = Vec::new();
@@ -240,6 +241,14 @@ fn main() -> ExitCode {
                     experiments::tiering::run(&ctx, published.as_ref().expect("published"));
                 metrics = artifact::tiering_metrics(&result);
                 tiering_metrics = Some(metrics.clone());
+                result.to_string()
+            }
+            "chunking" => {
+                // Builds its own file- and chunk-granularity registries, so
+                // it does not use the shared published corpus.
+                let result = experiments::chunking::run(&ctx);
+                metrics = artifact::chunking_metrics(&result);
+                chunking_metrics = Some(metrics.clone());
                 result.to_string()
             }
             "fig10" => {
@@ -327,6 +336,9 @@ fn main() -> ExitCode {
         if let Some(metrics) = &crash_metrics {
             baseline = baseline.with_crash(metrics);
         }
+        if chunking_metrics.is_some() {
+            baseline = baseline.with_chunking_floors();
+        }
         let json = serde_json::to_string(&baseline).expect("baseline serializes");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("writing {}: {e}", path.display());
@@ -382,6 +394,14 @@ fn main() -> ExitCode {
                 }
                 None => problems.push(
                     "baseline records crash-recovery times; add `crash` to the run".to_owned(),
+                ),
+            }
+        }
+        if !baseline.chunking.is_empty() {
+            match &chunking_metrics {
+                Some(metrics) => problems.extend(baseline.chunking_regressions(metrics)),
+                None => problems.push(
+                    "baseline records chunking floors; add `chunking` to the run".to_owned(),
                 ),
             }
         }

@@ -1,5 +1,6 @@
 //! One submodule per paper artifact, sharing an [`ExperimentContext`].
 
+pub mod chunking;
 pub mod concurrency;
 pub mod crash;
 pub mod ext_cluster;

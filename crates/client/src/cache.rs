@@ -26,13 +26,6 @@ pub type SharedCache = MemStore;
 /// The sharded shared cache (historical name for [`Sharded<MemStore>`]).
 pub type ShardedCache = Sharded<MemStore>;
 
-/// Cache hit/miss/eviction accounting.
-#[deprecated(
-    since = "0.2.0",
-    note = "renamed to `StoreStats` (one stats type for every blob store)"
-)]
-pub type CacheStats = StoreStats;
-
 /// Builds the blob store `config` asks for (see the module docs).
 pub fn store_for(config: &ClientConfig) -> Box<dyn BlobStore> {
     match config.tier {

@@ -123,6 +123,10 @@ struct CacheAndRegistry<'a> {
     store: &'a GearFileStore,
     events: RefCell<Vec<FetchEvent>>,
     fetched: RefCell<HashMap<Fingerprint, Bytes>>,
+    /// Route registry fetches through the chunk verb (`download_chunk`),
+    /// so ranged reads of chunked files account as chunk traffic, not
+    /// whole-file traffic.
+    chunked: bool,
 }
 
 impl<'a> CacheAndRegistry<'a> {
@@ -132,7 +136,13 @@ impl<'a> CacheAndRegistry<'a> {
             store,
             events: RefCell::new(Vec::new()),
             fetched: RefCell::new(HashMap::new()),
+            chunked: false,
         }
+    }
+
+    /// A session whose registry fetches use the chunk verb.
+    fn chunked(cache: &'a mut dyn BlobStore, store: &'a GearFileStore) -> Self {
+        CacheAndRegistry { chunked: true, ..Self::new(cache, store) }
     }
 }
 
@@ -148,7 +158,12 @@ impl Materializer for CacheAndRegistry<'_> {
             self.events.borrow_mut().push(FetchEvent::CacheHit { bytes: content.len() as u64 });
             return Ok(content.clone());
         }
-        match self.store.download(fingerprint) {
+        let found = if self.chunked {
+            self.store.download_chunk(fingerprint)
+        } else {
+            self.store.download(fingerprint)
+        };
+        match found {
             Some(content) => {
                 let transfer = self.store.transfer_size(fingerprint).unwrap_or(content.len() as u64);
                 self.events.borrow_mut().push(FetchEvent::Downloaded {
@@ -918,7 +933,7 @@ impl GearClient {
         let config = self.config;
         let container =
             self.containers.get_mut(&id).ok_or(DeployError::NoSuchContainer(id))?;
-        let session = CacheAndRegistry::new(self.cache.as_mut(), store);
+        let session = CacheAndRegistry::chunked(self.cache.as_mut(), store);
         let read = container.mount.read_range(path, offset, len, &session);
         let CacheAndRegistry { events, .. } = session;
         let events = events.into_inner();
@@ -926,6 +941,10 @@ impl GearClient {
         // Chunk misses of one ranged read are coalesced into a single
         // scheduled batch — a `BigFile` range spanning K chunks issues them
         // as one pipelined fetch rather than K serial round-trips.
+        let hits = events
+            .iter()
+            .filter(|event| matches!(event, FetchEvent::CacheHit { .. }))
+            .count() as u64;
         let downloads: Vec<(Fingerprint, Bytes, u64)> = events
             .into_iter()
             .filter_map(|event| match event {
@@ -935,6 +954,11 @@ impl GearClient {
                 _ => None,
             })
             .collect();
+        if self.telemetry.enabled() {
+            self.telemetry.count("client.chunk_hits", hits);
+            self.telemetry.count("client.chunk_misses", downloads.len() as u64);
+            self.telemetry.observe("client.range_bytes", content.len() as u64);
+        }
         if !downloads.is_empty() {
             let payloads: Vec<u64> = downloads.iter().map(|d| d.2).collect();
             let cache = &mut self.cache;

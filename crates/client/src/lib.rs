@@ -58,8 +58,6 @@ mod report;
 mod slacker;
 mod timeline;
 
-#[allow(deprecated)]
-pub use cache::CacheStats;
 pub use cache::{
     restore_store_for, store_for, EvictionPolicy, SharedCache, ShardedCache, StoreStats,
 };

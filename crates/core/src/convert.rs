@@ -135,6 +135,14 @@ pub struct ConverterOptions {
     pub big_file_threshold: Option<u64>,
     /// Chunk size for big files.
     pub chunk_size: u64,
+    /// Content-defined chunking for big files: when set, chunk boundaries
+    /// come from the Gear rolling hash under these size bounds instead of
+    /// the fixed [`ConverterOptions::chunk_size`] grid, so a small edit in a
+    /// large file changes only the O(1) chunks near the edit and every
+    /// other chunk keeps its fingerprint (and dedups in the registry).
+    /// [`None`] (the default) keeps the fixed-size split bit-identical to
+    /// prior behaviour.
+    pub cdc: Option<gear_hash::ChunkerConfig>,
     /// Disk model used to estimate conversion time (paper Fig. 6 compares
     /// HDD and SSD).
     pub disk: DiskModel,
@@ -161,6 +169,7 @@ impl Default for ConverterOptions {
         ConverterOptions {
             big_file_threshold: None,
             chunk_size: 1024 * 1024,
+            cdc: None,
             disk: DiskModel::hdd(),
             hash_bytes_per_sec: 450.0e6, // MD5 on one 2.3 GHz Xeon core
             compress_bytes_per_sec: 45.0e6, // gzip -6 on one core
@@ -263,9 +272,19 @@ impl Converter {
                         .big_file_threshold
                         .is_some_and(|t| content.len() as u64 >= t);
                     if big {
+                        let spans: Vec<std::ops::Range<usize>> = match &self.options.cdc {
+                            Some(bounds) => gear_hash::chunk_spans(&content, bounds),
+                            None => {
+                                let step = self.options.chunk_size.max(1) as usize;
+                                (0..content.len())
+                                    .step_by(step)
+                                    .map(|s| s..(s + step).min(content.len()))
+                                    .collect()
+                            }
+                        };
                         let mut chunks = Vec::new();
-                        for raw in content.chunks(self.options.chunk_size.max(1) as usize) {
-                            let chunk = content.slice_ref(raw);
+                        for span in spans {
+                            let chunk = content.slice(span);
                             let fp = Fingerprint::of(&chunk);
                             let (id, _) = resolver.resolve(fp, &chunk);
                             if produced.insert(id, ()).is_none() {
@@ -507,6 +526,120 @@ mod tests {
             })
             .collect();
         assert_eq!(rebuilt, body);
+    }
+
+    /// Deterministic pseudo-random body (splitmix64 per position) so CDC
+    /// boundaries are non-degenerate.
+    fn noisy_body(seed: u64, len: usize) -> Vec<u8> {
+        (0..len as u64)
+            .map(|i| {
+                let mut z = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cdc_chunks_follow_content_boundaries() {
+        let bounds = gear_hash::ChunkerConfig { min_size: 256, avg_size: 1024, max_size: 4096 };
+        let body = noisy_body(11, 40_000);
+        let mut tree = FsTree::new();
+        tree.create_file("model.bin", Bytes::from(body.clone())).unwrap();
+        let image = ImageBuilder::new(r("cdc:1")).layer_from_tree(&tree).build();
+        let conv = Converter::with_options(ConverterOptions {
+            big_file_threshold: Some(4096),
+            cdc: Some(bounds),
+            ..Default::default()
+        })
+        .convert(&image)
+        .unwrap();
+        let (_, _, big, _) = conv.gear_image.index().node_counts();
+        assert_eq!(big, 1);
+        // Chunk sizes match the CDC spans, not the fixed 1 MiB grid.
+        let spans = gear_hash::chunk_spans(&body, &bounds);
+        assert_eq!(conv.files.len(), spans.len(), "one gear file per unique CDC chunk");
+        let rebuilt: Vec<u8> = conv
+            .gear_image
+            .index()
+            .referenced_files()
+            .iter()
+            .flat_map(|(fp, _)| {
+                conv.files.iter().find(|f| f.fingerprint == *fp).unwrap().content.to_vec()
+            })
+            .collect();
+        assert_eq!(rebuilt, body);
+    }
+
+    #[test]
+    fn cdc_dedups_edited_versions_where_fixed_grid_cannot_after_insert() {
+        // v2 inserts 3 bytes near the start of a large binary: with CDC
+        // only the chunks around the insert change fingerprints, so most
+        // chunk files dedup across versions; a fixed grid shifts every
+        // chunk after the insert.
+        let bounds = gear_hash::ChunkerConfig { min_size: 128, avg_size: 512, max_size: 2048 };
+        let v1_body = noisy_body(12, 30_000);
+        let mut v2_body = v1_body.clone();
+        v2_body.splice(100..100, [1u8, 2, 3]);
+
+        let convert = |body: &[u8], cdc: Option<gear_hash::ChunkerConfig>, tag: &str| {
+            let mut tree = FsTree::new();
+            tree.create_file("bin", Bytes::copy_from_slice(body)).unwrap();
+            let image = ImageBuilder::new(r(tag)).layer_from_tree(&tree).build();
+            Converter::with_options(ConverterOptions {
+                big_file_threshold: Some(1024),
+                chunk_size: 512,
+                cdc,
+                ..Default::default()
+            })
+            .convert(&image)
+            .unwrap()
+        };
+        let shared = |a: &Conversion, b: &Conversion| {
+            let have: std::collections::HashSet<Fingerprint> =
+                a.files.iter().map(|f| f.fingerprint).collect();
+            b.files.iter().filter(|f| have.contains(&f.fingerprint)).count()
+        };
+
+        let cdc_v1 = convert(&v1_body, Some(bounds), "cdc:1");
+        let cdc_v2 = convert(&v2_body, Some(bounds), "cdc:2");
+        let cdc_shared = shared(&cdc_v1, &cdc_v2);
+        assert!(
+            cdc_shared * 2 > cdc_v2.files.len(),
+            "CDC must dedup most chunks across the edit: {cdc_shared}/{}",
+            cdc_v2.files.len()
+        );
+
+        let fixed_v1 = convert(&v1_body, None, "fix:1");
+        let fixed_v2 = convert(&v2_body, None, "fix:2");
+        let fixed_shared = shared(&fixed_v1, &fixed_v2);
+        assert!(
+            cdc_shared > fixed_shared,
+            "CDC shared {cdc_shared} must beat fixed-grid shared {fixed_shared}"
+        );
+    }
+
+    #[test]
+    fn cdc_option_without_threshold_changes_nothing() {
+        // The CDC knob alone must not alter conversion: chunking still
+        // gates on `big_file_threshold`, so the default config stays
+        // bit-identical with or without a chunker config present.
+        let body = noisy_body(13, 20_000);
+        let mut tree = FsTree::new();
+        tree.create_file("bin", Bytes::from(body)).unwrap();
+        tree.create_file("small", Bytes::from_static(b"cfg")).unwrap();
+        let image = ImageBuilder::new(r("gate:1")).layer_from_tree(&tree).build();
+        let default = Converter::new().convert(&image).unwrap();
+        let with_knob = Converter::with_options(ConverterOptions {
+            cdc: Some(gear_hash::ChunkerConfig::default()),
+            ..Default::default()
+        })
+        .convert(&image)
+        .unwrap();
+        assert_eq!(default.gear_image.index(), with_knob.gear_image.index());
+        assert_eq!(default.files, with_knob.files);
+        assert_eq!(default.report, with_knob.report);
     }
 
     #[test]

@@ -271,6 +271,24 @@ impl GearIndex {
         }
     }
 
+    /// Looks up the ordered chunk list of the big file at `path` (`None`
+    /// for whole-fingerprint files and non-files) — the resolution step
+    /// behind chunk-granularity fetching: a deployer pulls exactly these
+    /// blobs instead of one monolithic object.
+    pub fn chunks_at(&self, path: &str) -> Option<&[IndexChunk]> {
+        let mut node = &self.root;
+        for comp in path.split('/') {
+            match node {
+                IndexNode::Dir { children, .. } => node = children.get(comp)?,
+                _ => return None,
+            }
+        }
+        match node {
+            IndexNode::BigFile { chunks, .. } => Some(chunks),
+            _ => None,
+        }
+    }
+
     /// Counts of each node kind: `(dirs, files, big_files, symlinks)`.
     pub fn node_counts(&self) -> (u64, u64, u64, u64) {
         let mut c = (0, 0, 0, 0);

@@ -25,11 +25,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chunker;
 mod fingerprint;
 mod hex;
 mod md5;
 mod sha256;
 
+pub use chunker::{chunk_fingerprints, chunk_spans, chunk_spans_all, ChunkerConfig};
 pub use fingerprint::{Digest, Fingerprint, ParseDigestError, ParseFingerprintError};
 pub use hex::{decode as hex_decode, encode as hex_encode, FromHexError};
 pub use md5::Md5;

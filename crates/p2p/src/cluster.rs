@@ -355,6 +355,35 @@ impl Cluster {
             // Resolve the fingerprint through the index, then fetch through
             // the cluster policy; the mount serves metadata/symlinks.
             let Some((fp, size)) = index.file_at(path) else {
+                if let Some(chunks) = index.chunks_at(path) {
+                    // Chunk-granularity file: pull every chunk through the
+                    // same local → peer → registry lane policy. Chunks are
+                    // first-class blobs, so peer hits, dedup, and fault
+                    // degradation all work per chunk, and a second node can
+                    // source a big file chunk-by-chunk from its neighbours.
+                    self.telemetry.count("p2p.chunk_fetches", chunks.len() as u64);
+                    for chunk in chunks {
+                        let (content, charge) = self.fetch(
+                            node,
+                            chunk.fingerprint,
+                            chunk.size,
+                            file_store,
+                            &mut report,
+                        )?;
+                        let at = total;
+                        let mut took =
+                            client.local_read(client.scaled(content.len() as u64));
+                        if fan_out > 1 {
+                            took += charge.serial + charge.post;
+                            charges.push(charge);
+                        } else {
+                            took += self.charge_total(&charge);
+                        }
+                        report.timeline.push(at, took, Self::fetch_event(path, &charge));
+                        total += took;
+                    }
+                    continue;
+                }
                 // Not a regular file: let the mount handle (symlink/dir) or
                 // surface NotFound.
                 mount.metadata(path)?;
@@ -752,6 +781,48 @@ mod tests {
         assert_eq!(second.peer_files, 1);
         // Registry egress counted the file once plus two index pulls.
         assert!(cluster.peer_traffic() > 0);
+    }
+
+    #[test]
+    fn chunked_big_file_deploys_and_second_node_peers_per_chunk() {
+        use gear_core::ConverterOptions;
+
+        // A big file that the CDC converter splits into several chunks.
+        let body: Vec<u8> = (0..60_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let mut tree = FsTree::new();
+        tree.create_file("models/weights.bin", Bytes::from(body)).unwrap();
+        tree.create_file("bin/app", Bytes::from_static(b"tiny launcher")).unwrap();
+        let r: ImageRef = "chunked:1".parse().unwrap();
+        let image = ImageBuilder::new(r.clone()).layer_from_tree(&tree).build();
+        let conv = Converter::with_options(ConverterOptions {
+            big_file_threshold: Some(16 * 1024),
+            cdc: Some(gear_hash::ChunkerConfig {
+                min_size: 2 * 1024,
+                avg_size: 8 * 1024,
+                max_size: 32 * 1024,
+            }),
+            ..Default::default()
+        })
+        .convert(&image)
+        .unwrap();
+        let mut reg = DockerRegistry::new();
+        let mut store = GearFileStore::new();
+        publish(&conv, &mut reg, &mut store);
+        let chunks =
+            conv.gear_image.index().chunks_at("models/weights.bin").expect("file was chunked");
+        assert!(chunks.len() > 1, "CDC must split the big file");
+
+        let mut cluster = Cluster::new(ClusterConfig::lan(2));
+        let t = trace(&["models/weights.bin", "bin/app"]);
+        let first = cluster.deploy_on(0, &r, &t, &reg, &store).unwrap();
+        // Every chunk plus the small file came from the registry.
+        assert_eq!(first.registry_files as usize, chunks.len() + 1);
+        assert_eq!(first.peer_files, 0);
+
+        // The second node sources all of them chunk-by-chunk from node 0.
+        let second = cluster.deploy_on(1, &r, &t, &reg, &store).unwrap();
+        assert_eq!(second.registry_files, 0, "chunks must come from the peer");
+        assert_eq!(second.peer_files as usize, chunks.len() + 1);
     }
 
     #[test]

@@ -123,9 +123,10 @@ pub fn decode_entries(body: &[u8]) -> Result<Vec<BatchEntry>, ProtoError> {
         let header = std::str::from_utf8(&rest[..newline])
             .map_err(|_| ProtoError::Malformed("batch entry header is not UTF-8".into()))?;
         let mut parts = header.split(' ');
-        let (fp, status, len) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-            (Some(fp), Some(status), Some(len), None) => (fp, status, len),
-            _ => return Err(ProtoError::Malformed(format!("bad batch header {header:?}"))),
+        let (Some(fp), Some(status), Some(len), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ProtoError::Malformed(format!("bad batch header {header:?}")));
         };
         let fp: Fingerprint = fp
             .parse()

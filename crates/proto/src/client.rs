@@ -299,6 +299,72 @@ impl<T: Transport> RegistryClient<T> {
         })
     }
 
+    /// `download_range`: fetches `offset..offset + len` of a Gear file, the
+    /// lazy-pull verb — only the requested window crosses the wire. The
+    /// answer may be shorter than `len` when the range crosses EOF.
+    ///
+    /// An arbitrary slice cannot be re-verified against the *whole-file*
+    /// MD5, so this verb only rejects over-long payloads; the verified lazy
+    /// path is [`RegistryClient::download_chunks`], where every chunk is its
+    /// own content-addressed blob and hashes end-to-end.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Unexpected`] with [`Status::NotFound`] if absent;
+    /// [`ProtoError::Corrupted`] if the payload exceeds the requested
+    /// length.
+    pub fn download_range(
+        &mut self,
+        fingerprint: Fingerprint,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes, ProtoError> {
+        let request = Request::DownloadRange(fingerprint, offset, len);
+        let response = self.call_checked(&request, |response| {
+            if response.status == Status::Ok && response.body.len() as u64 > len {
+                Err(ProtoError::Corrupted(format!(
+                    "gear file {fingerprint}: range answered {} bytes for a {len}-byte window",
+                    response.body.len()
+                )))
+            } else {
+                Ok(())
+            }
+        })?;
+        match response.status {
+            Status::Ok => Ok(response.body),
+            other => Err(ProtoError::Unexpected(other)),
+        }
+    }
+
+    /// `download_chunks`: fetches K chunk blobs in one pipelined
+    /// round-trip; each result is `Some(content)` (verified against its
+    /// chunk fingerprint) or `None` for chunks the registry does not hold.
+    ///
+    /// This is the verified lazy-pull path for chunk-granularity images:
+    /// every chunk is a first-class content-addressed blob, so unlike
+    /// [`RegistryClient::download_range`] each payload hashes end-to-end.
+    /// Retry semantics match [`RegistryClient::download_many`]: only the
+    /// damaged subset is re-requested.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on framing failures, unexpected statuses, or an
+    /// exhausted retry budget.
+    pub fn download_chunks(
+        &mut self,
+        fingerprints: &[Fingerprint],
+    ) -> Result<Vec<Option<Bytes>>, ProtoError> {
+        self.batched(fingerprints, Request::DownloadChunks, |entry, wanted| match entry {
+            BatchEntry::Found(fp, body)
+                if fp == wanted && Fingerprint::of(&body) == wanted =>
+            {
+                Some(Some(body))
+            }
+            BatchEntry::Miss(fp) if fp == wanted => Some(None),
+            _ => None,
+        })
+    }
+
     /// Shared batched-verb driver: issues `make(pending)`, accepts entries
     /// `accept` validates, and re-requests the rejected subset until the
     /// retry budget runs out.
@@ -456,6 +522,62 @@ mod tests {
         );
         assert!(c.query_many(&[]).unwrap().is_empty());
         assert_eq!(c.retries(), 0);
+    }
+
+    #[test]
+    fn range_and_chunk_verbs_roundtrip() {
+        let mut c = client();
+        let body = Bytes::from((0u8..=255).cycle().take(1024).collect::<Vec<u8>>());
+        let fp = Fingerprint::of(&body);
+        c.upload(fp, body.clone()).unwrap();
+
+        assert_eq!(c.download_range(fp, 0, 64).unwrap(), body.slice(0..64));
+        assert_eq!(c.download_range(fp, 512, 256).unwrap(), body.slice(512..768));
+        // Crossing EOF yields a short (possibly empty) answer, not an error.
+        assert_eq!(c.download_range(fp, 1000, 500).unwrap(), body.slice(1000..1024));
+        assert!(c.download_range(fp, 5000, 10).unwrap().is_empty());
+        assert!(matches!(
+            c.download_range(Fingerprint::of(b"ghost"), 0, 1),
+            Err(ProtoError::Unexpected(Status::NotFound))
+        ));
+
+        let chunk = Bytes::from_static(b"one chunk");
+        let cfp = Fingerprint::of(&chunk);
+        c.upload(cfp, chunk.clone()).unwrap();
+        assert_eq!(
+            c.download_chunks(&[cfp, Fingerprint::of(b"missing")]).unwrap(),
+            vec![Some(chunk), None]
+        );
+        assert!(c.download_chunks(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn chunk_sub_faults_retry_only_the_damaged_subset() {
+        use gear_simnet::{FaultKind, FaultPlan, FaultyLink, Link, RetryPolicy, VirtualClock};
+
+        let mut loopback = Loopback::default();
+        let chunks: Vec<Bytes> = (0..6u8).map(|i| Bytes::from(vec![i + 1; 48])).collect();
+        let fps: Vec<Fingerprint> = chunks.iter().map(|c| Fingerprint::of(c)).collect();
+        for (fp, chunk) in fps.iter().zip(&chunks) {
+            loopback.service_mut().files_mut().upload(*fp, chunk.clone()).unwrap();
+        }
+
+        // Two sub-answers of the first chunk batch are damaged; the retry
+        // batch re-requests exactly those two.
+        let plan = FaultPlan::new(0)
+            .fail_requests(2, 2, FaultKind::Corrupt)
+            .fail_requests(4, 4, FaultKind::Drop);
+        let clock = VirtualClock::new();
+        let transport = crate::FaultyTransport::new(
+            loopback,
+            FaultyLink::new(Link::mbps(100.0), plan),
+            clock.clone(),
+        );
+        let mut client =
+            RegistryClient::with_retry(transport, RetryPolicy::standard(5), clock);
+        let got = client.download_chunks(&fps).unwrap();
+        assert_eq!(got, chunks.iter().cloned().map(Some).collect::<Vec<_>>());
+        assert_eq!(client.retries(), 2, "one retry per damaged chunk");
     }
 
     #[test]

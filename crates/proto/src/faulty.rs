@@ -138,7 +138,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn round_trip(&mut self, wire: &[u8]) -> Vec<u8> {
         if matches!(
             Request::parse(wire),
-            Ok(Request::QueryMany(_) | Request::DownloadMany(_))
+            Ok(Request::QueryMany(_) | Request::DownloadMany(_) | Request::DownloadChunks(_))
         ) {
             return self.batched_round_trip(wire);
         }

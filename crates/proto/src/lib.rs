@@ -21,6 +21,10 @@
 //!   through one framed response ([`BatchEntry`] is the per-sub-answer
 //!   codec); [`RegistryClient::query_many`] / `download_many` verify each
 //!   sub-answer and re-request only the damaged subset under retries;
+//! * ranged lazy pulls — [`Request::DownloadRange`] fetches one byte window
+//!   of a file and [`Request::DownloadChunks`] pipelines K chunk-blob
+//!   downloads (each verified against its own chunk fingerprint), the wire
+//!   half of chunk-granularity deployment;
 //! * [`FaultyTransport`] — a transport wrapper injecting deterministic
 //!   wire-level faults from a [`gear_simnet::FaultPlan`], for chaos testing
 //!   the whole stack under simulated time.

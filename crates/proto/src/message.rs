@@ -25,6 +25,15 @@ pub enum Request {
     /// Gear Registry: fetch K files in one pipelined round-trip.
     /// (`POST /gear/files/batch`)
     DownloadMany(Vec<Fingerprint>),
+    /// Gear Registry: fetch `len` bytes at `offset` of a file — the lazy
+    /// range pull for chunk-granularity deployment.
+    /// (`GET /gear/files/<fp>/range/<offset>/<len>`)
+    DownloadRange(Fingerprint, u64, u64),
+    /// Gear Registry: fetch K chunk blobs in one pipelined round-trip.
+    /// Chunks are ordinary content-addressed blobs; the separate verb keeps
+    /// chunk traffic accountable apart from whole-file traffic.
+    /// (`POST /gear/chunks/batch`)
+    DownloadChunks(Vec<Fingerprint>),
     /// Docker Registry: fetch a manifest by reference.
     /// (`GET /v2/<repo>/manifests/<tag>`)
     GetManifest(ImageRef),
@@ -42,6 +51,8 @@ impl Request {
             Request::Download(_) => "download",
             Request::QueryMany(_) => "query_many",
             Request::DownloadMany(_) => "download_many",
+            Request::DownloadRange(..) => "download_range",
+            Request::DownloadChunks(_) => "download_chunks",
             Request::GetManifest(_) => "get_manifest",
             Request::GetBlob(_) => "get_blob",
         }

@@ -83,6 +83,22 @@ impl RegistryService {
                     .collect();
                 Response::ok(encode_entries(&entries))
             }
+            Request::DownloadRange(fp, offset, len) => {
+                match self.files.download_range(fp, offset, len) {
+                    Some(slice) => Response::ok(slice),
+                    None => Response::status_only(Status::NotFound),
+                }
+            }
+            Request::DownloadChunks(fps) => {
+                let entries: Vec<BatchEntry> = fps
+                    .into_iter()
+                    .map(|fp| match self.files.download_chunk(fp) {
+                        Some(content) => BatchEntry::Found(fp, content),
+                        None => BatchEntry::Miss(fp),
+                    })
+                    .collect();
+                Response::ok(encode_entries(&entries))
+            }
             Request::GetManifest(reference) => match self.docker.manifest(&reference) {
                 Some(manifest) => Response::ok(Bytes::from(manifest.to_json())),
                 None => Response::status_only(Status::NotFound),
@@ -164,6 +180,35 @@ mod tests {
         assert_eq!(
             decode_entries(&response.body).unwrap(),
             vec![BatchEntry::Miss(fp_absent), BatchEntry::Found(fp_present, present)]
+        );
+    }
+
+    #[test]
+    fn range_and_chunk_verbs() {
+        use crate::batch::{decode_entries, BatchEntry};
+
+        let mut service = RegistryService::default();
+        let body = Bytes::from((0u8..200).collect::<Vec<u8>>());
+        let fp = Fingerprint::of(&body);
+        service.files_mut().upload(fp, body.clone()).unwrap();
+
+        let response = service.handle(Request::DownloadRange(fp, 50, 25));
+        assert_eq!(response.status, Status::Ok);
+        assert_eq!(response.body, body.slice(50..75));
+        // Crossing EOF answers the existing suffix; absent files are 404.
+        let tail = service.handle(Request::DownloadRange(fp, 150, 500));
+        assert_eq!(tail.body, body.slice(150..200));
+        let ghost = Fingerprint::of(b"ghost");
+        assert_eq!(
+            service.handle(Request::DownloadRange(ghost, 0, 1)).status,
+            Status::NotFound
+        );
+
+        let response = service.handle(Request::DownloadChunks(vec![ghost, fp]));
+        assert_eq!(response.status, Status::Ok);
+        assert_eq!(
+            decode_entries(&response.body).unwrap(),
+            vec![BatchEntry::Miss(ghost), BatchEntry::Found(fp, body)]
         );
     }
 

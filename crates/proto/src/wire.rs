@@ -32,6 +32,10 @@ impl Request {
             Request::Download(fp) => ("GET", format!("/gear/files/{fp}")),
             Request::QueryMany(_) => ("POST", "/gear/files/query".to_owned()),
             Request::DownloadMany(_) => ("POST", "/gear/files/batch".to_owned()),
+            Request::DownloadRange(fp, offset, len) => {
+                ("GET", format!("/gear/files/{fp}/range/{offset}/{len}"))
+            }
+            Request::DownloadChunks(_) => ("POST", "/gear/chunks/batch".to_owned()),
             Request::GetManifest(r) => {
                 ("GET", format!("/v2/{}/manifests/{}", r.repository(), r.tag()))
             }
@@ -43,9 +47,9 @@ impl Request {
     pub fn to_wire(&self) -> Vec<u8> {
         let body: Vec<u8> = match self {
             Request::Upload(_, body) => body.to_vec(),
-            Request::QueryMany(fps) | Request::DownloadMany(fps) => {
-                crate::batch::encode_fingerprints(fps)
-            }
+            Request::QueryMany(fps)
+            | Request::DownloadMany(fps)
+            | Request::DownloadChunks(fps) => crate::batch::encode_fingerprints(fps),
             _ => Vec::new(),
         };
         let (verb, path) = self.route();
@@ -78,6 +82,14 @@ impl Request {
                 Ok(Request::Upload(parse_fp(fp)?, Bytes::copy_from_slice(body)))
             }
             ("GET", ["gear", "files", fp]) => Ok(Request::Download(parse_fp(fp)?)),
+            ("GET", ["gear", "files", fp, "range", offset, len]) => Ok(Request::DownloadRange(
+                parse_fp(fp)?,
+                parse_u64(offset)?,
+                parse_u64(len)?,
+            )),
+            ("POST", ["gear", "chunks", "batch"]) => {
+                Ok(Request::DownloadChunks(crate::batch::decode_fingerprints(body)?))
+            }
             ("POST", ["gear", "files", "query"]) => {
                 Ok(Request::QueryMany(crate::batch::decode_fingerprints(body)?))
             }
@@ -141,6 +153,10 @@ fn malformed(path: &str) -> ProtoError {
 
 fn parse_fp(s: &str) -> Result<Fingerprint, ProtoError> {
     s.parse().map_err(|_| ProtoError::Malformed(format!("bad fingerprint {s:?}")))
+}
+
+fn parse_u64(s: &str) -> Result<u64, ProtoError> {
+    s.parse().map_err(|_| ProtoError::Malformed(format!("bad range number {s:?}")))
 }
 
 fn parse_digest(s: &str) -> Result<Digest, ProtoError> {
@@ -212,6 +228,10 @@ mod tests {
             Request::QueryMany(vec![fp(), Fingerprint::of(b"other")]),
             Request::DownloadMany(vec![Fingerprint::of(b"a"), Fingerprint::of(b"b")]),
             Request::QueryMany(Vec::new()),
+            Request::DownloadRange(fp(), 0, 4096),
+            Request::DownloadRange(fp(), u64::MAX - 1, u64::MAX),
+            Request::DownloadChunks(vec![Fingerprint::of(b"c1"), Fingerprint::of(b"c2")]),
+            Request::DownloadChunks(Vec::new()),
         ];
         for request in requests {
             let wire = request.to_wire();
@@ -249,6 +269,12 @@ mod tests {
             Request::parse(b"GET /gear/files/zzzz HTTP/1.1\r\nContent-Length: 0\r\n\r\n")
                 .is_err()
         ); // bad fingerprint
+        // Non-numeric range segments.
+        let route = format!(
+            "GET /gear/files/{}/range/ten/4 HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+            fp()
+        );
+        assert!(Request::parse(route.as_bytes()).is_err());
         // Length mismatch.
         let mut wire = Request::Upload(fp(), Bytes::from_static(b"1234")).to_wire();
         wire.pop();

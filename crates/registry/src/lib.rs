@@ -40,6 +40,4 @@ mod docker;
 mod filestore;
 
 pub use docker::{DockerRegistry, PushReport, RegistryStats};
-#[allow(deprecated)]
-pub use filestore::FileStoreStats;
 pub use filestore::{GearFileStore, StoreStats, UploadError, UploadOutcome};
