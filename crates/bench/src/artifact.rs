@@ -17,6 +17,7 @@ use crate::experiments::concurrency::Concurrency;
 use crate::experiments::crash::Crash;
 use crate::experiments::fig9::Fig9;
 use crate::experiments::hotpath::Hotpath;
+use crate::experiments::tails::Tails;
 use crate::experiments::tiering::Tiering;
 
 /// One named scalar measurement.
@@ -197,6 +198,29 @@ pub fn chunking_metrics(chunking: &Chunking) -> Vec<Metric> {
     ]
 }
 
+/// Flattens the flash-crowd tail sweep into metrics.
+pub fn tails_metrics(tails: &Tails) -> Vec<Metric> {
+    let bool01 = |b: bool| if b { 1.0 } else { 0.0 };
+    let mut metrics = Vec::new();
+    for run in &tails.runs {
+        let prefix = format!("tails/nodes{}", run.nodes);
+        metrics.push(Metric::new(format!("{prefix}/p50_secs"), run.p50.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/p99_secs"), run.p99.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/p999_secs"), run.p999.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/max_secs"), run.max.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/slo_ok"), bool01(run.slo.ok())));
+        metrics
+            .push(Metric::new(format!("{prefix}/collector_bytes"), run.collector_bytes as f64));
+        metrics.push(Metric::new(format!("{prefix}/dropped_spans"), run.dropped_spans as f64));
+        metrics.push(Metric::new(
+            format!("{prefix}/validation_problems"),
+            run.validation_problems as f64,
+        ));
+    }
+    metrics.push(Metric::new("tails/exports_identical", bool01(tails.exports_identical)));
+    metrics
+}
+
 /// Recorded `streams = 1` deployment times the CI smoke job compares
 /// against.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -226,6 +250,24 @@ pub struct Baseline {
     /// before the comparison existed).
     #[serde(default)]
     pub chunking: Vec<HotpathFloor>,
+    /// Recorded flash-crowd ceilings — p999 deployment times and collector
+    /// footprints per topology (empty when the baseline was recorded
+    /// without the `tails` experiment, and absent entirely in baselines
+    /// recorded before the sweep existed).
+    #[serde(default)]
+    pub tails: Vec<TailsRow>,
+}
+
+/// One recorded flash-crowd ceiling: a tail time or collector footprint
+/// that a fresh run may not exceed (simulated, so machine-independent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TailsRow {
+    /// Metric key as emitted by [`tails_metrics`], e.g.
+    /// `"tails/nodes16/p999_secs"`.
+    pub key: String,
+    /// Recorded value the fresh run must stay at or below (plus
+    /// tolerance).
+    pub max: f64,
 }
 
 /// One recorded crash-recovery time (simulated, so machine-independent).
@@ -341,6 +383,7 @@ impl Baseline {
             tiering: Vec::new(),
             crash: Vec::new(),
             chunking: Vec::new(),
+            tails: Vec::new(),
         }
     }
 
@@ -365,6 +408,19 @@ impl Baseline {
             .iter()
             .filter(|m| m.key.ends_with("_secs"))
             .map(|m| TieringRow { key: m.key.clone(), secs: m.value })
+            .collect();
+        self
+    }
+
+    /// Records the flash-crowd ceilings: the per-topology p999 deployment
+    /// times and collector footprints (the dimensions the tentpole exists
+    /// to bound). Percentile medians and traffic are diagnostics, not
+    /// gates.
+    pub fn with_tails(mut self, metrics: &[Metric]) -> Self {
+        self.tails = metrics
+            .iter()
+            .filter(|m| m.key.ends_with("p999_secs") || m.key.ends_with("collector_bytes"))
+            .map(|m| TailsRow { key: m.key.clone(), max: m.value })
             .collect();
         self
     }
@@ -473,6 +529,49 @@ impl Baseline {
                 )),
                 None => {
                     problems.push(format!("crash point {} missing from the run", row.key));
+                }
+            }
+        }
+        problems
+    }
+
+    /// Compares a fresh flash-crowd run against the recorded ceilings and
+    /// enforces the fleet invariants. Any `validation_problems` metric
+    /// above zero, or `exports_identical` below one, fails **regardless of
+    /// what the baseline recorded** — a malformed or nondeterministic
+    /// export is never an acceptable trade. Recorded rows gate as
+    /// ceilings: more than `tolerance` (fractional) above fails, at or
+    /// below passes, missing points fail. No-op on the recorded rows when
+    /// the baseline has none.
+    pub fn tails_regressions(&self, metrics: &[Metric], tolerance: f64) -> Vec<String> {
+        let mut problems = Vec::new();
+        for m in metrics.iter().filter(|m| m.key.ends_with("validation_problems")) {
+            if m.value > 0.0 {
+                problems.push(format!(
+                    "tails/{}: {} span-tree violations in the fleet export (must be 0)",
+                    m.key, m.value,
+                ));
+            }
+        }
+        if let Some(m) = metrics.iter().find(|m| m.key == "tails/exports_identical") {
+            if m.value < 1.0 {
+                problems
+                    .push("tails/exports_identical: fleet exports drifted between runs".to_owned());
+            }
+        }
+        for row in &self.tails {
+            match metrics.iter().find(|m| m.key == row.key) {
+                Some(m) if m.value <= row.max * (1.0 + tolerance) => {}
+                Some(m) => problems.push(format!(
+                    "tails/{}: {:.6} above recorded ceiling {:.6} (+{:.1}% > {:.1}% tolerance)",
+                    row.key,
+                    m.value,
+                    row.max,
+                    (m.value / row.max - 1.0) * 100.0,
+                    tolerance * 100.0,
+                )),
+                None => {
+                    problems.push(format!("tails ceiling {} missing from the run", row.key));
                 }
             }
         }
@@ -624,6 +723,48 @@ mod tests {
         let legacy: Baseline = serde_json::from_str(legacy).unwrap();
         assert!(legacy.crash.is_empty());
         assert!(legacy.crash_regressions(&[], 0.01).is_empty());
+    }
+
+    #[test]
+    fn tails_rows_gate_ceilings_and_invariants_unconditionally() {
+        let recorded = Concurrency { sweeps: vec![sweep("20Mbps", 1_000)] };
+        let measured = vec![
+            Metric::new("tails/nodes4/p50_secs", 0.001),
+            Metric::new("tails/nodes4/p999_secs", 0.9),
+            Metric::new("tails/nodes4/collector_bytes", 500_000.0),
+            Metric::new("tails/nodes4/validation_problems", 0.0),
+            Metric::new("tails/exports_identical", 1.0),
+        ];
+        let baseline = Baseline::from_concurrency(&recorded, 64, 7).with_tails(&measured);
+        assert_eq!(baseline.tails.len(), 2, "only p999 and collector bytes are recorded");
+
+        assert!(baseline.tails_regressions(&measured, 0.01).is_empty());
+        let faster = vec![
+            Metric::new("tails/nodes4/p999_secs", 0.5),
+            Metric::new("tails/nodes4/collector_bytes", 400_000.0),
+        ];
+        assert!(baseline.tails_regressions(&faster, 0.01).is_empty(), "improvements pass");
+
+        let slower = vec![
+            Metric::new("tails/nodes4/p999_secs", 1.2),
+            Metric::new("tails/nodes4/collector_bytes", 900_000.0),
+        ];
+        assert_eq!(baseline.tails_regressions(&slower, 0.01).len(), 2);
+        assert_eq!(baseline.tails_regressions(&[], 0.01).len(), 2, "missing points flagged");
+
+        // Invariants fail even against a baseline with no tails rows.
+        let plain = Baseline::from_concurrency(&recorded, 64, 7);
+        let broken = vec![
+            Metric::new("tails/nodes4/validation_problems", 3.0),
+            Metric::new("tails/exports_identical", 0.0),
+        ];
+        assert_eq!(plain.tails_regressions(&broken, 0.01).len(), 2);
+
+        // Baselines recorded before the sweep existed still load.
+        let legacy = r#"{"scale_denom":64,"seed":7,"rows":[],"hotpath":[]}"#;
+        let legacy: Baseline = serde_json::from_str(legacy).unwrap();
+        assert!(legacy.tails.is_empty());
+        assert!(legacy.tails_regressions(&[], 0.01).is_empty());
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //!       <experiment>...
 //!
 //! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 concurrency
-//!              cluster faults crash hotpath tiering chunking profile all
+//!              cluster faults crash hotpath tiering chunking tails profile
+//!              all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
@@ -118,7 +119,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--scale N] [--seed S] [--versions V] [--quick] [--json] \
                      [--baseline FILE] [--record-baseline FILE] [--trace DIR] \
                      <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults\
-                     |crash|hotpath|tiering|chunking|profile|all>..."
+                     |crash|hotpath|tiering|chunking|tails|profile|all>..."
                         .to_owned(),
                 )
             }
@@ -144,7 +145,7 @@ fn main() -> ExitCode {
     let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         vec![
             "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "concurrency",
-            "cluster", "faults", "crash", "hotpath", "tiering", "chunking",
+            "cluster", "faults", "crash", "hotpath", "tiering", "chunking", "tails",
         ]
     } else {
         args.experiments.iter().map(String::as_str).collect()
@@ -181,7 +182,7 @@ fn main() -> ExitCode {
         matches!(
             *e,
             "fig8" | "fig9" | "fig10" | "fig11" | "concurrency" | "cluster" | "faults"
-                | "tiering"
+                | "tiering" | "tails"
         )
     });
     let published = if needs_publish {
@@ -196,6 +197,7 @@ fn main() -> ExitCode {
     let mut tiering_metrics = None;
     let mut crash_metrics = None;
     let mut chunking_metrics = None;
+    let mut tails_metrics = None;
     for name in &wanted {
         println!("{}", "=".repeat(72));
         let mut metrics = Vec::new();
@@ -250,6 +252,27 @@ fn main() -> ExitCode {
                 metrics = artifact::chunking_metrics(&result);
                 chunking_metrics = Some(metrics.clone());
                 result.to_string()
+            }
+            "tails" => {
+                let series = if ctx.corpus.series_by_name("redis").is_some() {
+                    "redis"
+                } else {
+                    ctx.corpus.series[0].spec.name
+                };
+                let result = experiments::tails::run(
+                    &ctx,
+                    published.as_ref().expect("published"),
+                    series,
+                );
+                metrics = artifact::tails_metrics(&result);
+                tails_metrics = Some(metrics.clone());
+                let text = result.to_string();
+                if !result.exports_identical {
+                    println!("{text}");
+                    eprintln!("DETERMINISM FAILURE: fleet exports drifted between runs");
+                    return ExitCode::FAILURE;
+                }
+                text
             }
             "fig10" => {
                 let series = if ctx.corpus.series_by_name("tomcat").is_some() {
@@ -339,6 +362,9 @@ fn main() -> ExitCode {
         if chunking_metrics.is_some() {
             baseline = baseline.with_chunking_floors();
         }
+        if let Some(metrics) = &tails_metrics {
+            baseline = baseline.with_tails(metrics);
+        }
         let json = serde_json::to_string(&baseline).expect("baseline serializes");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("writing {}: {e}", path.display());
@@ -402,6 +428,16 @@ fn main() -> ExitCode {
                 Some(metrics) => problems.extend(baseline.chunking_regressions(metrics)),
                 None => problems.push(
                     "baseline records chunking floors; add `chunking` to the run".to_owned(),
+                ),
+            }
+        }
+        if !baseline.tails.is_empty() {
+            match &tails_metrics {
+                Some(metrics) => {
+                    problems.extend(baseline.tails_regressions(metrics, BASELINE_TOLERANCE));
+                }
+                None => problems.push(
+                    "baseline records flash-crowd ceilings; add `tails` to the run".to_owned(),
                 ),
             }
         }

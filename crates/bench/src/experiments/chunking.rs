@@ -28,7 +28,7 @@ use gear_core::{publish, Converter, ConverterOptions};
 use gear_corpus::StartupTrace;
 use gear_hash::{chunk_spans, ChunkerConfig};
 use gear_registry::{DockerRegistry, GearFileStore};
-use gear_telemetry::{Collector, Telemetry};
+use gear_telemetry::{Collector, QuantileSketch, Telemetry};
 
 use super::{human_bytes, secs, ExperimentContext};
 
@@ -45,6 +45,12 @@ pub struct GranularitySide {
     pub coldstart_bytes: u64,
     /// Mean first-version deployment time over the real traces.
     pub deploy_cold: Duration,
+    /// Median per-file fetch latency during the cold deploys, from the
+    /// merged [`gear_client::DeploymentReport::fetch_sketch`] sketches.
+    pub fetch_p50: Duration,
+    /// 99th-percentile per-file fetch latency — chunk granularity trades
+    /// more requests for smaller ones, which shows up here first.
+    pub fetch_p99: Duration,
 }
 
 /// The chunking comparison result.
@@ -188,6 +194,7 @@ pub fn run(ctx: &ExperimentContext) -> Chunking {
     let deploy_cold = |variant: &Variant| {
         let mut total = Duration::ZERO;
         let mut n = 0u32;
+        let mut fetches = QuantileSketch::new();
         for series in &ctx.corpus.series {
             let mut client = GearClient::new(ctx.client_config);
             let (id, report) = client
@@ -199,10 +206,13 @@ pub fn run(ctx: &ExperimentContext) -> Chunking {
                 )
                 .expect("cold deploy");
             client.destroy(id);
+            // Same default resolution; merge cannot fail.
+            let _ = fetches.merge(&report.fetch_sketch());
             total += report.total();
             n += 1;
         }
-        total / n.max(1)
+        let at = |q: f64| Duration::from_nanos(fetches.quantile(q).unwrap_or(0));
+        (total / n.max(1), at(0.5), at(0.99))
     };
     let file_deploy = deploy_cold(&file_side);
     let chunk_deploy = deploy_cold(&chunk_side);
@@ -217,14 +227,16 @@ pub fn run(ctx: &ExperimentContext) -> Chunking {
             && a.files.iter().map(|f| f.fingerprint).eq(b.files.iter().map(|f| f.fingerprint))
     });
 
-    let side = |variant: &Variant, coldstart: u64, deploy: Duration| {
+    let side = |variant: &Variant, coldstart: u64, deploy: (Duration, Duration, Duration)| {
         let stats = variant.store.stats();
         GranularitySide {
             stored_bytes: stats.logical_bytes,
             objects: variant.store.object_count() as u64,
             dedup_ratio: content_bytes as f64 / stats.logical_bytes.max(1) as f64,
             coldstart_bytes: coldstart,
-            deploy_cold: deploy,
+            deploy_cold: deploy.0,
+            fetch_p50: deploy.1,
+            fetch_p99: deploy.2,
         }
     };
     Chunking {
@@ -270,19 +282,23 @@ impl fmt::Display for Chunking {
         )?;
         writeln!(
             f,
-            "{:<14}{:>10}{:>10}{:>8}{:>12}{:>13}",
-            "granularity", "stored", "objects", "dedup", "coldstart", "cold deploy"
+            "{:<14}{:>10}{:>10}{:>8}{:>12}{:>13}{:>12}{:>12}",
+            "granularity", "stored", "objects", "dedup", "coldstart", "cold deploy", "fetch p50",
+            "fetch p99"
         )?;
         for (label, side) in [("file", &self.file), ("chunk (cdc)", &self.chunk)] {
+            let ms = |d: Duration| format!("{:.2}ms", d.as_secs_f64() * 1e3);
             writeln!(
                 f,
-                "{:<14}{:>10}{:>10}{:>7.2}x{:>12}{:>13}",
+                "{:<14}{:>10}{:>10}{:>7.2}x{:>12}{:>13}{:>12}{:>12}",
                 label,
                 human_bytes(side.stored_bytes),
                 side.objects,
                 side.dedup_ratio,
                 human_bytes(side.coldstart_bytes),
-                secs(side.deploy_cold)
+                secs(side.deploy_cold),
+                ms(side.fetch_p50),
+                ms(side.fetch_p99),
             )?;
         }
         writeln!(
@@ -336,6 +352,11 @@ mod tests {
         // Chunks outnumber whole files, and the store stays smaller.
         assert!(result.chunk.objects > result.file.objects);
         assert!(result.chunk.stored_bytes <= result.file.stored_bytes);
+        // The per-file fetch tails are populated and ordered on both sides.
+        for side in [&result.file, &result.chunk] {
+            assert!(side.fetch_p99 > Duration::ZERO, "cold deploys must record fetch tails");
+            assert!(side.fetch_p50 <= side.fetch_p99);
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::time::Duration;
 
 use gear_client::{DeployError, GearClient};
 use gear_simnet::{FaultPlan, Link, RetryPolicy};
+use gear_telemetry::QuantileSketch;
 
 use super::fig8::PublishedCorpus;
 use super::{secs, ExperimentContext};
@@ -32,6 +33,12 @@ pub struct RateRun {
     pub failed: u32,
     /// Failed request attempts that were retried.
     pub retries: u64,
+    /// Median per-file registry-fetch latency across the rate's
+    /// deployments, from the merged [`gear_client::LaneTail`] sketches.
+    pub registry_p50: Duration,
+    /// 99th-percentile per-file registry-fetch latency — where retry
+    /// backoff shows up long before the mean moves.
+    pub registry_p99: Duration,
 }
 
 /// The fault sweep on one bandwidth preset.
@@ -92,7 +99,16 @@ pub fn run_at(
         client.inject_faults(FaultPlan::new(seed).with_drop(rate), RetryPolicy::standard(seed));
         let mut total = Duration::ZERO;
         let mut ok = 0u32;
-        let mut run = RateRun { rate, mean: Duration::ZERO, deployments: 0, failed: 0, retries: 0 };
+        let mut registry = QuantileSketch::new();
+        let mut run = RateRun {
+            rate,
+            mean: Duration::ZERO,
+            deployments: 0,
+            failed: 0,
+            retries: 0,
+            registry_p50: Duration::ZERO,
+            registry_p99: Duration::ZERO,
+        };
         for series in &ctx.corpus.series {
             for (image, trace) in series.images.iter().zip(&series.traces) {
                 client.clear_cache();
@@ -105,6 +121,10 @@ pub fn run_at(
                 ) {
                     Ok((cid, report)) => {
                         client.destroy(cid);
+                        if let Some(lane) = report.lane_sketches().get("registry") {
+                            // Same default resolution; merge cannot fail.
+                            let _ = registry.merge(lane);
+                        }
                         total += report.total();
                         ok += 1;
                     }
@@ -118,6 +138,9 @@ pub fn run_at(
         if ok > 0 {
             run.mean = total / ok;
         }
+        let at = |q: f64| Duration::from_nanos(registry.quantile(q).unwrap_or(0));
+        run.registry_p50 = at(0.5);
+        run.registry_p99 = at(0.99);
         rates.push(run);
     }
     LinkFaultRun { label, rates }
@@ -131,16 +154,20 @@ impl fmt::Display for Faults {
             writeln!(f, "[{}]", run.label)?;
             writeln!(
                 f,
-                "{:<12}{:>14}{:>14}{:>10}{:>10}",
-                "drop rate", "mean deploy", "degradation", "retries", "failed"
+                "{:<12}{:>14}{:>14}{:>12}{:>12}{:>10}{:>10}",
+                "drop rate", "mean deploy", "degradation", "fetch p50", "fetch p99", "retries",
+                "failed"
             )?;
             for rate in &run.rates {
+                let ms = |d: Duration| format!("{:.2}ms", d.as_secs_f64() * 1e3);
                 writeln!(
                     f,
-                    "{:<12}{:>14}{:>13.2}x{:>10}{:>7}/{}",
+                    "{:<12}{:>14}{:>13.2}x{:>12}{:>12}{:>10}{:>7}/{}",
                     format!("{:.0}%", rate.rate * 100.0),
                     secs(rate.mean),
                     run.degradation(rate),
+                    ms(rate.registry_p50),
+                    ms(rate.registry_p99),
                     rate.retries,
                     rate.failed,
                     rate.deployments,
@@ -180,6 +207,15 @@ mod tests {
             "mean deployment time must degrade: {:?} vs {:?}",
             worst.mean,
             baseline.mean
+        );
+        // Retry backoff lands on individual fetches, so the registry-lane
+        // tail inflates with the drop rate.
+        assert!(baseline.registry_p99 > Duration::ZERO, "fault-free fetches still have tails");
+        assert!(
+            worst.registry_p99 >= baseline.registry_p99,
+            "fetch p99 must not shrink under faults: {:?} vs {:?}",
+            worst.registry_p99,
+            baseline.registry_p99
         );
     }
 }

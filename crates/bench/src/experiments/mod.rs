@@ -15,6 +15,7 @@ pub mod fig9;
 pub mod hotpath;
 pub mod profile;
 pub mod table2;
+pub mod tails;
 pub mod tiering;
 
 use gear_client::ClientConfig;

@@ -1,0 +1,221 @@
+//! Flash-crowd tail-latency sweep (`repro tails`).
+//!
+//! ROADMAP item 2 asks for makespan *and* p50/p99/p999 tail latency "from
+//! the telemetry layer" at fleet scale. This precursor runs a 10 000-client
+//! flash crowd — every client deploys the same image, round-robin over a
+//! P2P cluster on the edge uplink — and reads the deployment-time tails
+//! out of the fleet's merged [`QuantileSketch`]es rather than from a
+//! privileged array of raw samples: exactly the data path a real fleet
+//! collector has.
+//!
+//! Each node records into its own bounded flight-recorder shard
+//! ([`FleetCollector`]), so collector memory stays capped no matter how
+//! many clients arrive; the per-node sketches merge exactly (associative,
+//! commutative — property-tested in gear-telemetry) into the fleet-wide
+//! distribution the SLO is judged against.
+
+use std::fmt;
+use std::time::Duration;
+
+use gear_p2p::{Cluster, ClusterConfig};
+use gear_telemetry::{FleetCollector, SloEval, SloSpec};
+
+use super::fig8::PublishedCorpus;
+use super::{human_bytes, ExperimentContext};
+
+/// Simulated clients in the flash crowd.
+pub const FLASH_CLIENTS: u32 = 10_000;
+
+/// Cluster sizes the crowd is spread over.
+pub const TOPOLOGIES: [u32; 3] = [4, 16, 64];
+
+/// Spans each node's flight recorder retains (the memory bound).
+pub const SPAN_CAPACITY: usize = 512;
+
+/// One topology's flash-crowd result.
+#[derive(Debug, Clone)]
+pub struct TopologyRun {
+    /// Nodes the crowd was round-robined over.
+    pub nodes: u32,
+    /// Deployments driven through the cluster.
+    pub clients: u32,
+    /// Median deployment time, from the merged sketch.
+    pub p50: Duration,
+    /// 99th-percentile deployment time.
+    pub p99: Duration,
+    /// 99.9th-percentile deployment time.
+    pub p999: Duration,
+    /// Worst deployment time (sketch max — exact, not bucketed).
+    pub max: Duration,
+    /// SLO verdict against the degradation-free spec (no percentile may
+    /// exceed a multiple of the first cold deploy).
+    pub slo: SloEval,
+    /// Collector footprint after the whole crowd: bounded span storage
+    /// plus sketch buckets, across every shard.
+    pub collector_bytes: u64,
+    /// Spans the flight recorders evicted to stay within
+    /// [`SPAN_CAPACITY`].
+    pub dropped_spans: u64,
+    /// Registry uplink egress for the whole crowd (paper scale).
+    pub registry_egress: u64,
+    /// Node-to-node traffic (paper scale).
+    pub peer_traffic: u64,
+    /// Span-tree validation problems across all shards (must be empty).
+    pub validation_problems: usize,
+}
+
+/// The flash-crowd sweep result.
+#[derive(Debug, Clone)]
+pub struct Tails {
+    /// Which series' newest image the crowd deployed.
+    pub series: String,
+    /// One row per [`TOPOLOGIES`] entry.
+    pub runs: Vec<TopologyRun>,
+    /// Whether re-running the smallest topology reproduced byte-identical
+    /// merged trace and metrics exports (fixed seed → fixed bytes).
+    pub exports_identical: bool,
+}
+
+/// Runs the flash crowd over every topology, plus a determinism re-run of
+/// the smallest one.
+pub fn run(ctx: &ExperimentContext, published: &PublishedCorpus, series_name: &str) -> Tails {
+    let runs: Vec<TopologyRun> = TOPOLOGIES
+        .iter()
+        .map(|&nodes| run_topology(ctx, published, series_name, nodes, FLASH_CLIENTS).0)
+        .collect();
+    // Same seed, same crowd → the fleet's exports must not move by a byte.
+    let (_, once) = run_topology(ctx, published, series_name, TOPOLOGIES[0], FLASH_CLIENTS);
+    let (_, again) = run_topology(ctx, published, series_name, TOPOLOGIES[0], FLASH_CLIENTS);
+    Tails { series: series_name.to_owned(), runs, exports_identical: once == again }
+}
+
+/// Drives `clients` deployments round-robin over a `nodes`-node cluster,
+/// each node recording into its own bounded shard, and reads the tails
+/// from the merged fleet sketch. Returns the row plus the raw exports
+/// (for the byte-identity check).
+pub fn run_topology(
+    ctx: &ExperimentContext,
+    published: &PublishedCorpus,
+    series_name: &str,
+    nodes: u32,
+    clients: u32,
+) -> (TopologyRun, (String, String)) {
+    let series = ctx.corpus.series_by_name(series_name).expect("series in corpus");
+    let image = series.images.last().expect("versions");
+    let trace = series.traces.last().expect("traces");
+
+    let fleet = FleetCollector::new(nodes, SPAN_CAPACITY);
+    let mut cluster =
+        Cluster::new(ClusterConfig::edge(nodes as usize).with_client(ctx.client_config));
+    let mut cold = Duration::ZERO;
+    for i in 0..clients {
+        let node = (i % nodes) as usize;
+        cluster.set_recorder(fleet.telemetry(node as u32));
+        let report = cluster
+            .deploy_on(node, image.reference(), trace, &published.gear_index, &published.gear_files)
+            .expect("flash-crowd deploy");
+        if i == 0 {
+            cold = report.total;
+        }
+    }
+
+    let merged = fleet.merged_metrics().expect("same-resolution sketches merge");
+    let sketch = merged.sketch("p2p.deploy_nanos").expect("deploys recorded").clone();
+    let at = |q: f64| Duration::from_nanos(sketch.quantile(q).unwrap_or(0));
+    // Degradation-free spec: the crowd's median must beat the cold deploy
+    // and even the 99.9th percentile may not exceed twice it — P2P exists
+    // so that a flash crowd never collapses to registry-bound times.
+    let spec = SloSpec { p50: cold, p99: cold * 2, p999: cold * 2 };
+    let slo = spec.evaluate(&sketch);
+
+    let sketch_bytes: u64 = merged.sketches().map(|(_, s)| s.memory_bytes()).sum();
+    let row = TopologyRun {
+        nodes,
+        clients,
+        p50: at(0.5),
+        p99: at(0.99),
+        p999: at(0.999),
+        max: Duration::from_nanos(sketch.max().unwrap_or(0)),
+        slo,
+        collector_bytes: fleet.span_bytes() + sketch_bytes,
+        dropped_spans: fleet.dropped_spans(),
+        registry_egress: cluster.registry_egress(),
+        peer_traffic: cluster.peer_traffic(),
+        validation_problems: fleet.validate().len(),
+    };
+    let metrics_json = fleet.metrics_json().expect("same-resolution sketches merge");
+    (row, (fleet.trace_json(), metrics_json))
+}
+
+impl fmt::Display for Tails {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Flash crowd — {} clients deploying {} round-robin over P2P clusters \
+             (20 Mbps uplink, 1 Gbps LAN)",
+            FLASH_CLIENTS, self.series
+        )?;
+        writeln!(
+            f,
+            "{:<8}{:>11}{:>11}{:>11}{:>11}{:>8}{:>13}{:>10}",
+            "nodes", "p50", "p99", "p999", "max", "slo", "collector", "dropped"
+        )?;
+        for run in &self.runs {
+            let ms = |d: Duration| format!("{:.2}ms", d.as_secs_f64() * 1e3);
+            writeln!(
+                f,
+                "{:<8}{:>11}{:>11}{:>11}{:>11}{:>8}{:>13}{:>10}",
+                run.nodes,
+                ms(run.p50),
+                ms(run.p99),
+                ms(run.p999),
+                ms(run.max),
+                if run.slo.ok() { "ok" } else { "VIOL" },
+                human_bytes(run.collector_bytes),
+                run.dropped_spans,
+            )?;
+        }
+        write!(
+            f,
+            "flight recorders keep the last {SPAN_CAPACITY} spans/node; tails read from \
+             merged sketches (rel. error ≤ 1/128); exports byte-identical across runs: {}",
+            self.exports_identical
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig8::publish_corpus;
+
+    #[test]
+    fn flash_crowd_tails_are_bounded_and_deterministic() {
+        let ctx = ExperimentContext::quick();
+        let published = publish_corpus(&ctx);
+        let (row, exports) = run_topology(&ctx, &published, "redis", 4, 400);
+        assert_eq!(row.clients, 400);
+        assert!(row.p50 <= row.p99 && row.p99 <= row.p999 && row.p999 <= row.max);
+        assert_eq!(row.validation_problems, 0);
+        // The flight recorder evicted spans (400 deployments × several
+        // spans each cannot fit 4 × 512) yet memory stayed bounded.
+        assert!(row.dropped_spans > 0, "cap must have engaged");
+        // Generous static ceiling: 4 shards × 512 spans × ~200 B plus
+        // sketch buckets is well under 2 MB.
+        assert!(row.collector_bytes < 2 << 20, "collector grew: {}", row.collector_bytes);
+
+        let (_, again) = run_topology(&ctx, &published, "redis", 4, 400);
+        assert_eq!(exports, again, "fixed seed must export identical bytes");
+    }
+
+    #[test]
+    fn warm_crowd_beats_the_cold_deploy() {
+        let ctx = ExperimentContext::quick();
+        let published = publish_corpus(&ctx);
+        let (row, _) = run_topology(&ctx, &published, "redis", 4, 400);
+        // Nearly every client lands on a warm node: the median must sit
+        // far below the worst (cold) deployment.
+        assert!(row.p50 < row.max, "p50 {:?} vs max {:?}", row.p50, row.max);
+        assert!(row.slo.count >= 400);
+    }
+}

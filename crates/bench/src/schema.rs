@@ -6,13 +6,19 @@
 //! project-specific contract: required fields per event phase, required
 //! span/instant categories, and required metric keys. On top of the
 //! schema-driven checks, the validator re-derives every span's nanosecond
-//! interval from its exported `ts`/`dur` and proves the whole trace is
-//! well-nested — no two spans partially overlap.
+//! interval from its exported `ts`/`dur` and proves each Chrome-trace
+//! track (`pid`/`tid` pair — fleet exports put one shard per `tid`) is
+//! well-nested — no two spans on a track partially overlap — and that
+//! every flow-end event binds to a flow-start somewhere in the export.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use serde_json::Value;
+
+/// Span intervals per Chrome-trace track: `(pid, tid)` → `[(start, end,
+/// event index)]` in re-derived integer nanoseconds.
+type Tracks = BTreeMap<(u64, u64), Vec<(u64, u64, usize)>>;
 
 /// Object-field lookup (`None` for non-objects and absent keys).
 fn field<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
@@ -78,9 +84,13 @@ pub fn validate(trace: &Value, metrics: &Value, schema: &Value) -> Vec<String> {
     }
 
     // Per-event checks: known phase, required fields for that phase, sane
-    // timestamps. Collects span intervals and categories along the way.
+    // timestamps. Collects span intervals (per Chrome-trace track — fleet
+    // exports put each shard on its own `tid`, and spans only nest within
+    // a track), flow-event ids, and categories along the way.
     let by_phase = field(schema, "x-event-required-fields");
-    let mut spans: Vec<(u64, u64, usize)> = Vec::new();
+    let mut tracks = Tracks::new();
+    let mut flow_starts = BTreeSet::new();
+    let mut flow_ends: Vec<(u64, usize)> = Vec::new();
     let mut categories = BTreeSet::new();
     for (index, event) in events.iter().enumerate() {
         let phase = field(event, "ph").and_then(Value::as_str).unwrap_or("");
@@ -102,38 +112,64 @@ pub fn validate(trace: &Value, metrics: &Value, schema: &Value) -> Vec<String> {
             Some(ts) if ts >= 0.0 => {}
             _ => problems.push(format!("event {index}: ts must be a non-negative number")),
         }
-        if phase == "X" {
-            let dur = field(event, "dur").and_then(Value::as_f64);
-            match (ts, dur) {
-                (Some(ts), Some(dur)) if dur >= 0.0 => {
-                    // Timestamps are exact decimal microseconds with a
-                    // three-digit fraction; ×1000 recovers integer nanos.
-                    let start = (ts * 1000.0).round() as u64;
-                    let end = start + (dur * 1000.0).round() as u64;
-                    spans.push((start, end, index));
+        match phase {
+            "X" => {
+                let dur = field(event, "dur").and_then(Value::as_f64);
+                match (ts, dur) {
+                    (Some(ts), Some(dur)) if dur >= 0.0 => {
+                        // Timestamps are exact decimal microseconds with a
+                        // three-digit fraction; ×1000 recovers integer
+                        // nanos.
+                        let start = (ts * 1000.0).round() as u64;
+                        let end = start + (dur * 1000.0).round() as u64;
+                        let pid = field(event, "pid").and_then(Value::as_u64).unwrap_or(0);
+                        let tid = field(event, "tid").and_then(Value::as_u64).unwrap_or(0);
+                        tracks.entry((pid, tid)).or_default().push((start, end, index));
+                    }
+                    _ => problems
+                        .push(format!("event {index}: dur must be a non-negative number")),
                 }
-                _ => problems.push(format!("event {index}: dur must be a non-negative number")),
             }
+            "s" | "f" => match field(event, "id").and_then(Value::as_u64) {
+                Some(id) if phase == "s" => {
+                    flow_starts.insert(id);
+                }
+                Some(id) => flow_ends.push((id, index)),
+                None => problems
+                    .push(format!("event {index}: flow id must be a non-negative integer")),
+            },
+            _ => {}
         }
     }
 
-    // Well-nestedness: sorted by start (ties: longest first), every span
-    // must sit fully inside whichever enclosing span is still open.
-    spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
-    let mut open: Vec<(u64, u64, usize)> = Vec::new();
-    for &(start, end, index) in &spans {
-        while open.last().is_some_and(|&(_, top_end, _)| top_end <= start) {
-            open.pop();
-        }
-        if let Some(&(top_start, top_end, top_index)) = open.last() {
-            if end > top_end {
-                problems.push(format!(
-                    "span {index} [{start}, {end}) straddles span {top_index} \
-                     [{top_start}, {top_end}): trace is not well-nested"
-                ));
+    // Well-nestedness per track: sorted by start (ties: longest first),
+    // every span must sit fully inside whichever enclosing span on its
+    // track is still open.
+    for spans in tracks.values_mut() {
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut open: Vec<(u64, u64, usize)> = Vec::new();
+        for &(start, end, index) in spans.iter() {
+            while open.last().is_some_and(|&(_, top_end, _)| top_end <= start) {
+                open.pop();
             }
+            if let Some(&(top_start, top_end, top_index)) = open.last() {
+                if end > top_end {
+                    problems.push(format!(
+                        "span {index} [{start}, {end}) straddles span {top_index} \
+                         [{top_start}, {top_end}): trace is not well-nested"
+                    ));
+                }
+            }
+            open.push((start, end, index));
         }
-        open.push((start, end, index));
+    }
+
+    // Causality: every flow-end must bind to a flow-start somewhere in the
+    // export (possibly on another track — that is the point of flows).
+    for (id, index) in flow_ends {
+        if !flow_starts.contains(&id) {
+            problems.push(format!("event {index}: flow end id {id} has no flow start"));
+        }
     }
 
     for cat in strings_at(schema, "x-required-categories") {
@@ -143,7 +179,7 @@ pub fn validate(trace: &Value, metrics: &Value, schema: &Value) -> Vec<String> {
     }
 
     for key in strings_at(schema, "x-required-metric-keys") {
-        let found = ["counters", "gauges", "histograms"]
+        let found = ["counters", "gauges", "histograms", "sketches"]
             .iter()
             .any(|section| field_path(metrics, &[section, &key]).is_some());
         if !found {
@@ -202,6 +238,39 @@ mod tests {
         assert!(
             problems.iter().any(|p| p.contains("not well-nested")),
             "{problems:#?}"
+        );
+    }
+
+    #[test]
+    fn overlap_across_tracks_is_fine_and_dangling_flows_are_not() {
+        // Two shards exporting overlapping intervals on different tids is
+        // the normal fleet shape; a flow-end with no flow-start is not.
+        let trace: Value = serde_json::from_str(
+            r#"{"displayTimeUnit":"ms","traceEvents":[
+                {"ph":"X","pid":1,"tid":1,"cat":"client","name":"a","ts":0.000,"dur":10.000},
+                {"ph":"X","pid":1,"tid":2,"cat":"client","name":"b","ts":5.000,"dur":10.000},
+                {"ph":"s","pid":1,"tid":1,"cat":"flow","name":"req","id":7,"ts":0.000},
+                {"ph":"f","bp":"e","pid":1,"tid":2,"cat":"flow","name":"req","id":7,"ts":5.000},
+                {"ph":"f","bp":"e","pid":1,"tid":2,"cat":"flow","name":"req","id":9,"ts":6.000}
+            ]}"#,
+        )
+        .unwrap();
+        let metrics: Value = serde_json::from_str(
+            r#"{"counters":{},"gauges":{},"histograms":{},"sketches":{}}"#,
+        )
+        .unwrap();
+        let problems = validate(&trace, &metrics, &schema());
+        assert!(
+            !problems.iter().any(|p| p.contains("not well-nested")),
+            "cross-track overlap must pass: {problems:#?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("flow end id 9 has no flow start")),
+            "{problems:#?}"
+        );
+        assert!(
+            !problems.iter().any(|p| p.contains("flow end id 7")),
+            "bound flow must pass: {problems:#?}"
         );
     }
 

@@ -452,6 +452,11 @@ impl GearClient {
         } else {
             StoreStats::default()
         };
+        // Every deployment is one causal trace: proto requests issued on
+        // this client's recorder carry this id (and the issuing span's key)
+        // across node boundaries.
+        self.telemetry
+            .set_trace_id(gear_telemetry::trace_id_for(&reference.to_string(), self.next_id));
 
         // ---- pull phase: fetch the (tiny) index image ----------------------
         let mut pull = Duration::ZERO;
@@ -698,11 +703,17 @@ impl GearClient {
         cache_before: StoreStats,
     ) {
         let t = &self.telemetry;
-        let deploy =
-            t.span_at("client", &format!("deploy {}", report.reference), base, report.total());
-        t.span_arg(deploy, "bytes_pulled", report.bytes_pulled);
-        t.span_arg(deploy, "files_fetched", report.files_fetched);
-        t.span_arg(deploy, "cache_hits", report.cache_hits);
+        t.scoped_span(
+            "client",
+            &format!("deploy {}", report.reference),
+            base,
+            report.total(),
+            &[
+                ("bytes_pulled", report.bytes_pulled),
+                ("files_fetched", report.files_fetched),
+                ("cache_hits", report.cache_hits),
+            ],
+        );
         if !report.pull.is_zero() {
             t.span_at("client", "pull", base, report.pull);
         }
@@ -716,9 +727,13 @@ impl GearClient {
         t.count("client.cache_hits", report.cache_hits);
         t.count("client.retries", report.retries);
         t.gauge_max("client.peak_buffered_bytes", report.peak_buffered_bytes);
-        for (_, _, event) in report.timeline.entries() {
+        t.sketch("client.deploy_nanos", report.total().as_nanos() as u64);
+        for (_, took, event) in report.timeline.entries() {
             if let TimelineEvent::RegistryFetch { bytes, .. } = event {
                 t.observe("client.fetch_bytes", *bytes);
+            }
+            if let Some(lane) = event.lane() {
+                t.sketch(&format!("client.fetch_nanos.{lane}"), took.as_nanos() as u64);
             }
         }
 
@@ -742,9 +757,8 @@ impl GearClient {
             self.metrics.requests_down - metrics_before.requests_down,
         );
         t.count("net.requests_up", self.metrics.requests_up - metrics_before.requests_up);
-
-        // Leave the cursor at the deployment's end for whatever runs next.
-        t.set_now(base + report.total());
+        // The cursor already sits at the deployment's end: the deploy
+        // scoped_span dragged it there.
     }
 
     /// Prefetch deployment: like [`GearClient::deploy`], but all files the

@@ -64,6 +64,6 @@ pub use cache::{
 pub use config::{ClientConfig, Costs, FetchConfig, TierConfig};
 pub use docker::DockerClient;
 pub use gear::{ClientHandoff, ContainerId, DeployError, GearClient};
-pub use report::DeploymentReport;
+pub use report::{DeploymentReport, LaneTail};
 pub use slacker::SlackerClient;
 pub use timeline::{Timeline, TimelineEvent};

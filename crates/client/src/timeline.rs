@@ -94,6 +94,18 @@ impl TimelineEvent {
         }
     }
 
+    /// The fetch lane that served this event, when it represents one file
+    /// reaching the container: `"cache"`, `"registry"`, or `"peer:<n>"`.
+    /// Phase events (manifest, launch, batch windows, task) have no lane.
+    pub fn lane(&self) -> Option<String> {
+        match self {
+            TimelineEvent::CacheHit { .. } => Some("cache".to_owned()),
+            TimelineEvent::RegistryFetch { .. } => Some("registry".to_owned()),
+            TimelineEvent::PeerFetch { peer, .. } => Some(format!("peer:{peer}")),
+            _ => None,
+        }
+    }
+
     /// Short label for rendering.
     fn label(&self) -> String {
         match self {

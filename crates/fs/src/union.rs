@@ -237,6 +237,7 @@ impl UnionFs {
         if self.telemetry.enabled() {
             self.telemetry.count("fs.reads", 1);
             self.telemetry.count("fs.bytes_read", content.len() as u64);
+            self.telemetry.sketch("fs.read_bytes", content.len() as u64);
         }
         Ok(content)
     }
@@ -300,6 +301,7 @@ impl UnionFs {
         if self.telemetry.enabled() {
             self.telemetry.count("fs.reads", 1);
             self.telemetry.count("fs.bytes_read", content.len() as u64);
+            self.telemetry.sketch("fs.read_bytes", content.len() as u64);
         }
         Ok(content)
     }

@@ -449,14 +449,16 @@ impl Cluster {
     /// after-the-fact strategy as the client: pricing is never perturbed).
     fn record_deployment(&self, report: &NodeDeployment, reference: &ImageRef, base: Duration) {
         let t = &self.telemetry;
-        let span = t.span_at(
+        t.scoped_span(
             "p2p",
             &format!("deploy node{} {}", report.node, reference),
             base,
             report.total,
+            &[
+                ("peer_files", report.peer_files),
+                ("registry_files", report.registry_files),
+            ],
         );
-        t.span_arg(span, "peer_files", report.peer_files);
-        t.span_arg(span, "registry_files", report.registry_files);
         report.timeline.record_spans(t, base, Some("p2p"));
 
         t.count("p2p.deploys", 1);
@@ -468,8 +470,14 @@ impl Cluster {
         t.count("p2p.retries", report.retries);
         t.gauge_set("p2p.registry_egress", self.registry_egress);
         t.gauge_set("p2p.peer_traffic", self.peer_traffic);
-
-        t.set_now(base + report.total);
+        t.sketch("p2p.deploy_nanos", report.total.as_nanos() as u64);
+        for (_, took, event) in report.timeline.entries() {
+            if let Some(lane) = event.lane() {
+                t.sketch(&format!("p2p.fetch_nanos.{lane}"), took.as_nanos() as u64);
+            }
+        }
+        // The cursor already sits at the deployment's end: the deploy
+        // scoped_span dragged it there.
     }
 
     /// Live-upgrades one node mid-traffic: its cache state (contents, pins,

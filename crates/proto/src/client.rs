@@ -142,7 +142,11 @@ impl<T: Transport> RegistryClient<T> {
         request: &Request,
         check: impl Fn(&Response) -> Result<(), ProtoError>,
     ) -> Result<Response, ProtoError> {
-        let wire = request.to_wire();
+        // One context per logical request: the innermost open span (the
+        // deploy step issuing this call) becomes the flow producer, and
+        // every attempt carries the same parent so the server's flow-end
+        // binds to it.
+        let wire = request.to_wire_traced(self.telemetry.outbound_context());
         self.telemetry.count("proto.requests", 1);
         let Some((policy, clock)) = self.retry.clone() else {
             let response = Response::parse(&self.transport.round_trip(&wire))?;
@@ -189,9 +193,14 @@ impl<T: Transport> RegistryClient<T> {
             // The whole logical request (attempts + backoff waits) becomes
             // one span, priced by the virtual clock it was charged to.
             let took = clock.elapsed().saturating_sub(started);
-            let span = self.telemetry.span_at("proto", request.verb(), self.telemetry.now(), took);
-            self.telemetry.span_arg(span, "attempts", used);
-            self.telemetry.advance(took);
+            self.telemetry.scoped_span(
+                "proto",
+                request.verb(),
+                self.telemetry.now(),
+                took,
+                &[("attempts", used)],
+            );
+            self.telemetry.sketch("proto.request_nanos", took.as_nanos() as u64);
         }
         match answer {
             Some(response) => Ok(response),
@@ -631,6 +640,26 @@ mod tests {
             client.download_many(&[fp]).unwrap_err(),
             ProtoError::Corrupted(_)
         ));
+    }
+
+    #[test]
+    fn trace_context_stitches_client_and_server_spans() {
+        let (t, collector) = Telemetry::collector();
+        let mut service = RegistryService::default();
+        service.set_recorder(t.clone());
+        let mut c = RegistryClient::new(Loopback::new(service)).with_recorder(t.clone());
+
+        t.set_trace_id(0x77);
+        let outer = t.span_start("client", "deploy");
+        assert!(!c.query(Fingerprint::of(b"anything")).unwrap());
+        t.span_end(outer);
+
+        let json = collector.trace_json();
+        assert!(json.contains("serve query"), "{json}");
+        assert!(json.contains("\"ph\":\"s\""), "flow start missing: {json}");
+        assert!(json.contains("\"ph\":\"f\",\"bp\":\"e\""), "flow end missing: {json}");
+        assert!(json.contains("\"trace_id\":119"), "{json}");
+        assert!(collector.validate().is_empty(), "{:?}", collector.validate());
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! The server side: routing requests onto the stores.
 
+use std::time::Duration;
+
 use bytes::Bytes;
 
 use gear_registry::{DockerRegistry, GearFileStore};
+use gear_telemetry::Telemetry;
 
 use crate::batch::{encode_entries, BatchEntry};
 use crate::message::{Request, Response, Status};
@@ -13,12 +16,21 @@ use crate::message::{Request, Response, Status};
 pub struct RegistryService {
     docker: DockerRegistry,
     files: GearFileStore,
+    telemetry: Telemetry,
 }
 
 impl RegistryService {
     /// Wraps existing stores.
     pub fn new(docker: DockerRegistry, files: GearFileStore) -> Self {
-        RegistryService { docker, files }
+        RegistryService { docker, files, telemetry: Telemetry::noop() }
+    }
+
+    /// Attaches a telemetry recorder (typically the serving node's fleet
+    /// shard): each framed request becomes a `proto` server span that
+    /// adopts the trace context the client attached, so cross-node flows
+    /// stitch in the fleet trace.
+    pub fn set_recorder(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The Docker registry half.
@@ -111,10 +123,28 @@ impl RegistryService {
     }
 
     /// Handles one *framed* request, returning framed response bytes — the
-    /// whole server loop for a byte transport.
+    /// whole server loop for a byte transport. With a recorder attached,
+    /// records a zero-duration `proto` server span at the serving shard's
+    /// cursor (server work is priced by the transport and store cost
+    /// models, not here) that adopts the sender's trace context.
     pub fn handle_wire(&mut self, wire: &[u8]) -> Vec<u8> {
-        match Request::parse(wire) {
-            Ok(request) => self.handle(request).to_wire(),
+        match Request::parse_traced(wire) {
+            Ok((request, trace)) => {
+                if self.telemetry.enabled() {
+                    let span = self.telemetry.span_at(
+                        "proto",
+                        &format!("serve {}", request.verb()),
+                        self.telemetry.now(),
+                        Duration::ZERO,
+                    );
+                    self.telemetry.span_arg(span, "bytes_in", wire.len() as u64);
+                    if let Some(ctx) = trace {
+                        self.telemetry.adopt_context(span, ctx);
+                    }
+                    self.telemetry.count("proto.served", 1);
+                }
+                self.handle(request).to_wire()
+            }
             Err(_) => Response::status_only(Status::BadRequest).to_wire(),
         }
     }

@@ -14,13 +14,20 @@
 use bytes::Bytes;
 use gear_hash::{Digest, Fingerprint};
 use gear_image::ImageRef;
+use gear_telemetry::{TraceContext, TRACE_HEADER};
 
 use crate::message::{ProtoError, Request, Response, Status};
 
 const CRLF: &str = "\r\n";
 
-fn head(verb: &str, path: &str, body_len: usize) -> String {
-    format!("{verb} {path} HTTP/1.1{CRLF}Content-Length: {body_len}{CRLF}{CRLF}")
+fn head(verb: &str, path: &str, body_len: usize, trace: Option<TraceContext>) -> String {
+    match trace {
+        Some(ctx) => format!(
+            "{verb} {path} HTTP/1.1{CRLF}Content-Length: {body_len}{CRLF}\
+             {TRACE_HEADER}: {ctx}{CRLF}{CRLF}"
+        ),
+        None => format!("{verb} {path} HTTP/1.1{CRLF}Content-Length: {body_len}{CRLF}{CRLF}"),
+    }
 }
 
 impl Request {
@@ -43,8 +50,15 @@ impl Request {
         }
     }
 
-    /// Serializes to wire bytes.
+    /// Serializes to wire bytes with no trace context.
     pub fn to_wire(&self) -> Vec<u8> {
+        self.to_wire_traced(None)
+    }
+
+    /// Serializes to wire bytes, carrying `trace` as the
+    /// [`TRACE_HEADER`] header when present. Every verb can carry a
+    /// context; peers that predate tracing ignore the header.
+    pub fn to_wire_traced(&self, trace: Option<TraceContext>) -> Vec<u8> {
         let body: Vec<u8> = match self {
             Request::Upload(_, body) => body.to_vec(),
             Request::QueryMany(fps)
@@ -53,19 +67,36 @@ impl Request {
             _ => Vec::new(),
         };
         let (verb, path) = self.route();
-        let mut out = head(verb, &path, body.len()).into_bytes();
+        let mut out = head(verb, &path, body.len(), trace).into_bytes();
         out.extend_from_slice(&body);
         out
     }
 
-    /// Parses wire bytes back into a request.
+    /// Parses wire bytes back into a request, dropping any trace context.
     ///
     /// # Errors
     ///
     /// [`ProtoError::Malformed`] for anything that is not a well-formed
     /// message of the supported subset.
     pub fn parse(wire: &[u8]) -> Result<Self, ProtoError> {
+        Ok(Self::parse_traced(wire)?.0)
+    }
+
+    /// Parses wire bytes back into a request plus the trace context the
+    /// sender attached, if any. A malformed [`TRACE_HEADER`] value parses
+    /// as `None` — tracing is best-effort metadata, never a protocol
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] for anything that is not a well-formed
+    /// message of the supported subset.
+    pub fn parse_traced(wire: &[u8]) -> Result<(Self, Option<TraceContext>), ProtoError> {
         let (line, headers, body) = split_message(wire)?;
+        let trace = headers
+            .iter()
+            .find(|(name, _)| name == TRACE_HEADER)
+            .and_then(|(_, value)| TraceContext::parse(value));
         let mut parts = line.split(' ');
         let verb = parts.next().unwrap_or_default();
         let path = parts.next().unwrap_or_default();
@@ -76,7 +107,7 @@ impl Request {
         expect_length(&headers, body.len())?;
 
         let segments: Vec<&str> = path.trim_start_matches('/').split('/').collect();
-        match (verb, segments.as_slice()) {
+        let request = match (verb, segments.as_slice()) {
             ("HEAD", ["gear", "files", fp]) => Ok(Request::Query(parse_fp(fp)?)),
             ("PUT", ["gear", "files", fp]) => {
                 Ok(Request::Upload(parse_fp(fp)?, Bytes::copy_from_slice(body)))
@@ -107,7 +138,8 @@ impl Request {
                 Ok(Request::GetManifest(reference))
             }
             _ => Err(malformed(path)),
-        }
+        }?;
+        Ok((request, trace))
     }
 }
 
@@ -281,6 +313,38 @@ mod tests {
         assert!(Request::parse(&wire).is_err());
         // Unknown status code.
         assert!(Response::parse(b"HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn trace_context_rides_every_verb() {
+        let ctx = TraceContext { trace_id: 0xabcd, parent_span: 7 };
+        for request in [
+            Request::Query(fp()),
+            Request::Download(fp()),
+            Request::DownloadRange(fp(), 8, 16),
+            Request::DownloadChunks(vec![fp()]),
+            Request::Upload(fp(), Bytes::from_static(b"payload")),
+        ] {
+            let wire = request.to_wire_traced(Some(ctx));
+            let (parsed, trace) = Request::parse_traced(&wire).unwrap();
+            assert_eq!(parsed, request);
+            assert_eq!(trace, Some(ctx), "{request:?} lost its context");
+            // Untraced frames parse to None; plain parse drops the header.
+            assert_eq!(Request::parse_traced(&request.to_wire()).unwrap().1, None);
+            assert_eq!(Request::parse(&wire).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn malformed_trace_header_is_dropped_not_fatal() {
+        let wire = format!(
+            "GET /gear/files/{} HTTP/1.1\r\nContent-Length: 0\r\n{}: bogus\r\n\r\n",
+            fp(),
+            gear_telemetry::TRACE_HEADER
+        );
+        let (request, trace) = Request::parse_traced(wire.as_bytes()).unwrap();
+        assert_eq!(request, Request::Download(fp()));
+        assert_eq!(trace, None);
     }
 
     #[test]

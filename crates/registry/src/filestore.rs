@@ -180,6 +180,7 @@ impl GearFileStore {
             self.telemetry.count("registry.downloads", 1);
             if let Some(body) = &found {
                 self.telemetry.count("registry.download_bytes", body.len() as u64);
+                self.telemetry.sketch("registry.served_bytes", body.len() as u64);
             }
         }
         found
@@ -209,6 +210,7 @@ impl GearFileStore {
             self.telemetry.count("registry.range_requests", 1);
             self.telemetry.count("registry.range_bytes", slice.len() as u64);
             self.telemetry.observe("registry.range_len", slice.len() as u64);
+            self.telemetry.sketch("registry.served_bytes", slice.len() as u64);
         }
         Some(slice)
     }
@@ -223,6 +225,7 @@ impl GearFileStore {
             self.telemetry.count("registry.chunk_downloads", 1);
             if let Some(body) = &found {
                 self.telemetry.count("registry.chunk_bytes", body.len() as u64);
+                self.telemetry.sketch("registry.served_bytes", body.len() as u64);
             }
         }
         found

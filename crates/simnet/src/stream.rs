@@ -104,6 +104,7 @@ impl StreamSchedule {
         telemetry.count("simnet.transfers", payloads.len() as u64);
         telemetry.count("simnet.window_stalls", self.window_stalls);
         telemetry.gauge_max("simnet.peak_buffered_bytes", self.peak_buffered_bytes);
+        telemetry.sketch("simnet.transfer_nanos", self.duration.as_nanos() as u64);
         for &payload in payloads {
             telemetry.observe("simnet.transfer_bytes", payload);
         }

@@ -1,0 +1,133 @@
+//! Causal trace context: the identity a request carries across node
+//! boundaries so spans recorded on different recorders stitch into one
+//! cross-node tree.
+//!
+//! A [`TraceContext`] names a trace (`trace_id`, typically derived from
+//! the deployment reference and sequence number) and the **global span
+//! key** of the span that caused the request (`parent_span`). Global keys
+//! pack the recording shard and the span's local index
+//! (`shard << 32 | index`, see [`span_key`]), so they are unique across a
+//! whole fleet of sharded recorders and stable under merging.
+//!
+//! On the wire the context travels as one extra HTTP header,
+//! [`TRACE_HEADER`], encoded by [`TraceContext::encode`] as two fixed
+//! -width hex fields. The gear-proto framing tolerates unknown headers,
+//! so traced and untraced peers interoperate: an old server ignores the
+//! header, an old client simply never sends it.
+//!
+//! The `parent_span` key doubles as the Chrome-trace **flow id**: the
+//! producer span emits a flow-start (`"ph":"s"`) and every consumer span
+//! that adopted the context emits a flow-end (`"ph":"f"`), all carrying
+//! `id = parent_span` — which is how Perfetto draws the arrows from a
+//! deploy's client span to the registry spans it caused.
+
+use std::fmt;
+
+/// The HTTP header (lowercased, as the wire parser normalizes) carrying
+/// an encoded [`TraceContext`].
+pub const TRACE_HEADER: &str = "x-gear-trace";
+
+/// Packs a shard id and a span's local index into a fleet-unique global
+/// span key.
+pub fn span_key(shard: u32, index: u32) -> u64 {
+    (u64::from(shard) << 32) | u64::from(index)
+}
+
+/// Sentinel `parent_span` meaning "no producer span was open" — the trace
+/// id still propagates, but no flow arrow is drawn. (`u64::MAX` packs
+/// shard and index `u32::MAX`, which [`span_key`] never produces for a
+/// real span: local index `u32::MAX` is [`SpanId::NONE`](crate::SpanId).)
+pub const NO_PARENT_SPAN: u64 = u64::MAX;
+
+/// Causal identity carried on every gear-proto verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identifies the whole causal tree (one deployment, typically).
+    pub trace_id: u64,
+    /// Global key of the span that issued the request; also the flow id
+    /// binding the producer's flow-start to the consumers' flow-ends.
+    pub parent_span: u64,
+}
+
+impl TraceContext {
+    /// Encodes as two fixed-width lowercase hex fields,
+    /// `"{trace_id:016x}-{parent_span:016x}"` — 33 bytes, no allocation
+    /// surprises, trivially parseable.
+    pub fn encode(&self) -> String {
+        format!("{:016x}-{:016x}", self.trace_id, self.parent_span)
+    }
+
+    /// Parses [`TraceContext::encode`]'s form; `None` on anything else
+    /// (malformed contexts are dropped, never an error — tracing is
+    /// best-effort metadata, not protocol).
+    pub fn parse(s: &str) -> Option<TraceContext> {
+        let (trace, parent) = s.split_once('-')?;
+        if trace.len() != 16 || parent.len() != 16 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u64::from_str_radix(trace, 16).ok()?,
+            parent_span: u64::from_str_radix(parent, 16).ok()?,
+        })
+    }
+}
+
+impl fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.encode())
+    }
+}
+
+/// FNV-1a of a byte string — the deterministic, dependency-free hash used
+/// to derive trace ids from deployment references.
+pub fn trace_id_for(name: &str, seq: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for b in seq.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // Trace id 0 is reserved for "no trace".
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        let ctx = TraceContext { trace_id: 0xdead_beef_0123_4567, parent_span: span_key(3, 41) };
+        let wire = ctx.encode();
+        assert_eq!(wire.len(), 33);
+        assert_eq!(TraceContext::parse(&wire), Some(ctx));
+    }
+
+    #[test]
+    fn malformed_contexts_are_dropped() {
+        for bad in ["", "zz", "123-456", &"f".repeat(33), "0123456789abcdef_0123456789abcdef"] {
+            assert_eq!(TraceContext::parse(bad), None, "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn span_keys_are_unique_across_shards() {
+        assert_ne!(span_key(0, 7), span_key(1, 7));
+        assert_eq!(span_key(2, 9) >> 32, 2);
+        assert_eq!(span_key(2, 9) & 0xffff_ffff, 9);
+    }
+
+    #[test]
+    fn trace_ids_are_stable_and_nonzero() {
+        assert_eq!(trace_id_for("app:v1", 0), trace_id_for("app:v1", 0));
+        assert_ne!(trace_id_for("app:v1", 0), trace_id_for("app:v1", 1));
+        assert_ne!(trace_id_for("app:v1", 0), 0);
+    }
+}

@@ -5,13 +5,22 @@
 //! metrics in key order, and timestamps as exact decimal microseconds
 //! (`nanos / 1000` with a fixed three-digit fraction) — so a deterministic
 //! recording serializes to byte-identical files.
+//!
+//! Cross-node causality exports as Chrome **flow events**: a span marked as
+//! a flow producer emits a flow-start (`"ph":"s"`) at its start, and every
+//! span that adopted the matching trace context emits a flow-end
+//! (`"ph":"f","bp":"e"`) carrying the same `id` — the producer's global
+//! span key — which is how Perfetto draws arrows from a deploy span on one
+//! track to the registry/peer spans it caused on other tracks. Each fleet
+//! shard exports on its own `tid` (`shard + 1`), so a single-shard
+//! collector stays byte-compatible with the historical all-`tid:1` format.
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 use std::time::Duration;
 
-use crate::collector::Collector;
+use crate::collector::{Collector, InstantData, SpanData};
 use crate::metrics::MetricsRegistry;
 
 /// Escapes a string for a JSON string literal.
@@ -38,58 +47,95 @@ fn micros(d: Duration) -> String {
     format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
 }
 
+/// The opening of every trace export.
+pub(crate) const TRACE_PRELUDE: &str = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+/// Appends one shard's events — complete spans (with their flow companions)
+/// then instants — on Chrome-trace thread `tid`. `first` threads the comma
+/// state across shards.
+pub(crate) fn write_events(
+    out: &mut String,
+    spans: &[SpanData],
+    instants: &[InstantData],
+    tid: u32,
+    first: &mut bool,
+) {
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(first) {
+            out.push(',');
+        }
+    };
+    for span in spans {
+        sep(out);
+        let _ = write!(out, "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"cat\":\"");
+        escape_json(span.cat, out);
+        out.push_str("\",\"name\":\"");
+        escape_json(&span.name, out);
+        let end = span.end.unwrap_or(span.start);
+        let _ = write!(
+            out,
+            "\",\"ts\":{},\"dur\":{}",
+            micros(span.start),
+            micros(end.saturating_sub(span.start))
+        );
+        if !span.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in span.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(key, out);
+                let _ = write!(out, "\":{value}");
+            }
+            out.push('}');
+        }
+        out.push('}');
+        if span.flow_out {
+            sep(out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"s\",\"pid\":1,\"tid\":{tid},\"cat\":\"flow\",\"name\":\"req\",\
+                 \"id\":{},\"ts\":{}}}",
+                span.key,
+                micros(span.start),
+            );
+        }
+        if let Some(flow) = span.flow_in {
+            sep(out);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":{tid},\"cat\":\"flow\",\
+                 \"name\":\"req\",\"id\":{flow},\"ts\":{}}}",
+                micros(span.start),
+            );
+        }
+    }
+    for instant in instants {
+        sep(out);
+        let _ = write!(out, "{{\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\"s\":\"t\",\"cat\":\"");
+        escape_json(instant.cat, out);
+        out.push_str("\",\"name\":\"");
+        escape_json(&instant.name, out);
+        let _ = write!(out, "\",\"ts\":{}", micros(instant.at));
+        out.push('}');
+    }
+}
+
 impl Collector {
     /// Serializes the recording in the Chrome trace-event format: one
-    /// complete (`"ph":"X"`) event per span and one instant (`"ph":"i"`)
-    /// event per instant, all on `pid` 1 / `tid` 1 — the whole deployment
-    /// path shares one simulated timeline, and Perfetto nests same-track
-    /// spans by interval containment.
+    /// complete (`"ph":"X"`) event per span, flow-start/flow-end events for
+    /// spans bound by a trace context, and one instant (`"ph":"i"`) event
+    /// per instant — all on `pid` 1, `tid` `shard + 1` (so the default
+    /// shard-0 collector keeps the historical single-track layout, and
+    /// Perfetto nests same-track spans by interval containment).
     pub fn trace_json(&self) -> String {
         let spans = self.spans();
         let instants = self.instants();
         let mut out = String::with_capacity(128 + 160 * (spans.len() + instants.len()));
-        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        out.push_str(TRACE_PRELUDE);
         let mut first = true;
-        for span in &spans {
-            if !std::mem::take(&mut first) {
-                out.push(',');
-            }
-            out.push_str("{\"ph\":\"X\",\"pid\":1,\"tid\":1,\"cat\":\"");
-            escape_json(span.cat, &mut out);
-            out.push_str("\",\"name\":\"");
-            escape_json(&span.name, &mut out);
-            let end = span.end.unwrap_or(span.start);
-            let _ = write!(
-                out,
-                "\",\"ts\":{},\"dur\":{}",
-                micros(span.start),
-                micros(end.saturating_sub(span.start))
-            );
-            if !span.args.is_empty() {
-                out.push_str(",\"args\":{");
-                for (i, (key, value)) in span.args.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('"');
-                    escape_json(key, &mut out);
-                    let _ = write!(out, "\":{value}");
-                }
-                out.push('}');
-            }
-            out.push('}');
-        }
-        for instant in &instants {
-            if !std::mem::take(&mut first) {
-                out.push(',');
-            }
-            out.push_str("{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"t\",\"cat\":\"");
-            escape_json(instant.cat, &mut out);
-            out.push_str("\",\"name\":\"");
-            escape_json(&instant.name, &mut out);
-            let _ = write!(out, "\",\"ts\":{}", micros(instant.at));
-            out.push('}');
-        }
+        write_events(&mut out, &spans, &instants, self.shard() + 1, &mut first);
         out.push_str("]}\n");
         out
     }
@@ -117,9 +163,11 @@ impl Collector {
 }
 
 /// Serializes a registry as `{"counters":{...},"gauges":{...},
-/// "histograms":{...}}` with keys in sorted order. Histograms carry
-/// `count`/`sum`/`min`/`max` and explicit buckets; the overflow bucket's
-/// bound serializes as the string `"+Inf"`.
+/// "histograms":{...},"sketches":{...}}` with keys in sorted order.
+/// Histograms carry `count`/`sum`/`min`/`max` and explicit buckets; the
+/// overflow bucket's bound serializes as the string `"+Inf"`. Sketches
+/// carry their summary stats, the pre-computed p50/p99/p999, the relative
+/// -error bound, and the sparse `[index, count]` bucket list.
 pub fn metrics_json(metrics: &MetricsRegistry) -> String {
     let mut out = String::from("{\"counters\":{");
     for (i, (key, value)) in metrics.counters().enumerate() {
@@ -169,6 +217,36 @@ pub fn metrics_json(metrics: &MetricsRegistry) -> String {
         }
         out.push_str("]}");
     }
+    out.push_str("},\"sketches\":{");
+    for (i, (key, sketch)) in metrics.sketches().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_json(key, &mut out);
+        let q = |p: f64| sketch.quantile(p).unwrap_or(0);
+        let _ = write!(
+            out,
+            "\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"err\":{},\
+             \"p50\":{},\"p99\":{},\"p999\":{},\"zero\":{},\"buckets\":[",
+            sketch.count(),
+            sketch.sum(),
+            sketch.min().unwrap_or(0),
+            sketch.max().unwrap_or(0),
+            sketch.relative_error_bound(),
+            q(0.5),
+            q(0.99),
+            q(0.999),
+            sketch.zero_count(),
+        );
+        for (j, (index, count)) in sketch.buckets().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{index},{count}]");
+        }
+        out.push_str("]}");
+    }
     out.push_str("}}\n");
     out
 }
@@ -176,6 +254,7 @@ pub fn metrics_json(metrics: &MetricsRegistry) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::context::TraceContext;
     use crate::recorder::Recorder;
 
     #[test]
@@ -199,6 +278,47 @@ mod tests {
     }
 
     #[test]
+    fn flow_events_bind_producer_to_consumer() {
+        let c = Collector::new();
+        c.set_trace_id(0x7);
+        let span = c.span_start("client", "deploy");
+        let ctx = c.outbound_context().expect("trace active");
+        c.advance(Duration::from_micros(10));
+        let server = c.span_at("registry", "serve", c.now(), Duration::ZERO);
+        c.adopt_context(server, ctx);
+        c.span_end(span);
+        let json = c.trace_json();
+        assert!(
+            json.contains(
+                "{\"ph\":\"s\",\"pid\":1,\"tid\":1,\"cat\":\"flow\",\"name\":\"req\",\
+                 \"id\":0,\"ts\":0.000}"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":1,\"cat\":\"flow\",\
+                 \"name\":\"req\",\"id\":0,\"ts\":10.000}"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"args\":{\"trace_id\":7}"), "{json}");
+    }
+
+    #[test]
+    fn adopting_without_a_producer_emits_no_flow() {
+        let c = Collector::new();
+        let server = c.span_at("registry", "serve", Duration::ZERO, Duration::ZERO);
+        c.adopt_context(
+            server,
+            TraceContext { trace_id: 9, parent_span: crate::context::NO_PARENT_SPAN },
+        );
+        let json = c.trace_json();
+        assert!(!json.contains("\"ph\":\"f\""), "{json}");
+        assert!(json.contains("\"trace_id\":9"), "{json}");
+    }
+
+    #[test]
     fn metrics_json_shape() {
         let c = Collector::new();
         c.count("b.two", 2);
@@ -211,6 +331,23 @@ mod tests {
         assert!(json.contains("\"gauges\":{\"g\":7}"));
         assert!(json.contains("\"h\":{\"count\":1,\"sum\":2048,\"min\":2048,\"max\":2048"));
         assert!(json.contains("{\"le\":\"+Inf\",\"count\":0}"));
+        assert!(json.trim_end().ends_with("\"sketches\":{}}"));
+    }
+
+    #[test]
+    fn metrics_json_sketch_shape() {
+        let c = Collector::new();
+        for v in [0u64, 5, 5, 900] {
+            c.sketch("lat", v);
+        }
+        let json = c.metrics_json();
+        assert!(
+            json.contains("\"lat\":{\"count\":4,\"sum\":910,\"min\":0,\"max\":900,"),
+            "{json}"
+        );
+        assert!(json.contains("\"err\":0.0078125"), "{json}");
+        assert!(json.contains("\"zero\":1"), "{json}");
+        assert!(json.contains("\"p999\":"), "{json}");
     }
 
     #[test]
@@ -228,6 +365,7 @@ mod tests {
             c.advance(Duration::from_nanos(1_234_567));
             c.count("k", 3);
             c.observe("h", 99);
+            c.sketch("q", 1_000);
             c.span_end(s);
             (c.trace_json(), c.metrics_json())
         };

@@ -1,0 +1,234 @@
+//! Fleet aggregation: many bounded per-node recorders, one merged view.
+//!
+//! A [`FleetCollector`] owns one flight-recorder [`Collector`] per node
+//! (shard). Each node records through its own shard with no shared state
+//! on the record path — shard `i` takes shard `i`'s locks only — and the
+//! fleet view is computed at read time by *merging*: metrics registries
+//! fold with the exact merge semantics of
+//! [`MetricsRegistry::merge`](crate::MetricsRegistry), which is
+//! associative and commutative, so a hierarchical node → site → cloud
+//! rollup ([`FleetCollector::merged_metrics_grouped`]) produces the same
+//! registry as the flat fold — the property the fleet proptests pin down.
+//!
+//! The trace export interleaves every shard on its own Chrome-trace `tid`
+//! (`shard + 1`), with flow events stitching cross-shard causality; span
+//! storage stays bounded per node, so fleet memory is
+//! `nodes × span_capacity`, never a function of how many deployments ran.
+
+use std::sync::Arc;
+
+use crate::collector::Collector;
+use crate::export::{write_events, TRACE_PRELUDE};
+use crate::metrics::{MergeError, MetricsRegistry};
+use crate::recorder::Telemetry;
+
+/// A fixed-size fleet of per-node flight recorders.
+#[derive(Debug)]
+pub struct FleetCollector {
+    shards: Vec<Arc<Collector>>,
+}
+
+impl FleetCollector {
+    /// `nodes` bounded collectors, each retaining at most `span_capacity`
+    /// spans (and instants).
+    pub fn new(nodes: u32, span_capacity: usize) -> Self {
+        let shards = (0..nodes)
+            .map(|shard| Arc::new(Collector::with_shard_and_capacity(shard, span_capacity)))
+            .collect();
+        FleetCollector { shards }
+    }
+
+    /// Number of node shards.
+    pub fn nodes(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// The recorder for node `shard`; panics if out of range (a fleet's
+    /// size is fixed at construction).
+    pub fn shard(&self, shard: u32) -> &Arc<Collector> {
+        &self.shards[shard as usize]
+    }
+
+    /// A [`Telemetry`] handle feeding node `shard`.
+    pub fn telemetry(&self, shard: u32) -> Telemetry {
+        Telemetry::new(self.shards[shard as usize].clone())
+    }
+
+    /// Flat fold of every shard's metrics, in shard order.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError`] if shards recorded incompatible distribution shapes
+    /// under one key (impossible when all shards use the defaults).
+    pub fn merged_metrics(&self) -> Result<MetricsRegistry, MergeError> {
+        let mut merged = MetricsRegistry::new();
+        for shard in &self.shards {
+            merged.merge(&shard.metrics())?;
+        }
+        Ok(merged)
+    }
+
+    /// Hierarchical rollup: shards merge into sites of `site_size`, sites
+    /// merge into the cloud view. Associativity of registry merge makes
+    /// this equal to [`FleetCollector::merged_metrics`] for any
+    /// `site_size ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError`] on incompatible distribution shapes, as above.
+    pub fn merged_metrics_grouped(&self, site_size: usize) -> Result<MetricsRegistry, MergeError> {
+        let mut cloud = MetricsRegistry::new();
+        for site in self.shards.chunks(site_size.max(1)) {
+            let mut rollup = MetricsRegistry::new();
+            for shard in site {
+                rollup.merge(&shard.metrics())?;
+            }
+            cloud.merge(&rollup)?;
+        }
+        Ok(cloud)
+    }
+
+    /// One Chrome trace for the whole fleet: shard `i`'s spans and
+    /// instants on `tid = i + 1`, in shard order, flow events included.
+    pub fn trace_json(&self) -> String {
+        let mut out = String::with_capacity(256 * self.shards.len().max(1));
+        out.push_str(TRACE_PRELUDE);
+        let mut first = true;
+        for shard in &self.shards {
+            write_events(
+                &mut out,
+                &shard.spans(),
+                &shard.instants(),
+                shard.shard() + 1,
+                &mut first,
+            );
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Serialized merged metrics (see [`crate::export::metrics_json`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError`] on incompatible distribution shapes, as above.
+    pub fn metrics_json(&self) -> Result<String, MergeError> {
+        Ok(crate::export::metrics_json(&self.merged_metrics()?))
+    }
+
+    /// Structural validation of every shard's recording; problems are
+    /// prefixed with the shard id.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for shard in &self.shards {
+            for p in shard.validate() {
+                problems.push(format!("shard {}: {p}", shard.shard()));
+            }
+        }
+        problems
+    }
+
+    /// Total spans shed by flight recorders across the fleet.
+    pub fn dropped_spans(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped_spans()).sum()
+    }
+
+    /// Approximate resident bytes of span/instant storage across the
+    /// fleet — bounded by `nodes × span_capacity` by construction.
+    pub fn span_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.span_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use std::time::Duration;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn shards_record_independently_and_merge() {
+        let fleet = FleetCollector::new(3, 16);
+        for shard in 0..3u32 {
+            let t = fleet.telemetry(shard);
+            t.count("deploys", u64::from(shard) + 1);
+            t.sketch("lat", u64::from(shard + 1) * 100);
+            t.scoped_span("client", "deploy", ms(0), ms(u64::from(shard) + 1), &[]);
+        }
+        let merged = fleet.merged_metrics().expect("default shapes");
+        assert_eq!(merged.counter("deploys"), 6);
+        assert_eq!(merged.sketch("lat").expect("observed").count(), 3);
+        assert_eq!(merged.sketch("lat").expect("observed").max(), Some(300));
+        assert!(fleet.validate().is_empty(), "{:?}", fleet.validate());
+    }
+
+    #[test]
+    fn hierarchical_rollup_equals_flat_merge() {
+        let fleet = FleetCollector::new(8, 8);
+        for shard in 0..8u32 {
+            let t = fleet.telemetry(shard);
+            for i in 0..10u64 {
+                t.sketch("lat", (u64::from(shard) + 1) * 37 + i * 1_000);
+                t.count("ops", 1);
+                t.gauge_max("peak", u64::from(shard) * 5 + i);
+            }
+        }
+        let flat = fleet.merged_metrics().expect("merge");
+        for site_size in [1, 2, 3, 4, 8, 100] {
+            assert_eq!(
+                fleet.merged_metrics_grouped(site_size).expect("merge"),
+                flat,
+                "site_size {site_size} changed the rollup"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_trace_uses_one_tid_per_shard() {
+        let fleet = FleetCollector::new(2, 8);
+        fleet.telemetry(0).scoped_span("client", "a", ms(0), ms(1), &[]);
+        fleet.telemetry(1).scoped_span("p2p", "b", ms(0), ms(2), &[]);
+        let json = fleet.trace_json();
+        assert!(json.contains("\"tid\":1,\"cat\":\"client\",\"name\":\"a\""), "{json}");
+        assert!(json.contains("\"tid\":2,\"cat\":\"p2p\",\"name\":\"b\""), "{json}");
+    }
+
+    #[test]
+    fn fleet_memory_is_bounded() {
+        let fleet = FleetCollector::new(4, 8);
+        for shard in 0..4u32 {
+            let c = fleet.shard(shard);
+            for i in 0..1_000u64 {
+                c.span_at("sim", "op", ms(i), ms(1));
+            }
+        }
+        assert_eq!(fleet.dropped_spans(), 4 * (1_000 - 8));
+        let bytes = fleet.span_bytes();
+        // 4 shards × 8 retained spans, far below the 4 000 recorded.
+        assert!(bytes < 4 * 8 * 512, "span storage unbounded: {bytes} bytes");
+        for shard in 0..4u32 {
+            assert_eq!(fleet.shard(shard).spans().len(), 8);
+        }
+    }
+
+    #[test]
+    fn cross_shard_flows_export_in_one_trace() {
+        let fleet = FleetCollector::new(2, 64);
+        let client = fleet.telemetry(0);
+        let server = fleet.telemetry(1);
+        client.set_trace_id(0xfeed);
+        let deploy = client.span_start("client", "deploy");
+        let ctx = client.outbound_context().expect("trace active");
+        let serve = server.span_at("registry", "serve", ms(0), ms(1));
+        server.adopt_context(serve, ctx);
+        client.span_end(deploy);
+        let json = fleet.trace_json();
+        let flow_id = crate::context::span_key(0, 0);
+        assert!(json.contains(&format!("\"ph\":\"s\",\"pid\":1,\"tid\":1,\"cat\":\"flow\",\"name\":\"req\",\"id\":{flow_id}")), "{json}");
+        assert!(json.contains(&format!("\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":2,\"cat\":\"flow\",\"name\":\"req\",\"id\":{flow_id}")), "{json}");
+    }
+}

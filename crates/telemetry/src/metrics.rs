@@ -1,9 +1,11 @@
-//! The unified metrics registry: counters, gauges, and fixed-bucket
-//! histograms with exact merge semantics.
+//! The unified metrics registry: counters, gauges, fixed-bucket
+//! histograms, and quantile sketches with exact merge semantics.
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
+
+use crate::sketch::{QuantileSketch, SketchMergeError};
 
 /// Bucket upper bounds used when a histogram is first observed through the
 /// registry without explicit bounds: byte sizes from 1 KiB to 256 MiB in
@@ -41,6 +43,39 @@ impl fmt::Display for HistogramMergeError {
 }
 
 impl Error for HistogramMergeError {}
+
+/// Two registries could not be merged losslessly: a shared key holds
+/// distributions of incompatible shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// A shared histogram key has different bucket bounds.
+    Histogram(HistogramMergeError),
+    /// A shared sketch key has different resolution.
+    Sketch(SketchMergeError),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Histogram(e) => e.fmt(f),
+            MergeError::Sketch(e) => e.fmt(f),
+        }
+    }
+}
+
+impl Error for MergeError {}
+
+impl From<HistogramMergeError> for MergeError {
+    fn from(e: HistogramMergeError) -> Self {
+        MergeError::Histogram(e)
+    }
+}
+
+impl From<SketchMergeError> for MergeError {
+    fn from(e: SketchMergeError) -> Self {
+        MergeError::Sketch(e)
+    }
+}
 
 /// A fixed-bucket histogram of `u64` observations.
 ///
@@ -141,14 +176,15 @@ impl Histogram {
     }
 }
 
-/// Counters, gauges, and histograms keyed by dotted names
-/// (e.g. `cache.hits`). Keys live in `BTreeMap`s so iteration — and
+/// Counters, gauges, histograms, and quantile sketches keyed by dotted
+/// names (e.g. `cache.hits`). Keys live in `BTreeMap`s so iteration — and
 /// therefore every export — has one deterministic order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    sketches: BTreeMap<String, QuantileSketch>,
 }
 
 impl MetricsRegistry {
@@ -189,6 +225,26 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records `value` into quantile sketch `key`, created at default
+    /// resolution on first observation.
+    pub fn sketch_observe(&mut self, key: &str, value: u64) {
+        self.sketches
+            .entry(key.to_owned())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Installs (or replaces) a whole histogram under `key` — the
+    /// snapshot path from striped collector storage.
+    pub fn set_histogram(&mut self, key: &str, histogram: Histogram) {
+        self.histograms.insert(key.to_owned(), histogram);
+    }
+
+    /// Installs (or replaces) a whole sketch under `key`.
+    pub fn set_sketch(&mut self, key: &str, sketch: QuantileSketch) {
+        self.sketches.insert(key.to_owned(), sketch);
+    }
+
     /// Current value of counter `key` (zero if absent).
     pub fn counter(&self, key: &str) -> u64 {
         self.counters.get(key).copied().unwrap_or(0)
@@ -202,6 +258,11 @@ impl MetricsRegistry {
     /// Histogram `key`, if any observation was recorded.
     pub fn histogram(&self, key: &str) -> Option<&Histogram> {
         self.histograms.get(key)
+    }
+
+    /// Quantile sketch `key`, if any observation was recorded.
+    pub fn sketch(&self, key: &str) -> Option<&QuantileSketch> {
+        self.sketches.get(key)
     }
 
     /// Counters in key order.
@@ -219,20 +280,31 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Quantile sketches in key order.
+    pub fn sketches(&self) -> impl Iterator<Item = (&str, &QuantileSketch)> {
+        self.sketches.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
     }
 
     /// Merges `other` in: counters add, gauges keep the max (the only
-    /// commutative choice for a high-water aggregation), histograms merge
-    /// exactly.
+    /// commutative choice for a high-water aggregation), histograms and
+    /// sketches merge exactly — which is what makes registry merge
+    /// associative and commutative, so node → site → cloud aggregation
+    /// yields the same registry in any grouping.
     ///
     /// # Errors
     ///
-    /// [`HistogramMergeError`] when a shared histogram key has different
-    /// bounds; `self` keeps everything merged before the mismatch.
-    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), HistogramMergeError> {
+    /// [`MergeError`] when a shared histogram key has different bounds or a
+    /// shared sketch key has different resolution; `self` keeps everything
+    /// merged before the mismatch.
+    pub fn merge(&mut self, other: &MetricsRegistry) -> Result<(), MergeError> {
         for (key, &delta) in &other.counters {
             self.add(key, delta);
         }
@@ -244,6 +316,13 @@ impl MetricsRegistry {
                 ours.merge(theirs)?;
             } else {
                 self.histograms.insert(key.clone(), theirs.clone());
+            }
+        }
+        for (key, theirs) in &other.sketches {
+            if let Some(ours) = self.sketches.get_mut(key) {
+                ours.merge(theirs)?;
+            } else {
+                self.sketches.insert(key.clone(), theirs.clone());
             }
         }
         Ok(())
@@ -327,5 +406,30 @@ mod tests {
         assert_eq!(a.counter("only_b"), 9);
         assert_eq!(a.gauge("g"), Some(7), "gauge merge keeps the max");
         assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn registry_merge_combines_sketches() {
+        let mut a = MetricsRegistry::new();
+        a.sketch_observe("lat", 100);
+        a.sketch_observe("lat", 200);
+        let mut b = MetricsRegistry::new();
+        b.sketch_observe("lat", 300);
+        b.sketch_observe("only_b", 1);
+        a.merge(&b).unwrap();
+        assert_eq!(a.sketch("lat").unwrap().count(), 3);
+        assert_eq!(a.sketch("lat").unwrap().max(), Some(300));
+        assert_eq!(a.sketch("only_b").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn registry_merge_rejects_mismatched_sketch_resolution() {
+        let mut a = MetricsRegistry::new();
+        a.sketch_observe("lat", 100);
+        let mut b = MetricsRegistry::new();
+        let mut coarse = QuantileSketch::with_sub_bucket_bits(2);
+        coarse.observe(100);
+        b.set_sketch("lat", coarse);
+        assert!(matches!(a.merge(&b), Err(MergeError::Sketch(_))));
     }
 }

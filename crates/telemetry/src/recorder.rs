@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::collector::Collector;
+use crate::context::TraceContext;
 
 /// Identifies a span inside one recorder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,6 +87,28 @@ pub trait Recorder: Send + Sync {
 
     /// Records `value` into histogram `key`.
     fn observe(&self, _key: &str, _value: u64) {}
+
+    /// Records `value` into quantile sketch `key` (latencies in
+    /// nanoseconds, by convention).
+    fn sketch(&self, _key: &str, _value: u64) {}
+
+    /// Activates trace `trace_id` on this recorder: subsequent spans belong
+    /// to it and [`Recorder::outbound_context`] stamps it on the wire.
+    /// Id `0` means "no trace".
+    fn set_trace_id(&self, _trace_id: u64) {}
+
+    /// The context to attach to an outbound request: the active trace id
+    /// plus the global key of the innermost open span, which is marked as a
+    /// flow producer (the exporter emits its flow-start event). `None` when
+    /// no trace is active.
+    fn outbound_context(&self) -> Option<TraceContext> {
+        None
+    }
+
+    /// Adopts a context received off the wire onto `span`: binds the flow
+    /// (the exporter emits a flow-end from the remote parent into `span`)
+    /// and stamps the trace id as a span argument.
+    fn adopt_context(&self, _span: SpanId, _ctx: TraceContext) {}
 }
 
 /// A recorder that keeps nothing; every method is the trait's no-op default.
@@ -236,6 +259,65 @@ impl Telemetry {
             self.recorder.observe(key, value);
         }
     }
+
+    /// Records a quantile-sketch observation ([`Recorder::sketch`]).
+    #[inline]
+    pub fn sketch(&self, key: &str, value: u64) {
+        if self.enabled {
+            self.recorder.sketch(key, value);
+        }
+    }
+
+    /// Activates a trace ([`Recorder::set_trace_id`]).
+    #[inline]
+    pub fn set_trace_id(&self, trace_id: u64) {
+        if self.enabled {
+            self.recorder.set_trace_id(trace_id);
+        }
+    }
+
+    /// Context for an outbound request ([`Recorder::outbound_context`]).
+    #[inline]
+    pub fn outbound_context(&self) -> Option<TraceContext> {
+        if self.enabled {
+            self.recorder.outbound_context()
+        } else {
+            None
+        }
+    }
+
+    /// Adopts a received context onto a span
+    /// ([`Recorder::adopt_context`]).
+    #[inline]
+    pub fn adopt_context(&self, span: SpanId, ctx: TraceContext) {
+        if self.enabled {
+            self.recorder.adopt_context(span, ctx);
+        }
+    }
+
+    /// The one idiom every replay path uses: record a complete, pre-priced
+    /// span with its arguments and drag the sim-time cursor to its end
+    /// (never backward). Collapses the hand-rolled
+    /// "span_at + span_arg… + set_now" blocks in gear-client, gear-p2p,
+    /// and gear-registry into a single call.
+    pub fn scoped_span(
+        &self,
+        cat: &'static str,
+        name: &str,
+        start: Duration,
+        dur: Duration,
+        args: &[(&'static str, u64)],
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let span = self.recorder.span_at(cat, name, start, dur);
+        for &(key, value) in args {
+            self.recorder.span_arg(span, key, value);
+        }
+        self.recorder.set_now(start + dur);
+        span
+    }
 }
 
 impl Default for Telemetry {
@@ -271,5 +353,19 @@ mod tests {
         assert!(t.enabled());
         t.count("k", 2);
         assert_eq!(collector.metrics().counter("k"), 2);
+    }
+
+    #[test]
+    fn scoped_span_records_args_and_drags_the_cursor() {
+        let (t, collector) = Telemetry::collector();
+        let base = Duration::from_millis(5);
+        t.scoped_span("client", "pull", base, Duration::from_millis(3), &[("bytes", 42)]);
+        // A shorter span later must not rewind the cursor.
+        t.scoped_span("client", "warm", base, Duration::from_millis(1), &[]);
+        assert_eq!(t.now(), Duration::from_millis(8));
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].args, vec![("bytes", 42)]);
+        assert_eq!(spans[0].end, Some(Duration::from_millis(8)));
     }
 }

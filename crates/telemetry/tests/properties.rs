@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use gear_par::Pool;
-use gear_telemetry::{Histogram, Telemetry};
+use gear_telemetry::{FleetCollector, Histogram, QuantileSketch, Telemetry};
 use proptest::prelude::*;
 
 /// Deterministic pseudo-random stream (splitmix64) for the fixed-seed
@@ -28,6 +28,14 @@ fn histogram_of(values: &[u64]) -> Histogram {
         h.observe(v);
     }
     h
+}
+
+fn sketch_of(values: &[u64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in values {
+        s.observe(v);
+    }
+    s
 }
 
 proptest! {
@@ -115,6 +123,127 @@ proptest! {
         let (problems, parallel) = record(&Pool::new(workers));
         prop_assert!(problems.is_empty(), "{problems:?}");
         prop_assert_eq!(serial, parallel, "trace depends on worker count");
+    }
+
+    /// Sketch merging is commutative: `a ∪ b == b ∪ a` bucket-for-bucket.
+    #[test]
+    fn sketch_merge_is_commutative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..64),
+        b in prop::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let mut ab = sketch_of(&a);
+        ab.merge(&sketch_of(&b)).unwrap();
+        let mut ba = sketch_of(&b);
+        ba.merge(&sketch_of(&a)).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Sketch merging is associative: `(a ∪ b) ∪ c == a ∪ (b ∪ c)`.
+    #[test]
+    fn sketch_merge_is_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..48),
+        b in prop::collection::vec(0u64..u64::MAX, 0..48),
+        c in prop::collection::vec(0u64..u64::MAX, 0..48),
+    ) {
+        let mut left = sketch_of(&a);
+        left.merge(&sketch_of(&b)).unwrap();
+        left.merge(&sketch_of(&c)).unwrap();
+        let mut bc = sketch_of(&b);
+        bc.merge(&sketch_of(&c)).unwrap();
+        let mut right = sketch_of(&a);
+        right.merge(&bc).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Sketch merging loses nothing: the merged sketch equals observing the
+    /// concatenated stream directly — same count, sum, min/max, buckets,
+    /// and therefore identical answers to every quantile query.
+    #[test]
+    fn sketch_merge_is_lossless(
+        a in prop::collection::vec(0u64..u64::MAX, 0..64),
+        b in prop::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let mut merged = sketch_of(&a);
+        merged.merge(&sketch_of(&b)).unwrap();
+        let mut all = a;
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, sketch_of(&all));
+    }
+
+    /// Every rank query answers within the configured relative-error bound
+    /// of the exact order statistic, for arbitrary value streams.
+    #[test]
+    fn sketch_rank_answers_stay_within_relative_error(
+        mut values in prop::collection::vec(0u64..u64::MAX, 1..128),
+    ) {
+        let sketch = sketch_of(&values);
+        values.sort_unstable();
+        let err = sketch.relative_error_bound();
+        for (i, &exact) in values.iter().enumerate() {
+            let got = sketch.value_at_rank(i as u64 + 1).unwrap();
+            let bound = (exact as f64) * err;
+            prop_assert!(
+                (got as f64 - exact as f64).abs() <= bound,
+                "rank {}: got {} for exact {} (bound {})",
+                i + 1, got, exact, bound,
+            );
+        }
+    }
+
+    /// Rank queries are monotone: a higher rank never answers a smaller
+    /// value.
+    #[test]
+    fn sketch_rank_queries_are_monotone(
+        values in prop::collection::vec(0u64..u64::MAX, 1..128),
+    ) {
+        let sketch = sketch_of(&values);
+        let mut last = 0u64;
+        for rank in 1..=sketch.count() {
+            let v = sketch.value_at_rank(rank).unwrap();
+            prop_assert!(v >= last, "rank {rank} answered {v} after {last}");
+            last = v;
+        }
+    }
+
+    /// Sharding the same recording script over any number of per-node
+    /// collectors merges to the same metrics export as recording it all on
+    /// one node — shard count is an implementation detail of the fleet.
+    #[test]
+    fn sharded_recorders_merge_to_the_unsharded_export(
+        seed in any::<u64>(),
+        nodes in 1u32..6,
+    ) {
+        let script = |seed: u64| -> Vec<(u64, u64)> {
+            let mut rng = Rng(seed);
+            (0..48).map(|_| (rng.next() % 1_000_000, rng.next() % (1 << 20))).collect()
+        };
+        let ops = script(seed);
+
+        // One node records everything.
+        let (telemetry, collector) = Telemetry::collector();
+        for &(nanos, bytes) in &ops {
+            telemetry.count("ops", 1);
+            telemetry.sketch("latency_nanos", nanos);
+            telemetry.observe("op_bytes", bytes);
+            telemetry.gauge_max("peak", bytes);
+        }
+        let flat = collector.metrics();
+
+        // The same ops striped round-robin over `nodes` shards, merged.
+        let fleet = FleetCollector::new(nodes, 64);
+        for (i, &(nanos, bytes)) in ops.iter().enumerate() {
+            let t = fleet.telemetry(i as u32 % nodes);
+            t.count("ops", 1);
+            t.sketch("latency_nanos", nanos);
+            t.observe("op_bytes", bytes);
+            t.gauge_max("peak", bytes);
+        }
+        let merged = fleet.merged_metrics().unwrap();
+        prop_assert_eq!(&flat, &merged, "shard count leaked into the export");
+        prop_assert_eq!(
+            gear_telemetry::metrics_json(&flat),
+            gear_telemetry::metrics_json(&merged),
+        );
     }
 
     /// The same seed drives byte-identical trace and metrics exports.
