@@ -16,6 +16,7 @@ use crate::experiments::chunking::Chunking;
 use crate::experiments::concurrency::Concurrency;
 use crate::experiments::crash::Crash;
 use crate::experiments::fig9::Fig9;
+use crate::experiments::fleet::Fleet;
 use crate::experiments::hotpath::Hotpath;
 use crate::experiments::tails::Tails;
 use crate::experiments::tiering::Tiering;
@@ -221,6 +222,42 @@ pub fn tails_metrics(tails: &Tails) -> Vec<Metric> {
     metrics
 }
 
+/// Flattens the fleet-scenario suite into metrics. Non-finite shard
+/// balances (a shard that served nothing) are clamped to a large sentinel
+/// so the JSON stays parseable.
+pub fn fleet_metrics(fleet: &Fleet) -> Vec<Metric> {
+    let bool01 = |b: bool| if b { 1.0 } else { 0.0 };
+    let finite = |v: f64| if v.is_finite() { v } else { 1e9 };
+    let mut metrics = Vec::new();
+    for scenario in &fleet.scenarios {
+        let prefix = format!("fleet/{}", scenario.name);
+        let r = &scenario.report;
+        metrics.push(Metric::new(format!("{prefix}/makespan_secs"), r.makespan.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/p50_secs"), r.p50.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/p99_secs"), r.p99.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/p999_secs"), r.p999.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/max_secs"), r.max.as_secs_f64()));
+        metrics.push(Metric::new(format!("{prefix}/completed"), f64::from(r.completed)));
+        metrics.push(Metric::new(format!("{prefix}/lost"), f64::from(r.lost)));
+        metrics.push(Metric::new(format!("{prefix}/retries"), r.retries as f64));
+        metrics.push(Metric::new(
+            format!("{prefix}/overload_rejections"),
+            r.overload_rejections as f64,
+        ));
+        metrics.push(Metric::new(format!("{prefix}/shard_balance"), finite(r.shard_balance)));
+        metrics.push(Metric::new(format!("{prefix}/registry_bytes"), r.registry_bytes as f64));
+        metrics.push(Metric::new(format!("{prefix}/lan_bytes"), r.lan_bytes as f64));
+        metrics.push(Metric::new(format!("{prefix}/backbone_bytes"), r.backbone_bytes as f64));
+        metrics.push(Metric::new(format!("{prefix}/events"), r.events as f64));
+        metrics.push(Metric::new(
+            format!("{prefix}/validation_problems"),
+            r.validation_problems as f64,
+        ));
+    }
+    metrics.push(Metric::new("fleet/deterministic", bool01(fleet.deterministic)));
+    metrics
+}
+
 /// Recorded `streams = 1` deployment times the CI smoke job compares
 /// against.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -256,6 +293,24 @@ pub struct Baseline {
     /// recorded before the sweep existed).
     #[serde(default)]
     pub tails: Vec<TailsRow>,
+    /// Recorded fleet-scenario ceilings — flash-crowd makespan, p999 tails,
+    /// and the shard-balance bound (empty when the baseline was recorded
+    /// without the `fleet` experiment, and absent entirely in baselines
+    /// recorded before the suite existed).
+    #[serde(default)]
+    pub fleet: Vec<FleetRow>,
+}
+
+/// One recorded fleet ceiling: a makespan, tail time, or shard-balance
+/// bound a fresh run may not exceed (simulated, so machine-independent).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetRow {
+    /// Metric key as emitted by [`fleet_metrics`], e.g.
+    /// `"fleet/flash_crowd/p999_secs"`.
+    pub key: String,
+    /// Recorded value the fresh run must stay at or below (plus
+    /// tolerance).
+    pub max: f64,
 }
 
 /// One recorded flash-crowd ceiling: a tail time or collector footprint
@@ -384,6 +439,7 @@ impl Baseline {
             crash: Vec::new(),
             chunking: Vec::new(),
             tails: Vec::new(),
+            fleet: Vec::new(),
         }
     }
 
@@ -421,6 +477,23 @@ impl Baseline {
             .iter()
             .filter(|m| m.key.ends_with("p999_secs") || m.key.ends_with("collector_bytes"))
             .map(|m| TailsRow { key: m.key.clone(), max: m.value })
+            .collect();
+        self
+    }
+
+    /// Records the fleet ceilings: every scenario's makespan and p999, plus
+    /// the flash crowd's shard-balance bound (the outage and rolling-update
+    /// scenarios skew balance by design, so only the clean crowd gates it).
+    /// Loss and determinism are invariants, not recordings.
+    pub fn with_fleet(mut self, metrics: &[Metric]) -> Self {
+        self.fleet = metrics
+            .iter()
+            .filter(|m| {
+                m.key.ends_with("makespan_secs")
+                    || m.key.ends_with("p999_secs")
+                    || m.key == "fleet/flash_crowd/shard_balance"
+            })
+            .map(|m| FleetRow { key: m.key.clone(), max: m.value })
             .collect();
         self
     }
@@ -572,6 +645,59 @@ impl Baseline {
                 )),
                 None => {
                     problems.push(format!("tails ceiling {} missing from the run", row.key));
+                }
+            }
+        }
+        problems
+    }
+
+    /// Compares a fresh fleet run against the recorded ceilings and
+    /// enforces the fleet invariants. Any `/lost` metric above zero, any
+    /// `validation_problems` above zero, or `fleet/deterministic` below one
+    /// fails **regardless of what the baseline recorded** — losing a
+    /// deployment or drifting between fixed-seed runs is never an
+    /// acceptable trade. Recorded rows gate as ceilings: more than
+    /// `tolerance` (fractional) above fails, at or below passes, missing
+    /// points fail. No-op on the recorded rows when the baseline has none.
+    pub fn fleet_regressions(&self, metrics: &[Metric], tolerance: f64) -> Vec<String> {
+        let mut problems = Vec::new();
+        for m in metrics.iter().filter(|m| m.key.ends_with("/lost")) {
+            if m.value > 0.0 {
+                problems.push(format!(
+                    "fleet/{}: {} deployments lost (must be 0 — replicas and retries \
+                     must absorb every outage)",
+                    m.key, m.value,
+                ));
+            }
+        }
+        for m in metrics.iter().filter(|m| m.key.ends_with("validation_problems")) {
+            if m.value > 0.0 {
+                problems.push(format!(
+                    "fleet/{}: {} span-tree violations in the fleet telemetry (must be 0)",
+                    m.key, m.value,
+                ));
+            }
+        }
+        if let Some(m) = metrics.iter().find(|m| m.key == "fleet/deterministic") {
+            if m.value < 1.0 {
+                problems.push(
+                    "fleet/deterministic: fixed-seed reports drifted between runs".to_owned(),
+                );
+            }
+        }
+        for row in &self.fleet {
+            match metrics.iter().find(|m| m.key == row.key) {
+                Some(m) if m.value <= row.max * (1.0 + tolerance) => {}
+                Some(m) => problems.push(format!(
+                    "fleet/{}: {:.6} above recorded ceiling {:.6} (+{:.1}% > {:.1}% tolerance)",
+                    row.key,
+                    m.value,
+                    row.max,
+                    (m.value / row.max - 1.0) * 100.0,
+                    tolerance * 100.0,
+                )),
+                None => {
+                    problems.push(format!("fleet ceiling {} missing from the run", row.key));
                 }
             }
         }
@@ -765,6 +891,51 @@ mod tests {
         let legacy: Baseline = serde_json::from_str(legacy).unwrap();
         assert!(legacy.tails.is_empty());
         assert!(legacy.tails_regressions(&[], 0.01).is_empty());
+    }
+
+    #[test]
+    fn fleet_rows_gate_ceilings_and_loss_is_never_tolerated() {
+        let recorded = Concurrency { sweeps: vec![sweep("20Mbps", 1_000)] };
+        let measured = vec![
+            Metric::new("fleet/flash_crowd/makespan_secs", 30.0),
+            Metric::new("fleet/flash_crowd/p999_secs", 25.0),
+            Metric::new("fleet/flash_crowd/p50_secs", 1.0),
+            Metric::new("fleet/flash_crowd/shard_balance", 1.5),
+            Metric::new("fleet/flash_crowd/lost", 0.0),
+            Metric::new("fleet/rolling_update/p999_secs", 28.0),
+            Metric::new("fleet/rolling_update/makespan_secs", 500.0),
+            Metric::new("fleet/rolling_update/shard_balance", 3.0),
+            Metric::new("fleet/rolling_update/validation_problems", 0.0),
+            Metric::new("fleet/hetero_links/p999_secs", 90.0),
+            Metric::new("fleet/hetero_links/makespan_secs", 95.0),
+            Metric::new("fleet/deterministic", 1.0),
+        ];
+        let baseline = Baseline::from_concurrency(&recorded, 64, 7).with_fleet(&measured);
+        // 3 makespans + 3 p999s + the flash crowd's balance; other
+        // scenarios' balances are skewed by design and never recorded.
+        assert_eq!(baseline.fleet.len(), 7, "{:?}", baseline.fleet);
+
+        assert!(baseline.fleet_regressions(&measured, 0.01).is_empty());
+
+        let mut slower = measured;
+        slower[1].value = 40.0; // flash-crowd p999 blew past the ceiling
+        assert_eq!(baseline.fleet_regressions(&slower, 0.01).len(), 1);
+
+        // Loss and nondeterminism fail even against a baseline with no
+        // fleet rows at all.
+        let plain = Baseline::from_concurrency(&recorded, 64, 7);
+        let broken = vec![
+            Metric::new("fleet/rolling_update/lost", 12.0),
+            Metric::new("fleet/flash_crowd/validation_problems", 2.0),
+            Metric::new("fleet/deterministic", 0.0),
+        ];
+        assert_eq!(plain.fleet_regressions(&broken, 0.01).len(), 3);
+
+        // Baselines recorded before the suite existed still load.
+        let legacy = r#"{"scale_denom":64,"seed":7,"rows":[],"hotpath":[]}"#;
+        let legacy: Baseline = serde_json::from_str(legacy).unwrap();
+        assert!(legacy.fleet.is_empty());
+        assert!(legacy.fleet_regressions(&[], 0.01).is_empty());
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //!       <experiment>...
 //!
 //! experiments: table2 fig2 fig6 fig7 fig8 fig9 fig10 fig11 concurrency
-//!              cluster faults crash hotpath tiering chunking tails profile
-//!              all
+//!              cluster faults crash hotpath tiering chunking tails fleet
+//!              profile all
 //! ```
 //!
 //! `--quick` uses the small test corpus; the default is the paper-shaped
@@ -119,7 +119,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: repro [--scale N] [--seed S] [--versions V] [--quick] [--json] \
                      [--baseline FILE] [--record-baseline FILE] [--trace DIR] \
                      <table2|fig2|fig6|fig7|fig8|fig9|fig10|fig11|concurrency|cluster|faults\
-                     |crash|hotpath|tiering|chunking|tails|profile|all>..."
+                     |crash|hotpath|tiering|chunking|tails|fleet|profile|all>..."
                         .to_owned(),
                 )
             }
@@ -145,7 +145,7 @@ fn main() -> ExitCode {
     let wanted: Vec<&str> = if args.experiments.iter().any(|e| e == "all") {
         vec![
             "table2", "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "concurrency",
-            "cluster", "faults", "crash", "hotpath", "tiering", "chunking", "tails",
+            "cluster", "faults", "crash", "hotpath", "tiering", "chunking", "tails", "fleet",
         ]
     } else {
         args.experiments.iter().map(String::as_str).collect()
@@ -198,6 +198,7 @@ fn main() -> ExitCode {
     let mut crash_metrics = None;
     let mut chunking_metrics = None;
     let mut tails_metrics = None;
+    let mut fleet_metrics = None;
     for name in &wanted {
         println!("{}", "=".repeat(72));
         let mut metrics = Vec::new();
@@ -259,17 +260,55 @@ fn main() -> ExitCode {
                 } else {
                     ctx.corpus.series[0].spec.name
                 };
-                let result = experiments::tails::run(
+                let result = match experiments::tails::run(
                     &ctx,
                     published.as_ref().expect("published"),
                     series,
-                );
+                ) {
+                    Ok(result) => result,
+                    Err(e) => {
+                        eprintln!("flash-crowd sweep failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 metrics = artifact::tails_metrics(&result);
                 tails_metrics = Some(metrics.clone());
                 let text = result.to_string();
                 if !result.exports_identical {
                     println!("{text}");
                     eprintln!("DETERMINISM FAILURE: fleet exports drifted between runs");
+                    return ExitCode::FAILURE;
+                }
+                text
+            }
+            "fleet" => {
+                let series = if ctx.corpus.series_by_name("redis").is_some() {
+                    "redis"
+                } else {
+                    ctx.corpus.series[0].spec.name
+                };
+                let result = match experiments::fleet::run(&ctx, series) {
+                    Ok(result) => result,
+                    Err(e) => {
+                        eprintln!("fleet suite failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                metrics = artifact::fleet_metrics(&result);
+                fleet_metrics = Some(metrics.clone());
+                let text = result.to_string();
+                let lost: u32 = result.scenarios.iter().map(|s| s.report.lost).sum();
+                if lost > 0 {
+                    println!("{text}");
+                    eprintln!(
+                        "FLEET FAILURE: {lost} deployments lost (replicas and retries must \
+                         absorb every outage)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                if !result.deterministic {
+                    println!("{text}");
+                    eprintln!("DETERMINISM FAILURE: fleet reports drifted between runs");
                     return ExitCode::FAILURE;
                 }
                 text
@@ -365,6 +404,9 @@ fn main() -> ExitCode {
         if let Some(metrics) = &tails_metrics {
             baseline = baseline.with_tails(metrics);
         }
+        if let Some(metrics) = &fleet_metrics {
+            baseline = baseline.with_fleet(metrics);
+        }
         let json = serde_json::to_string(&baseline).expect("baseline serializes");
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("writing {}: {e}", path.display());
@@ -438,6 +480,16 @@ fn main() -> ExitCode {
                 }
                 None => problems.push(
                     "baseline records flash-crowd ceilings; add `tails` to the run".to_owned(),
+                ),
+            }
+        }
+        if !baseline.fleet.is_empty() {
+            match &fleet_metrics {
+                Some(metrics) => {
+                    problems.extend(baseline.fleet_regressions(metrics, BASELINE_TOLERANCE));
+                }
+                None => problems.push(
+                    "baseline records fleet ceilings; add `fleet` to the run".to_owned(),
                 ),
             }
         }

@@ -56,6 +56,10 @@ pub struct Concurrency {
 /// Runs the sweep; the four bandwidth presets run on separate threads.
 pub fn run(ctx: &ExperimentContext, published: &PublishedCorpus) -> Concurrency {
     let sweeps = std::thread::scope(|scope| {
+        // The intermediate Vec is the spawn barrier: collecting the
+        // handles starts every worker before the first join. Inlining
+        // (as `needless_collect` would suggest) serializes the sweep.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = Link::figure9_presets()
             .into_iter()
             .map(|(label, link)| scope.spawn(move || run_at(ctx, published, label, link)))

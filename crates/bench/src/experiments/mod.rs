@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod hotpath;
 pub mod profile;
 pub mod table2;

@@ -17,8 +17,8 @@
 use std::fmt;
 use std::time::Duration;
 
-use gear_p2p::{Cluster, ClusterConfig};
-use gear_telemetry::{FleetCollector, SloEval, SloSpec};
+use gear_p2p::{Cluster, ClusterConfig, ClusterError};
+use gear_telemetry::{FleetCollector, MergeError, SloEval, SloSpec};
 
 use super::fig8::PublishedCorpus;
 use super::{human_bytes, ExperimentContext};
@@ -76,33 +76,104 @@ pub struct Tails {
     pub exports_identical: bool,
 }
 
+/// Why the flash-crowd sweep could not produce its result. Experiment
+/// failures surface as values the harness reports, never as panics
+/// mid-sweep.
+#[derive(Debug)]
+pub enum TailsError {
+    /// The requested series is not in the corpus.
+    SeriesMissing(String),
+    /// The series has no images or startup traces to deploy.
+    SeriesEmpty(String),
+    /// One of the crowd's deployments failed.
+    Deploy {
+        /// Node the failing client was assigned to.
+        node: usize,
+        /// Zero-based index of the failing client.
+        client: u32,
+        /// The underlying cluster error.
+        source: ClusterError,
+    },
+    /// The per-node sketches could not merge into the fleet view.
+    Merge(MergeError),
+    /// No deployment samples reached the fleet sketch.
+    NoSamples,
+}
+
+impl fmt::Display for TailsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TailsError::SeriesMissing(name) => write!(f, "series {name:?} not in corpus"),
+            TailsError::SeriesEmpty(name) => {
+                write!(f, "series {name:?} has no images or traces")
+            }
+            TailsError::Deploy { node, client, source } => {
+                write!(f, "client {client} failed deploying on node {node}: {source}")
+            }
+            TailsError::Merge(e) => write!(f, "fleet sketches failed to merge: {e}"),
+            TailsError::NoSamples => write!(f, "no deployment samples in the fleet sketch"),
+        }
+    }
+}
+
+impl std::error::Error for TailsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TailsError::Deploy { source, .. } => Some(source),
+            TailsError::Merge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// Runs the flash crowd over every topology, plus a determinism re-run of
 /// the smallest one.
-pub fn run(ctx: &ExperimentContext, published: &PublishedCorpus, series_name: &str) -> Tails {
-    let runs: Vec<TopologyRun> = TOPOLOGIES
+///
+/// # Errors
+///
+/// [`TailsError`] when the series is unusable, a deployment fails, or the
+/// fleet sketches cannot merge.
+pub fn run(
+    ctx: &ExperimentContext,
+    published: &PublishedCorpus,
+    series_name: &str,
+) -> Result<Tails, TailsError> {
+    let runs = TOPOLOGIES
         .iter()
-        .map(|&nodes| run_topology(ctx, published, series_name, nodes, FLASH_CLIENTS).0)
-        .collect();
+        .map(|&nodes| {
+            run_topology(ctx, published, series_name, nodes, FLASH_CLIENTS).map(|(row, _)| row)
+        })
+        .collect::<Result<Vec<TopologyRun>, TailsError>>()?;
     // Same seed, same crowd → the fleet's exports must not move by a byte.
-    let (_, once) = run_topology(ctx, published, series_name, TOPOLOGIES[0], FLASH_CLIENTS);
-    let (_, again) = run_topology(ctx, published, series_name, TOPOLOGIES[0], FLASH_CLIENTS);
-    Tails { series: series_name.to_owned(), runs, exports_identical: once == again }
+    let (_, once) = run_topology(ctx, published, series_name, TOPOLOGIES[0], FLASH_CLIENTS)?;
+    let (_, again) = run_topology(ctx, published, series_name, TOPOLOGIES[0], FLASH_CLIENTS)?;
+    Ok(Tails { series: series_name.to_owned(), runs, exports_identical: once == again })
 }
 
 /// Drives `clients` deployments round-robin over a `nodes`-node cluster,
 /// each node recording into its own bounded shard, and reads the tails
 /// from the merged fleet sketch. Returns the row plus the raw exports
 /// (for the byte-identity check).
+///
+/// # Errors
+///
+/// [`TailsError`] as for [`run`].
 pub fn run_topology(
     ctx: &ExperimentContext,
     published: &PublishedCorpus,
     series_name: &str,
     nodes: u32,
     clients: u32,
-) -> (TopologyRun, (String, String)) {
-    let series = ctx.corpus.series_by_name(series_name).expect("series in corpus");
-    let image = series.images.last().expect("versions");
-    let trace = series.traces.last().expect("traces");
+) -> Result<(TopologyRun, (String, String)), TailsError> {
+    let series = ctx
+        .corpus
+        .series_by_name(series_name)
+        .ok_or_else(|| TailsError::SeriesMissing(series_name.to_owned()))?;
+    let (image, trace) = series
+        .images
+        .last()
+        .zip(series.traces.last())
+        .ok_or_else(|| TailsError::SeriesEmpty(series_name.to_owned()))?;
 
     let fleet = FleetCollector::new(nodes, SPAN_CAPACITY);
     let mut cluster =
@@ -113,14 +184,14 @@ pub fn run_topology(
         cluster.set_recorder(fleet.telemetry(node as u32));
         let report = cluster
             .deploy_on(node, image.reference(), trace, &published.gear_index, &published.gear_files)
-            .expect("flash-crowd deploy");
+            .map_err(|source| TailsError::Deploy { node, client: i, source })?;
         if i == 0 {
             cold = report.total;
         }
     }
 
-    let merged = fleet.merged_metrics().expect("same-resolution sketches merge");
-    let sketch = merged.sketch("p2p.deploy_nanos").expect("deploys recorded").clone();
+    let merged = fleet.merged_metrics().map_err(TailsError::Merge)?;
+    let sketch = merged.sketch("p2p.deploy_nanos").ok_or(TailsError::NoSamples)?.clone();
     let at = |q: f64| Duration::from_nanos(sketch.quantile(q).unwrap_or(0));
     // Degradation-free spec: the crowd's median must beat the cold deploy
     // and even the 99.9th percentile may not exceed twice it — P2P exists
@@ -143,8 +214,8 @@ pub fn run_topology(
         peer_traffic: cluster.peer_traffic(),
         validation_problems: fleet.validate().len(),
     };
-    let metrics_json = fleet.metrics_json().expect("same-resolution sketches merge");
-    (row, (fleet.trace_json(), metrics_json))
+    let metrics_json = fleet.metrics_json().map_err(TailsError::Merge)?;
+    Ok((row, (fleet.trace_json(), metrics_json)))
 }
 
 impl fmt::Display for Tails {
@@ -193,7 +264,8 @@ mod tests {
     fn flash_crowd_tails_are_bounded_and_deterministic() {
         let ctx = ExperimentContext::quick();
         let published = publish_corpus(&ctx);
-        let (row, exports) = run_topology(&ctx, &published, "redis", 4, 400);
+        let (row, exports) =
+            run_topology(&ctx, &published, "redis", 4, 400).expect("crowd deploys");
         assert_eq!(row.clients, 400);
         assert!(row.p50 <= row.p99 && row.p99 <= row.p999 && row.p999 <= row.max);
         assert_eq!(row.validation_problems, 0);
@@ -204,15 +276,26 @@ mod tests {
         // sketch buckets is well under 2 MB.
         assert!(row.collector_bytes < 2 << 20, "collector grew: {}", row.collector_bytes);
 
-        let (_, again) = run_topology(&ctx, &published, "redis", 4, 400);
+        let (_, again) =
+            run_topology(&ctx, &published, "redis", 4, 400).expect("crowd deploys");
         assert_eq!(exports, again, "fixed seed must export identical bytes");
+    }
+
+    #[test]
+    fn unknown_series_is_an_error_not_a_panic() {
+        let ctx = ExperimentContext::quick();
+        let published = publish_corpus(&ctx);
+        match run_topology(&ctx, &published, "no-such-series", 4, 4) {
+            Err(TailsError::SeriesMissing(name)) => assert_eq!(name, "no-such-series"),
+            other => panic!("expected SeriesMissing, got {other:?}"),
+        }
     }
 
     #[test]
     fn warm_crowd_beats_the_cold_deploy() {
         let ctx = ExperimentContext::quick();
         let published = publish_corpus(&ctx);
-        let (row, _) = run_topology(&ctx, &published, "redis", 4, 400);
+        let (row, _) = run_topology(&ctx, &published, "redis", 4, 400).expect("crowd deploys");
         // Nearly every client lands on a warm node: the median must sit
         // far below the worst (cold) deployment.
         assert!(row.p50 < row.max, "p50 {:?} vs max {:?}", row.p50, row.max);

@@ -120,6 +120,10 @@ pub fn run(ctx: &ExperimentContext, published: &PublishedCorpus) -> Tiering {
     let (flat_cold, flat_warm) = run_schedule(ctx, published, &mut flat);
 
     let points = std::thread::scope(|scope| {
+        // The intermediate Vec is the spawn barrier: collecting the
+        // handles starts every worker before the first join. Inlining
+        // (as `needless_collect` would suggest) serializes the sweep.
+        #[allow(clippy::needless_collect)]
         let handles: Vec<_> = disk_models()
             .into_iter()
             .map(|(disk_label, disk)| {

@@ -1,0 +1,789 @@
+//! Event-driven fleet deployment: tens of thousands of clients over a
+//! hierarchical topology against a sharded registry.
+//!
+//! [`FleetSim`] is the driver the event core in `gear-simnet` was built
+//! for. It owns one [`EventQueue`] and one [`FifoLane`] per contended
+//! resource — each site's LAN and uplink, the inter-site backbone, and
+//! each registry shard's egress — and advances a single simulated clock by
+//! popping events in deterministic `(time, push-order)` sequence. Cost is
+//! O(events), never O(clients × polling).
+//!
+//! The deployment policy mirrors the hierarchical cache the paper's
+//! related work describes (§VI-B): a client arriving at a cold node seeds
+//! the node from, in order of preference, a **same-site holder over the
+//! LAN**, a **sibling already seeding** (the node joins the site's waiter
+//! list instead of crossing the WAN again), a **foreign holder over the
+//! backbone**, or — only when nobody holds the image — the **sharded
+//! registry**, object by object, with per-shard admission control,
+//! replica failover, and seeded retry-with-backoff. Once a node is ready
+//! every queued and future client deploys at LAN-local cost.
+//!
+//! Everything is deterministic: same topology, same schedule, same seed →
+//! bit-identical report.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use gear_hash::Fingerprint;
+use gear_registry::{ShardRejection, ShardedStore};
+use gear_simnet::{EventQueue, FifoLane, Link, RetryPolicy};
+use gear_telemetry::FleetCollector;
+
+use crate::cluster::NodeId;
+use crate::directory::PeerDirectory;
+use crate::topology::Topology;
+
+/// Knobs for a fleet run: registry sharding, admission, retries, and the
+/// per-deployment launch cost.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Registry shards behind the consistent-hash ring.
+    pub shards: u32,
+    /// Replicas per object (clamped to the shard count).
+    pub replication: usize,
+    /// Per-shard admission queue depth.
+    pub queue_depth: u32,
+    /// Each shard's egress link.
+    pub shard_link: Link,
+    /// Retry budget for overloaded/unavailable shards.
+    pub retry: RetryPolicy,
+    /// Local container-launch cost charged per deployment.
+    pub launch: Duration,
+    /// Span retention per node flight recorder.
+    pub span_capacity: usize,
+    /// Seed for the hash ring and retry jitter.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A 4-shard, 2-replica registry with gigabit shard egress and a
+    /// patient retry budget (ten attempts, 50 ms base backoff) — flash
+    /// crowds drain through admission control instead of losing clients.
+    pub fn standard(seed: u64) -> Self {
+        FleetConfig {
+            shards: 4,
+            replication: 2,
+            queue_depth: 64,
+            shard_link: Link::mbps(1_000.0),
+            retry: RetryPolicy {
+                max_attempts: 10,
+                ..RetryPolicy::standard(seed)
+            },
+            launch: Duration::from_millis(20),
+            span_capacity: 64,
+            seed,
+        }
+    }
+}
+
+/// How a node acquired (or is acquiring) the image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SeedKind {
+    /// From a same-site holder over the LAN.
+    Lan,
+    /// From a foreign holder over the backbone.
+    Backbone,
+    /// Object by object from the sharded registry.
+    Registry,
+    /// Parked on the site waiter list behind a sibling's seed.
+    Waiter,
+}
+
+impl SeedKind {
+    fn counter(self) -> &'static str {
+        match self {
+            SeedKind::Lan => "fleet.seed_lan",
+            SeedKind::Backbone => "fleet.seed_backbone",
+            SeedKind::Registry => "fleet.seed_registry",
+            SeedKind::Waiter => "fleet.seed_waited",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeState {
+    /// Set once the image is installed; deployments then cost `launch`.
+    ready: Option<Duration>,
+    /// The in-flight seed, if any.
+    seeding: Option<SeedKind>,
+    /// When the in-flight seed started (arrival of its first client).
+    seed_started: Duration,
+    /// Bumped by a site reset; stale completion events check it.
+    generation: u32,
+    /// Clients waiting for the node to become ready.
+    queued: Vec<u32>,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            ready: None,
+            seeding: None,
+            seed_started: Duration::ZERO,
+            generation: 0,
+            queued: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    /// In-flight WAN seeds (registry or backbone) in this site; cold
+    /// arrivals park as waiters while one is pending.
+    wan_seeds: u32,
+    /// Nodes waiting for a sibling's seed to finish.
+    waiters: Vec<NodeId>,
+}
+
+/// One registry seed in flight: a node pulling every object.
+#[derive(Debug)]
+struct RegistrySeed {
+    node: NodeId,
+    generation: u32,
+    remaining: usize,
+    failed: bool,
+}
+
+#[derive(Debug)]
+struct FleetClient {
+    node: NodeId,
+    arrive: Duration,
+    done: Option<Duration>,
+}
+
+#[derive(Debug)]
+struct FleetObject {
+    fingerprint: Fingerprint,
+    wire: u64,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Client `idx` arrives at its node.
+    Arrive(u32),
+    /// A shard finished serving one object: return the admission token.
+    Release { shard: u32 },
+    /// One object of registry seed `seed` fully delivered.
+    ObjectDone { seed: usize },
+    /// Retry one object of registry seed `seed`.
+    Fetch { seed: usize, object: usize, attempt: u32 },
+    /// A LAN/backbone seed finished installing on `node`.
+    SeedDone { node: NodeId, generation: u32 },
+    /// Scripted: wipe a site (rolling update / re-image).
+    ResetSite(u32),
+    /// Scripted: take a registry shard down or bring it back.
+    SetShardDown { shard: u32, down: bool },
+}
+
+/// What a fleet run produced: completion accounting, tail latencies from
+/// the merged per-node sketches, traffic per link class, and registry
+/// health counters.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Clients scheduled.
+    pub clients: u32,
+    /// Clients whose deployment completed.
+    pub completed: u32,
+    /// Clients lost to exhausted retry budgets (must be 0 when replicas
+    /// cover every outage).
+    pub lost: u32,
+    /// Completion time of the last deployment.
+    pub makespan: Duration,
+    /// Median deployment latency (merged fleet sketch).
+    pub p50: Duration,
+    /// 99th-percentile deployment latency.
+    pub p99: Duration,
+    /// 99.9th-percentile deployment latency.
+    pub p999: Duration,
+    /// Worst deployment latency observed by the sketch.
+    pub max: Duration,
+    /// Samples in the merged latency sketch (site resets wipe their
+    /// nodes' samples, so this can trail `completed`).
+    pub deploy_samples: u64,
+    /// Object fetches re-attempted after every replica refused.
+    pub retries: u64,
+    /// Fetch waves in which every replica refused admission.
+    pub overload_rejections: u64,
+    /// Store-level admission rejections summed over shards.
+    pub shard_rejections: u64,
+    /// Requests a down shard refused (served by a replica instead).
+    pub shard_down_refusals: u64,
+    /// max/min of per-shard admitted requests (∞ if a shard served none).
+    pub shard_balance: f64,
+    /// Bytes that crossed site uplinks (registry traffic).
+    pub registry_bytes: u64,
+    /// Bytes that crossed site LANs.
+    pub lan_bytes: u64,
+    /// Bytes that crossed the inter-site backbone.
+    pub backbone_bytes: u64,
+    /// Events processed — the run's cost measure.
+    pub events: u64,
+    /// Spans shed by the bounded flight recorders.
+    pub dropped_spans: u64,
+    /// Structural telemetry validation failures (must be 0).
+    pub validation_problems: usize,
+    /// Resident bytes of fleet span storage.
+    pub collector_bytes: u64,
+}
+
+/// An event-driven simulation of fleet-wide image deployment.
+#[derive(Debug)]
+pub struct FleetSim {
+    topo: Topology,
+    config: FleetConfig,
+    store: ShardedStore,
+    directory: PeerDirectory,
+    fleet: Arc<FleetCollector>,
+    queue: EventQueue<Event>,
+    objects: Vec<FleetObject>,
+    /// Representative fingerprint announced to the peer directory: holding
+    /// it means holding the whole image.
+    image_fp: Fingerprint,
+    /// Whole-image wire bytes for peer (LAN/backbone) transfers.
+    image_wire: u64,
+    lan: Vec<FifoLane>,
+    uplinks: Vec<FifoLane>,
+    backbone: FifoLane,
+    shard_lanes: Vec<FifoLane>,
+    nodes: Vec<NodeState>,
+    sites: Vec<SiteState>,
+    seeds: Vec<RegistrySeed>,
+    clients: Vec<FleetClient>,
+    completed: u32,
+    lost: u32,
+    retries: u64,
+    overload_rejections: u64,
+    down_refusals: u64,
+    processed: u64,
+}
+
+impl FleetSim {
+    /// Builds a fleet over `topo` whose image consists of `objects`
+    /// (fingerprint + content), uploaded to every replica of a fresh
+    /// sharded store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `objects` is empty or an object's content does not
+    /// match its fingerprint — both are programming errors in the
+    /// scenario, not simulated conditions.
+    pub fn new(topo: Topology, config: FleetConfig, objects: &[(Fingerprint, Bytes)]) -> Self {
+        assert!(!objects.is_empty(), "a fleet image needs at least one object");
+        let mut store = ShardedStore::new(config.shards, config.replication, config.seed)
+            .with_queue_depth(config.queue_depth);
+        let mut manifest = Vec::with_capacity(objects.len());
+        let mut image_wire = 0u64;
+        for (fp, content) in objects {
+            match store.upload(*fp, content) {
+                Some(Ok(_)) => {}
+                Some(Err(e)) => panic!("fleet image object rejected: {e}"),
+                None => unreachable!("no shard is down at construction"),
+            }
+            let wire = store.transfer_size(*fp).unwrap_or(content.len() as u64);
+            image_wire += wire;
+            manifest.push(FleetObject { fingerprint: *fp, wire });
+        }
+        let image_fp = manifest[0].fingerprint;
+        let sites = topo.sites();
+        let lan = (0..sites).map(|_| FifoLane::new(*topo.lan())).collect();
+        let uplinks =
+            (0..sites).map(|s| FifoLane::new(*topo.uplink(s as u32))).collect();
+        let backbone = FifoLane::new(*topo.backbone());
+        let shard_lanes =
+            (0..config.shards).map(|_| FifoLane::new(config.shard_link)).collect();
+        let fleet = Arc::new(FleetCollector::new(topo.nodes() as u32, config.span_capacity));
+        let nodes = (0..topo.nodes()).map(|_| NodeState::new()).collect();
+        let site_states = (0..sites).map(|_| SiteState::default()).collect();
+        FleetSim {
+            topo,
+            config,
+            store,
+            directory: PeerDirectory::new(),
+            fleet,
+            queue: EventQueue::new(),
+            objects: manifest,
+            image_fp,
+            image_wire,
+            lan,
+            uplinks,
+            backbone,
+            shard_lanes,
+            nodes,
+            sites: site_states,
+            seeds: Vec::new(),
+            clients: Vec::new(),
+            completed: 0,
+            lost: 0,
+            retries: 0,
+            overload_rejections: 0,
+            down_refusals: 0,
+            processed: 0,
+        }
+    }
+
+    /// The fleet's per-node flight recorders.
+    pub fn fleet(&self) -> &Arc<FleetCollector> {
+        &self.fleet
+    }
+
+    /// The sharded registry backing the run.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// The topology the fleet runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Schedules one client to arrive at `node` at simulated time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is outside the topology.
+    pub fn schedule_client(&mut self, node: NodeId, at: Duration) {
+        assert!(node < self.topo.nodes(), "client scheduled on unknown node {node}");
+        let idx = self.clients.len() as u32;
+        self.clients.push(FleetClient { node, arrive: at, done: None });
+        self.queue.push(at, Event::Arrive(idx));
+    }
+
+    /// Schedules `count` clients round-robin across every node, the first
+    /// at `start` and each subsequent one `spacing` later — the flash-crowd
+    /// arrival pattern.
+    pub fn schedule_flash_crowd(&mut self, count: u32, start: Duration, spacing: Duration) {
+        let nodes = self.topo.nodes();
+        for i in 0..count {
+            self.schedule_client((i as usize) % nodes, start + spacing * i);
+        }
+    }
+
+    /// Schedules a scripted wipe of `site` at `at`: every node loses its
+    /// image, its directory announcements, and its telemetry shard, then
+    /// re-seeds for any still-queued clients. Models a rolling update.
+    pub fn schedule_site_reset(&mut self, site: u32, at: Duration) {
+        self.queue.push(at, Event::ResetSite(site));
+    }
+
+    /// Schedules a registry shard outage over `[from, to)`: the shard
+    /// refuses admission (typed `Down`) and replicas carry its keys.
+    pub fn schedule_shard_outage(&mut self, shard: u32, from: Duration, to: Duration) {
+        self.queue.push(from, Event::SetShardDown { shard, down: true });
+        self.queue.push(to, Event::SetShardDown { shard, down: false });
+    }
+
+    /// Drains the event queue and reports. Idempotent in the sense that
+    /// running again with no new schedule is a no-op over the same report.
+    pub fn run(&mut self) -> FleetReport {
+        while let Some((t, event)) = self.queue.pop() {
+            self.processed += 1;
+            match event {
+                Event::Arrive(client) => self.on_arrive(t, client),
+                Event::Release { shard } => self.store.release(shard),
+                Event::ObjectDone { seed } => self.on_object_done(t, seed),
+                Event::Fetch { seed, object, attempt } => {
+                    self.fetch_object(t, seed, object, attempt);
+                }
+                Event::SeedDone { node, generation } => {
+                    if self.nodes[node].generation == generation {
+                        self.node_ready(t, node);
+                    }
+                }
+                Event::ResetSite(site) => self.on_reset_site(t, site),
+                Event::SetShardDown { shard, down } => self.store.set_down(shard, down),
+            }
+        }
+        self.report()
+    }
+
+    fn on_arrive(&mut self, t: Duration, client: u32) {
+        let node = self.clients[client as usize].node;
+        if self.nodes[node].ready.is_some() {
+            self.complete_client(client, t + self.config.launch);
+            return;
+        }
+        self.nodes[node].queued.push(client);
+        if self.nodes[node].seeding.is_none() {
+            self.start_seed(t, node);
+        }
+    }
+
+    /// Picks the cheapest source for a cold node, in policy order:
+    /// same-site holder → wait on a sibling's WAN seed → foreign holder →
+    /// sharded registry.
+    fn start_seed(&mut self, t: Duration, node: NodeId) {
+        let site = self.topo.site_of(node) as usize;
+        let holders = self.directory.holders_scoped(self.image_fp, node, self.topo.site_map());
+        let same_site = holders.first().is_some_and(|&h| self.topo.same_site(h, node));
+        self.nodes[node].seed_started = t;
+        if same_site {
+            let fixed = self.amplified_fixed(*self.topo.lan());
+            let slot = self.lan[site].transfer_with_fixed(t, fixed, self.image_wire);
+            self.nodes[node].seeding = Some(SeedKind::Lan);
+            self.queue.push(
+                slot.done,
+                Event::SeedDone { node, generation: self.nodes[node].generation },
+            );
+        } else if self.sites[site].wan_seeds > 0 {
+            self.nodes[node].seeding = Some(SeedKind::Waiter);
+            self.sites[site].waiters.push(node);
+        } else if !holders.is_empty() {
+            let fixed = self.amplified_fixed(*self.topo.backbone());
+            let slot = self.backbone.transfer_with_fixed(t, fixed, self.image_wire);
+            self.nodes[node].seeding = Some(SeedKind::Backbone);
+            self.sites[site].wan_seeds += 1;
+            self.queue.push(
+                slot.done,
+                Event::SeedDone { node, generation: self.nodes[node].generation },
+            );
+        } else {
+            let seed = self.seeds.len();
+            self.seeds.push(RegistrySeed {
+                node,
+                generation: self.nodes[node].generation,
+                remaining: self.objects.len(),
+                failed: false,
+            });
+            self.nodes[node].seeding = Some(SeedKind::Registry);
+            self.sites[site].wan_seeds += 1;
+            for object in 0..self.objects.len() {
+                self.fetch_object(t, seed, object, 0);
+            }
+        }
+    }
+
+    /// One admission attempt for one object of a registry seed: replicas
+    /// in ring order, skipping down shards and full queues. When every
+    /// replica refuses, the whole wave backs off and retries.
+    fn fetch_object(&mut self, t: Duration, seed: usize, object: usize, attempt: u32) {
+        {
+            let s = &self.seeds[seed];
+            if s.failed || self.nodes[s.node].generation != s.generation {
+                return;
+            }
+        }
+        let node = self.seeds[seed].node;
+        let site = self.topo.site_of(node) as usize;
+        let obj = &self.objects[object];
+        let (fingerprint, wire) = (obj.fingerprint, obj.wire);
+        for shard in self.store.replicas_for(fingerprint) {
+            match self.store.try_admit(shard) {
+                Ok(()) => {
+                    // Shard egress and the site uplink are crossed in
+                    // parallel; the object lands when the slower
+                    // finishes. The admission token is held for the
+                    // shard's service time only.
+                    let served = self.shard_lanes[shard as usize].transfer(t, wire);
+                    let fixed = self.amplified_fixed(*self.topo.uplink(site as u32));
+                    let hauled = self.uplinks[site].transfer_with_fixed(t, fixed, wire);
+                    self.queue.push(served.done, Event::Release { shard });
+                    self.queue.push(served.done.max(hauled.done), Event::ObjectDone { seed });
+                    return;
+                }
+                Err(ShardRejection::Down) => self.down_refusals += 1,
+                Err(ShardRejection::Overloaded) => {}
+            }
+        }
+        self.overload_rejections += 1;
+        let next = attempt + 1;
+        if next < self.config.retry.max_attempts {
+            self.retries += 1;
+            let policy = RetryPolicy {
+                jitter_seed: self
+                    .config
+                    .retry
+                    .jitter_seed
+                    .wrapping_add(((seed as u64) << 20) ^ object as u64),
+                ..self.config.retry
+            };
+            self.queue.push(t + policy.backoff(next), Event::Fetch { seed, object, attempt: next });
+        } else {
+            self.fail_seed(t, seed);
+        }
+    }
+
+    fn on_object_done(&mut self, t: Duration, seed: usize) {
+        self.seeds[seed].remaining -= 1;
+        let s = &self.seeds[seed];
+        if s.failed || s.remaining > 0 || self.nodes[s.node].generation != s.generation {
+            return;
+        }
+        self.node_ready(t, self.seeds[seed].node);
+    }
+
+    /// A registry seed ran out of retry budget: its node's queued clients
+    /// are lost and the site's waiters re-plan.
+    fn fail_seed(&mut self, t: Duration, seed: usize) {
+        self.seeds[seed].failed = true;
+        let node = self.seeds[seed].node;
+        if self.nodes[node].generation != self.seeds[seed].generation {
+            return;
+        }
+        let site = self.topo.site_of(node) as usize;
+        self.sites[site].wan_seeds = self.sites[site].wan_seeds.saturating_sub(1);
+        let abandoned = std::mem::take(&mut self.nodes[node].queued);
+        self.lost += abandoned.len() as u32;
+        self.fleet.telemetry(node as u32).count("fleet.lost", abandoned.len() as u64);
+        self.nodes[node].seeding = None;
+        if self.sites[site].wan_seeds == 0 {
+            let waiters = std::mem::take(&mut self.sites[site].waiters);
+            for w in waiters {
+                self.nodes[w].seeding = None;
+                self.start_seed(t, w);
+            }
+        }
+    }
+
+    /// The image finished installing on `node`: complete queued clients,
+    /// announce to the directory, and fan the site's waiters out over the
+    /// LAN.
+    fn node_ready(&mut self, r: Duration, node: NodeId) {
+        let Some(kind) = self.nodes[node].seeding.take() else { return };
+        self.nodes[node].ready = Some(r);
+        let site = self.topo.site_of(node) as usize;
+        if matches!(kind, SeedKind::Backbone | SeedKind::Registry) {
+            self.sites[site].wan_seeds = self.sites[site].wan_seeds.saturating_sub(1);
+        }
+        let started = self.nodes[node].seed_started;
+        let telemetry = self.fleet.telemetry(node as u32);
+        telemetry.scoped_span(
+            "fleet",
+            "seed",
+            started,
+            r.saturating_sub(started),
+            &[("bytes", self.image_wire)],
+        );
+        telemetry.count("fleet.seeds", 1);
+        telemetry.count(kind.counter(), 1);
+        self.directory.announce(self.image_fp, node);
+        let queued = std::mem::take(&mut self.nodes[node].queued);
+        for client in queued {
+            self.complete_client(client, r + self.config.launch);
+        }
+        let waiters = std::mem::take(&mut self.sites[site].waiters);
+        for w in waiters {
+            let fixed = self.amplified_fixed(*self.topo.lan());
+            let slot = self.lan[site].transfer_with_fixed(r, fixed, self.image_wire);
+            self.nodes[w].seeding = Some(SeedKind::Lan);
+            self.queue
+                .push(slot.done, Event::SeedDone { node: w, generation: self.nodes[w].generation });
+        }
+    }
+
+    fn complete_client(&mut self, client: u32, finish: Duration) {
+        let c = &mut self.clients[client as usize];
+        c.done = Some(finish);
+        self.completed += 1;
+        let latency = finish.saturating_sub(c.arrive);
+        let node = c.node;
+        let telemetry = self.fleet.telemetry(node as u32);
+        telemetry.count("fleet.deploys", 1);
+        telemetry.sketch("fleet.deploy_nanos", latency.as_nanos() as u64);
+    }
+
+    /// Rolling-update semantics: every node in the site goes cold, its
+    /// announcements withdraw, its telemetry shard resets (post-upgrade
+    /// tails never mix pre-upgrade samples), and nodes with queued clients
+    /// immediately re-plan their seed. Queued clients are never lost to a
+    /// reset — they wait for the re-seed.
+    fn on_reset_site(&mut self, t: Duration, site: u32) {
+        for node in self.topo.site_nodes(site) {
+            self.directory.withdraw(self.image_fp, node);
+            let ns = &mut self.nodes[node];
+            ns.generation += 1;
+            ns.ready = None;
+            ns.seeding = None;
+            self.fleet.reset_shard(node as u32);
+        }
+        self.sites[site as usize].wan_seeds = 0;
+        self.sites[site as usize].waiters.clear();
+        for node in self.topo.site_nodes(site) {
+            if !self.nodes[node].queued.is_empty() {
+                self.start_seed(t, node);
+            }
+        }
+    }
+
+    fn amplified_fixed(&self, link: Link) -> Duration {
+        let amp = self.topo.config().client.request_amplification.max(0.0);
+        (link.rtt + link.request_overhead).mul_f64(amp)
+    }
+
+    fn report(&self) -> FleetReport {
+        let makespan = self
+            .clients
+            .iter()
+            .filter_map(|c| c.done)
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let merged = self.fleet.merged_metrics().unwrap_or_default();
+        let nanos = |v: Option<u64>| Duration::from_nanos(v.unwrap_or(0));
+        let (p50, p99, p999, max, samples) = match merged.sketch("fleet.deploy_nanos") {
+            Some(sketch) => (
+                nanos(sketch.quantile(0.50)),
+                nanos(sketch.quantile(0.99)),
+                nanos(sketch.quantile(0.999)),
+                nanos(sketch.max()),
+                sketch.count(),
+            ),
+            None => (Duration::ZERO, Duration::ZERO, Duration::ZERO, Duration::ZERO, 0),
+        };
+        let stats = self.store.shard_stats();
+        let admitted: Vec<u64> = stats.iter().map(|s| s.admitted).collect();
+        let shard_balance = match (admitted.iter().max(), admitted.iter().min()) {
+            (Some(&hi), Some(&lo)) if lo > 0 => hi as f64 / lo as f64,
+            (Some(&hi), _) if hi > 0 => f64::INFINITY,
+            _ => 1.0,
+        };
+        FleetReport {
+            clients: self.clients.len() as u32,
+            completed: self.completed,
+            lost: self.lost,
+            makespan,
+            p50,
+            p99,
+            p999,
+            max,
+            deploy_samples: samples,
+            retries: self.retries,
+            overload_rejections: self.overload_rejections,
+            shard_rejections: stats.iter().map(|s| s.rejected).sum(),
+            shard_down_refusals: self.down_refusals,
+            shard_balance,
+            registry_bytes: self.uplinks.iter().map(FifoLane::bytes).sum(),
+            lan_bytes: self.lan.iter().map(FifoLane::bytes).sum(),
+            backbone_bytes: self.backbone.bytes(),
+            events: self.processed,
+            dropped_spans: self.fleet.dropped_spans(),
+            validation_problems: self.fleet.validate().len(),
+            collector_bytes: self.fleet.span_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn image(objects: usize) -> Vec<(Fingerprint, Bytes)> {
+        (0..objects)
+            .map(|i| {
+                let content = Bytes::from(format!("object-{i}-{}", "x".repeat(4_000 + i * 37)));
+                (Fingerprint::of(&content), content)
+            })
+            .collect()
+    }
+
+    fn sim(sites: usize, nodes_per_site: usize, seed: u64) -> FleetSim {
+        FleetSim::new(
+            Topology::new(TopologyConfig::edge_fleet(sites, nodes_per_site)),
+            FleetConfig::standard(seed),
+            &image(12),
+        )
+    }
+
+    #[test]
+    fn flash_crowd_completes_everyone() {
+        let mut fleet = sim(4, 4, 7);
+        fleet.schedule_flash_crowd(400, Duration::ZERO, Duration::from_micros(50));
+        let report = fleet.run();
+        assert_eq!(report.completed, 400);
+        assert_eq!(report.lost, 0);
+        assert!(report.makespan > Duration::ZERO);
+        assert!(report.p999 >= report.p99 && report.p99 >= report.p50);
+        assert_eq!(report.validation_problems, 0);
+        assert_eq!(report.deploy_samples, 400);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let mut fleet = sim(3, 5, seed);
+            fleet.schedule_flash_crowd(300, Duration::ZERO, Duration::from_micros(20));
+            fleet.schedule_shard_outage(1, Duration::from_millis(5), Duration::from_secs(2));
+            fleet.run()
+        };
+        let (a, b) = (run(42), run(42));
+        assert_eq!(a.makespan, b.makespan, "same seed, same makespan, bit for bit");
+        assert_eq!(a.p999, b.p999);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.registry_bytes, b.registry_bytes);
+    }
+
+    #[test]
+    fn site_locality_keeps_registry_traffic_per_site_not_per_node() {
+        let mut fleet = sim(2, 8, 9);
+        fleet.schedule_flash_crowd(160, Duration::ZERO, Duration::from_micros(10));
+        let report = fleet.run();
+        assert_eq!(report.lost, 0);
+        // Each site crosses the WAN roughly once (one registry or
+        // backbone seed); the other 7 nodes per site seed over the LAN.
+        let wan = report.registry_bytes + report.backbone_bytes;
+        assert!(
+            wan <= 3 * (report.registry_bytes + report.lan_bytes + report.backbone_bytes) / 8,
+            "WAN carried too much: registry={} backbone={} lan={}",
+            report.registry_bytes,
+            report.backbone_bytes,
+            report.lan_bytes
+        );
+        assert!(report.lan_bytes > report.registry_bytes, "LAN should dominate");
+    }
+
+    #[test]
+    fn shard_outage_loses_nothing_thanks_to_replicas() {
+        let mut fleet = sim(4, 4, 11);
+        // Shard 0 is down for the entire seeding phase.
+        fleet.schedule_shard_outage(0, Duration::ZERO, Duration::from_secs(600));
+        fleet.schedule_flash_crowd(320, Duration::ZERO, Duration::from_micros(25));
+        let report = fleet.run();
+        assert_eq!(report.lost, 0, "replicas must absorb the outage");
+        assert_eq!(report.completed, 320);
+        assert!(report.shard_down_refusals > 0, "the down shard was actually consulted");
+    }
+
+    #[test]
+    fn warm_nodes_deploy_at_launch_cost() {
+        let mut fleet = sim(1, 2, 3);
+        fleet.schedule_client(0, Duration::ZERO);
+        // Arrives an hour later: the node is long since ready.
+        fleet.schedule_client(0, Duration::from_secs(3_600));
+        let report = fleet.run();
+        assert_eq!(report.completed, 2);
+        let warm = fleet.clients[1].done.expect("completed") - Duration::from_secs(3_600);
+        assert_eq!(warm, fleet.config.launch, "warm deploys cost exactly the launch");
+    }
+
+    #[test]
+    fn site_reset_reseeds_and_drops_stale_samples() {
+        let mut fleet = sim(2, 2, 5);
+        fleet.schedule_flash_crowd(40, Duration::ZERO, Duration::from_micros(10));
+        fleet.schedule_site_reset(0, Duration::from_secs(300));
+        // Post-reset arrivals must re-seed site 0.
+        fleet.schedule_client(0, Duration::from_secs(301));
+        let report = fleet.run();
+        assert_eq!(report.completed, 41);
+        assert_eq!(report.lost, 0);
+        assert!(
+            report.deploy_samples < u64::from(report.completed),
+            "the reset site's pre-reset samples are gone"
+        );
+        assert_eq!(report.validation_problems, 0);
+    }
+
+    #[test]
+    fn event_cost_scales_with_work_not_clients_squared() {
+        let mut fleet = sim(4, 4, 13);
+        fleet.schedule_flash_crowd(1_000, Duration::ZERO, Duration::from_micros(5));
+        let report = fleet.run();
+        assert_eq!(report.lost, 0);
+        // Arrivals dominate: everything else is per-seed, not per-client.
+        assert!(
+            report.events < 1_000 + 16 * 12 * 40,
+            "event count blew up: {}",
+            report.events
+        );
+    }
+}

@@ -48,6 +48,10 @@
 
 mod cluster;
 mod directory;
+mod fleet;
+mod topology;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterError, NodeDeployment, NodeId};
 pub use directory::PeerDirectory;
+pub use fleet::{FleetConfig, FleetReport, FleetSim};
+pub use topology::{LinkClass, SiteConfig, Topology, TopologyConfig};

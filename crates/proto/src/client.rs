@@ -73,7 +73,10 @@ impl Transport for Loopback {
 /// fail content verification) are retried under a [`RetryPolicy`]: each retry
 /// waits an exponentially growing, seeded-jitter backoff charged to the
 /// clock, and an exhausted budget surfaces as [`ProtoError::Exhausted`].
-/// Application-level answers (`404`, `400`) are never retried.
+/// Application-level answers (`404`, `400`) are never retried. A `503`
+/// ([`Status::Overloaded`] — a sharded registry's admission queue is full)
+/// is the one status treated as transport-level: the same request succeeds
+/// once load drains, so it consumes attempts separated by backoff.
 #[derive(Debug)]
 pub struct RegistryClient<T> {
     transport: T,
@@ -150,6 +153,7 @@ impl<T: Transport> RegistryClient<T> {
         self.telemetry.count("proto.requests", 1);
         let Some((policy, clock)) = self.retry.clone() else {
             let response = Response::parse(&self.transport.round_trip(&wire))?;
+            admitted(&response)?;
             check(&response)?;
             return Ok(response);
         };
@@ -172,6 +176,7 @@ impl<T: Transport> RegistryClient<T> {
                 Err(ProtoError::Timeout(took))
             } else {
                 Response::parse(&raw).and_then(|response| {
+                    admitted(&response)?;
                     check(&response)?;
                     Ok(response)
                 })
@@ -488,6 +493,16 @@ impl<T: Transport> RegistryClient<T> {
     }
 }
 
+/// A `503` is a statement about load, not content: classify it with the
+/// transport-level failures so the retry loop consumes an attempt and backs
+/// off, instead of surfacing it as a final answer.
+fn admitted(response: &Response) -> Result<(), ProtoError> {
+    if response.status == Status::Overloaded {
+        return Err(ProtoError::Unexpected(Status::Overloaded));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use std::time::Duration;
@@ -740,6 +755,75 @@ mod tests {
             Err(ProtoError::Unexpected(Status::NotFound))
         ));
         assert_eq!(c.retries(), 0, "a 404 is an answer, not a fault");
+    }
+
+    /// Rejects the first `rejections` round-trips with `503`, then serves.
+    struct Admission {
+        inner: Loopback,
+        rejections: u32,
+    }
+
+    impl Transport for Admission {
+        fn round_trip(&mut self, wire: &[u8]) -> Vec<u8> {
+            if self.rejections > 0 {
+                self.rejections -= 1;
+                return Response::status_only(Status::Overloaded).to_wire();
+            }
+            self.inner.round_trip(wire)
+        }
+
+        fn bytes_sent(&self) -> u64 {
+            self.inner.bytes_sent()
+        }
+
+        fn bytes_received(&self) -> u64 {
+            self.inner.bytes_received()
+        }
+    }
+
+    #[test]
+    fn overload_rejections_are_retried_with_backoff() {
+        use gear_simnet::{RetryPolicy, VirtualClock};
+
+        let body = Bytes::from_static(b"served after the queue drains");
+        let fp = Fingerprint::of(&body);
+        let mut loopback = Loopback::default();
+        loopback.service_mut().files_mut().upload(fp, body.clone()).unwrap();
+
+        let clock = VirtualClock::new();
+        let transport = Admission { inner: loopback, rejections: 2 };
+        let mut client =
+            RegistryClient::with_retry(transport, RetryPolicy::standard(11), clock.clone());
+        assert_eq!(client.download(fp).unwrap(), body);
+        assert_eq!(client.retries(), 2, "each 503 consumes an attempt");
+        assert!(clock.elapsed() >= Duration::from_millis(50), "backoff was charged");
+    }
+
+    #[test]
+    fn persistent_overload_exhausts_the_budget() {
+        use gear_simnet::{RetryPolicy, VirtualClock};
+
+        let clock = VirtualClock::new();
+        let transport = Admission { inner: Loopback::default(), rejections: u32::MAX };
+        let mut client = RegistryClient::with_retry(transport, RetryPolicy::standard(7), clock);
+        match client.download(Fingerprint::of(b"anything")).unwrap_err() {
+            ProtoError::Exhausted { attempts, last } => {
+                assert_eq!(attempts, 4);
+                assert!(matches!(*last, ProtoError::Unexpected(Status::Overloaded)));
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn overload_without_policy_surfaces_immediately() {
+        let transport = Admission { inner: Loopback::default(), rejections: 1 };
+        let mut client = RegistryClient::new(transport);
+        assert!(matches!(
+            client.query(Fingerprint::of(b"x")),
+            Err(ProtoError::Unexpected(Status::Overloaded))
+        ));
+        assert_eq!(client.retries(), 0);
     }
 
     #[test]

@@ -70,6 +70,13 @@ pub enum Status {
     BadRequest,
     /// 404 — absent.
     NotFound,
+    /// 503 — the shard's admission queue is full; retry after backoff.
+    ///
+    /// Unlike 400/404 (answers about the *content*, never retried), 503 is
+    /// a statement about the *moment*: the same request succeeds once load
+    /// drains, so [`crate::RegistryClient`] treats it as a transport-level
+    /// failure that consumes retry attempts separated by backoff.
+    Overloaded,
 }
 
 impl Status {
@@ -80,6 +87,7 @@ impl Status {
             Status::Created => 201,
             Status::BadRequest => 400,
             Status::NotFound => 404,
+            Status::Overloaded => 503,
         }
     }
 
@@ -90,6 +98,7 @@ impl Status {
             201 => Some(Status::Created),
             400 => Some(Status::BadRequest),
             404 => Some(Status::NotFound),
+            503 => Some(Status::Overloaded),
             _ => None,
         }
     }
@@ -101,6 +110,7 @@ impl Status {
             Status::Created => "Created",
             Status::BadRequest => "Bad Request",
             Status::NotFound => "Not Found",
+            Status::Overloaded => "Service Unavailable",
         }
     }
 }
@@ -182,7 +192,13 @@ mod tests {
 
     #[test]
     fn status_codes_roundtrip() {
-        for status in [Status::Ok, Status::Created, Status::BadRequest, Status::NotFound] {
+        for status in [
+            Status::Ok,
+            Status::Created,
+            Status::BadRequest,
+            Status::NotFound,
+            Status::Overloaded,
+        ] {
             assert_eq!(Status::from_code(status.code()), Some(status));
             assert!(!status.reason().is_empty());
         }

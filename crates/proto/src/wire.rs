@@ -278,6 +278,7 @@ mod tests {
             Response::status_only(Status::NotFound),
             Response::status_only(Status::Created),
             Response::status_only(Status::BadRequest),
+            Response::status_only(Status::Overloaded),
         ] {
             let wire = response.to_wire();
             assert_eq!(Response::parse(&wire).unwrap(), response);

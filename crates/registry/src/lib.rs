@@ -14,6 +14,13 @@
 //! given the same image corpus, how much space and how many objects does
 //! dedup at layer, file, or chunk granularity produce?
 //!
+//! For fleet-scale serving, [`ShardedStore`] spreads objects over several
+//! [`GearFileStore`] shards via a seeded consistent-hash [`HashRing`]
+//! (virtual nodes, N-way replication) with bounded per-shard admission
+//! queues: a full queue is a typed [`ShardRejection::Overloaded`] — `503`
+//! on gear-proto's wire, retried with backoff — and a down shard fails
+//! over to its replicas.
+//!
 //! # Examples
 //!
 //! ```
@@ -38,6 +45,12 @@
 pub mod dedup;
 mod docker;
 mod filestore;
+mod ring;
+mod sharded;
 
 pub use docker::{DockerRegistry, PushReport, RegistryStats};
 pub use filestore::{GearFileStore, StoreStats, UploadError, UploadOutcome};
+pub use ring::HashRing;
+pub use sharded::{
+    ShardRejection, ShardStats, ShardedStore, DEFAULT_QUEUE_DEPTH, DEFAULT_VNODES,
+};

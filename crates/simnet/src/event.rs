@@ -1,0 +1,302 @@
+//! Event-driven scheduling core for fleet-scale simulations.
+//!
+//! The historical simnet pricing model charges whole transfers eagerly: a
+//! caller asks a [`Link`] what a batch costs and advances its clock by the
+//! answer. That is exact and fast for one client, but a fleet run with tens
+//! of thousands of concurrent clients would pay O(clients × polling) to
+//! interleave them. This module supplies the two primitives that make the
+//! cost O(events) instead:
+//!
+//! * [`EventQueue`] — a binary-heap priority queue keyed on simulated time
+//!   with a monotonically increasing sequence number breaking ties in push
+//!   order, so the processing order is a pure function of the pushes (no
+//!   dependence on heap internals or iteration order).
+//! * [`FifoLane`] — a shared link serving transfers strictly in arrival
+//!   order. Each transfer starts at `max(now, lane.busy_until)` and runs
+//!   for `fixed + bandwidth.transfer_time(bytes)` of exact integer
+//!   [`Duration`] arithmetic — the same sums the sequential scheduler has
+//!   always produced, so single-stream schedules stay bit-identical.
+//!
+//! A driver owns one queue plus one lane per contended resource (a site
+//! uplink, a registry shard's egress, a LAN segment), pops events in time
+//! order, and books transfers onto lanes as they arise. Every completion
+//! time is derived from exact `Duration` additions; there is no floating
+//! point anywhere on this path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use crate::link::Link;
+
+/// A deterministic priority queue of simulation events.
+///
+/// Events pop in ascending time order; events scheduled for the same
+/// instant pop in the order they were pushed. Determinism is structural:
+/// the key is `(time, push sequence)`, so two runs that push the same
+/// events observe the same ordering regardless of heap layout.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: Duration,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `payload` to fire at simulated time `at`.
+    pub fn push(&mut self, at: Duration, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event, ties broken by push order.
+    pub fn pop(&mut self) -> Option<(Duration, T)> {
+        self.heap.pop().map(|Reverse(entry)| (entry.at, entry.payload))
+    }
+
+    /// The firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Duration> {
+        self.heap.peek().map(|Reverse(entry)| entry.at)
+    }
+
+    /// Events currently scheduled.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever pushed (the event-count cost of the run so far).
+    pub fn pushed(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// One booked transfer on a [`FifoLane`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneSlot {
+    /// When the transfer actually started (after any queueing delay).
+    pub start: Duration,
+    /// When the last byte was delivered.
+    pub done: Duration,
+}
+
+impl LaneSlot {
+    /// How long the transfer waited behind earlier traffic.
+    pub fn queued(&self, requested_at: Duration) -> Duration {
+        self.start.saturating_sub(requested_at)
+    }
+}
+
+/// A shared link serving transfers strictly in arrival order.
+///
+/// The lane replaces eager whole-transfer pricing: instead of each client
+/// charging the full link cost to a private clock, concurrent clients book
+/// transfers onto the shared lane and observe queueing delay when it is
+/// busy. All arithmetic is exact integer [`Duration`] addition — for a
+/// single client the booked completion times are bit-identical to the
+/// historical `fixed + transfer_time(bytes)` sums.
+#[derive(Debug, Clone)]
+pub struct FifoLane {
+    link: Link,
+    busy_until: Duration,
+    transfers: u64,
+    bytes: u64,
+    busy: Duration,
+    queued: Duration,
+}
+
+impl FifoLane {
+    /// An idle lane over `link`.
+    pub fn new(link: Link) -> Self {
+        FifoLane {
+            link,
+            busy_until: Duration::ZERO,
+            transfers: 0,
+            bytes: 0,
+            busy: Duration::ZERO,
+            queued: Duration::ZERO,
+        }
+    }
+
+    /// The underlying link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// When the lane next falls idle.
+    pub fn busy_until(&self) -> Duration {
+        self.busy_until
+    }
+
+    /// Transfers booked so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Payload bytes booked so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total service time booked (utilization numerator).
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Total time transfers spent queued behind earlier traffic.
+    pub fn queued_time(&self) -> Duration {
+        self.queued
+    }
+
+    /// Books a transfer of `bytes` requested at `now`, paying the link's
+    /// own RTT + request overhead as the fixed phase.
+    pub fn transfer(&mut self, now: Duration, bytes: u64) -> LaneSlot {
+        self.transfer_with_fixed(now, self.link.rtt + self.link.request_overhead, bytes)
+    }
+
+    /// Books a transfer of `bytes` requested at `now` with an explicit
+    /// per-request fixed phase (caller-amplified RTT/overhead).
+    ///
+    /// Service time is `fixed + bandwidth.transfer_time(bytes)` — the exact
+    /// integer sum the sequential scheduler charges — starting at
+    /// `max(now, busy_until)`.
+    pub fn transfer_with_fixed(&mut self, now: Duration, fixed: Duration, bytes: u64) -> LaneSlot {
+        let start = self.busy_until.max(now);
+        let service = fixed + self.link.bandwidth.transfer_time(bytes);
+        let done = start + service;
+        self.busy_until = done;
+        self.transfers += 1;
+        self.bytes += bytes;
+        self.busy += service;
+        self.queued += start.saturating_sub(now);
+        LaneSlot { start, done }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.push(Duration::from_millis(30), "c");
+        queue.push(Duration::from_millis(10), "a");
+        queue.push(Duration::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| queue.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_in_push_order() {
+        let mut queue = EventQueue::new();
+        for label in 0..100u32 {
+            queue.push(Duration::from_millis(5), label);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| queue.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>(), "same-time events keep push order");
+    }
+
+    #[test]
+    fn interleaved_pushes_stay_deterministic() {
+        // Push/pop interleaving must not disturb the (time, seq) order.
+        let mut queue = EventQueue::new();
+        queue.push(Duration::from_millis(10), 0u32);
+        queue.push(Duration::from_millis(10), 1);
+        assert_eq!(queue.pop().map(|(_, p)| p), Some(0));
+        queue.push(Duration::from_millis(10), 2);
+        queue.push(Duration::from_millis(5), 3);
+        assert_eq!(queue.pop().map(|(_, p)| p), Some(3));
+        assert_eq!(queue.pop().map(|(_, p)| p), Some(1));
+        assert_eq!(queue.pop().map(|(_, p)| p), Some(2));
+        assert_eq!(queue.pushed(), 4);
+    }
+
+    #[test]
+    fn lane_matches_sequential_request_time_sums_exactly() {
+        // The fleet lane and the historical sequential scheduler must be
+        // the same integer arithmetic, bit for bit.
+        let link = Link::mbps(80.0);
+        let payloads = [10_000u64, 250_000, 999, 0, 1_000_000];
+        let mut lane = FifoLane::new(link);
+        let mut expected = Duration::ZERO;
+        for &bytes in &payloads {
+            let slot = lane.transfer(Duration::ZERO, bytes);
+            expected += link.request_time(bytes);
+            assert_eq!(slot.done, expected, "bit-for-bit sequential sums");
+        }
+        assert_eq!(lane.transfers(), payloads.len() as u64);
+    }
+
+    #[test]
+    fn lane_queues_concurrent_arrivals_in_fifo_order() {
+        let mut lane = FifoLane::new(Link::mbps(80.0));
+        let first = lane.transfer(Duration::ZERO, 1_000_000);
+        let second = lane.transfer(Duration::ZERO, 1_000_000);
+        assert_eq!(second.start, first.done, "second waits for the lane");
+        assert!(second.queued(Duration::ZERO) >= Duration::from_millis(100));
+        assert_eq!(lane.queued_time(), second.queued(Duration::ZERO));
+    }
+
+    #[test]
+    fn idle_lane_starts_immediately() {
+        let mut lane = FifoLane::new(Link::mbps(80.0));
+        lane.transfer(Duration::ZERO, 10_000);
+        let late = lane.transfer(Duration::from_secs(5), 10_000);
+        assert_eq!(late.start, Duration::from_secs(5), "idle lane serves on arrival");
+        assert_eq!(late.queued(Duration::from_secs(5)), Duration::ZERO);
+    }
+
+    #[test]
+    fn lane_accounts_bytes_and_busy_time() {
+        let link = Link::mbps(80.0);
+        let mut lane = FifoLane::new(link);
+        lane.transfer(Duration::ZERO, 40_000);
+        lane.transfer(Duration::ZERO, 60_000);
+        assert_eq!(lane.bytes(), 100_000);
+        assert_eq!(lane.busy_time(), link.request_time(40_000) + link.request_time(60_000));
+        assert_eq!(lane.busy_until(), lane.busy_time(), "back-to-back service");
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`FaultPlan`] / [`FaultyLink`] — seeded, deterministic fault injection
 //!   (drops, stalls, corruption, truncation) with failed attempts priced in
 //!   simulated time; [`RetryPolicy`] describes a client's retry budget.
+//! * [`EventQueue`] / [`FifoLane`] — the event-driven core for fleet-scale
+//!   runs: a deterministic binary-heap event queue keyed on sim-time plus
+//!   per-link FIFO lanes, replacing eager whole-transfer pricing so that
+//!   simulating N concurrent clients costs O(events), not O(N × polling).
 //!
 //! Every deployment result in `gear-client` and `gear-bench` is a pure
 //! function of these models plus the workload, so runs are reproducible
@@ -35,6 +39,7 @@
 mod clock;
 mod crash;
 mod disk;
+mod event;
 mod fault;
 mod link;
 mod metrics;
@@ -43,6 +48,7 @@ mod stream;
 pub use clock::VirtualClock;
 pub use crash::{CrashPlan, CrashPoint};
 pub use disk::DiskModel;
+pub use event::{EventQueue, FifoLane, LaneSlot};
 pub use fault::{FaultKind, FaultPlan, FaultyLink, LinkOutcome, RetryPolicy};
 pub use link::{Bandwidth, Link};
 pub use metrics::NetMetrics;

@@ -141,22 +141,26 @@ impl Link {
 
     /// Exact sequential arithmetic: the same per-request `Duration` values a
     /// caller charging `fixed + transfer_time(bytes)` one by one would sum.
+    ///
+    /// Runs on the event-driven [`crate::FifoLane`] core: a lone client
+    /// booking back-to-back transfers onto a FIFO lane performs the exact
+    /// same integer additions (`start + fixed + transfer_time`), so the
+    /// schedule stays bit-identical to the historical eager sums.
     fn sequential_schedule(
         &self,
         fixed: Duration,
         payloads: &[u64],
         window: u64,
     ) -> StreamSchedule {
-        let mut at = Duration::ZERO;
+        let mut lane = crate::event::FifoLane::new(*self);
         let mut completions = Vec::with_capacity(payloads.len());
         let mut peak = 0u64;
         for &bytes in payloads {
-            at += fixed + self.bandwidth.transfer_time(bytes);
-            completions.push(at);
+            completions.push(lane.transfer_with_fixed(Duration::ZERO, fixed, bytes).done);
             peak = peak.max(bytes);
         }
         StreamSchedule {
-            duration: at,
+            duration: lane.busy_until(),
             completions,
             peak_in_flight: 1,
             // Sequential delivery drains each payload before the next

@@ -145,6 +145,22 @@ impl Stripes {
         map.entry(key.to_owned()).or_default().observe(value);
     }
 
+    /// Discards every metric in every stripe.
+    fn clear(&self) {
+        for stripe in &self.counters {
+            stripe.write().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        for stripe in &self.gauges {
+            stripe.write().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        for stripe in &self.histograms {
+            stripe.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        for stripe in &self.sketches {
+            stripe.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+
     /// Folds every stripe into one key-sorted registry snapshot.
     fn snapshot(&self) -> MetricsRegistry {
         let mut registry = MetricsRegistry::new();
@@ -287,6 +303,25 @@ impl Collector {
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Wipes the recording: spans, instants, drop counters, metrics, the
+    /// open-span stack, and the trace id all return to the freshly
+    /// constructed state. The shard id, capacity, and sim-time cursor
+    /// survive — a reset node keeps its identity and its place on the
+    /// simulated timeline, it just forgets what it recorded.
+    ///
+    /// This is the node-replacement path: when a cluster resets or
+    /// upgrades a node, the node's telemetry shard must not leak
+    /// pre-upgrade samples into post-upgrade tail distributions.
+    pub fn reset(&self) {
+        {
+            let mut inner = self.lock();
+            let now = inner.now;
+            *inner = Inner::default();
+            inner.now = now;
+        }
+        self.stripes.clear();
     }
 
     /// Snapshot of all retained spans, in recording order.
@@ -593,6 +628,41 @@ mod tests {
         c.set_now(ms(10));
         c.set_now(ms(4));
         assert_eq!(c.now(), ms(10));
+    }
+
+    #[test]
+    fn reset_forgets_the_recording_but_not_the_timeline() {
+        let c = Collector::with_shard_and_capacity(3, 2);
+        for _ in 0..5 {
+            let span = c.span_start("p2p", "deploy");
+            c.advance(ms(1));
+            c.span_end(span);
+            c.instant("p2p", "tick");
+        }
+        c.count("p2p.deploys", 5);
+        c.gauge_set("p2p.registry_egress", 100);
+        c.observe("p2p.bytes", 42);
+        c.sketch("p2p.deploy_nanos", 1_000_000);
+        c.set_trace_id(9);
+        assert!(c.dropped_spans() > 0);
+
+        c.reset();
+        assert!(c.spans().is_empty());
+        assert!(c.instants().is_empty());
+        assert_eq!(c.dropped_spans(), 0);
+        assert_eq!(c.dropped_instants(), 0);
+        assert!(c.metrics().is_empty(), "metrics survived reset");
+        assert_eq!(c.shard(), 3, "identity survives");
+        assert_eq!(c.span_capacity(), 2, "capacity survives");
+        assert_eq!(c.now(), ms(5), "the sim-time cursor survives");
+
+        // The collector keeps recording cleanly after the wipe.
+        let span = c.span_start("p2p", "deploy");
+        c.advance(ms(2));
+        c.span_end(span);
+        assert_eq!(c.spans().len(), 1);
+        assert_eq!(c.spans()[0].start, ms(5));
+        assert!(c.validate().is_empty(), "{:?}", c.validate());
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl FleetCollector {
         Telemetry::new(self.shards[shard as usize].clone())
     }
 
+    /// Wipes node `shard`'s recording (spans, instants, metrics, drop
+    /// counters) while keeping its identity, capacity, and sim-time
+    /// cursor. Called when a cluster resets or upgrades the node, so
+    /// post-upgrade tail distributions never mix in pre-upgrade samples.
+    pub fn reset_shard(&self, shard: u32) {
+        self.shards[shard as usize].reset();
+    }
+
     /// Flat fold of every shard's metrics, in shard order.
     ///
     /// # Errors
@@ -164,6 +172,29 @@ mod tests {
         assert_eq!(merged.sketch("lat").expect("observed").count(), 3);
         assert_eq!(merged.sketch("lat").expect("observed").max(), Some(300));
         assert!(fleet.validate().is_empty(), "{:?}", fleet.validate());
+    }
+
+    #[test]
+    fn reset_shard_wipes_only_that_node() {
+        let fleet = FleetCollector::new(3, 16);
+        for shard in 0..3u32 {
+            let t = fleet.telemetry(shard);
+            t.count("deploys", 10);
+            t.sketch("lat", u64::from(shard + 1) * 100);
+            t.scoped_span("client", "deploy", ms(0), ms(1), &[]);
+        }
+        fleet.reset_shard(1);
+        let merged = fleet.merged_metrics().expect("merge");
+        assert_eq!(merged.counter("deploys"), 20, "only shard 1 forgot");
+        let lat = merged.sketch("lat").expect("other shards kept samples");
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.max(), Some(300), "shard 2's sample survives");
+        assert!(fleet.shard(1).spans().is_empty());
+        assert_eq!(fleet.shard(0).spans().len(), 1);
+        // Post-reset samples land in a clean shard: no pre-reset mixing.
+        fleet.telemetry(1).sketch("lat", 999);
+        let after = fleet.merged_metrics().expect("merge");
+        assert_eq!(after.sketch("lat").expect("3 samples").count(), 3);
     }
 
     #[test]
